@@ -1,0 +1,74 @@
+"""Benchmarks regenerating Figure 7 (a-d): execution time of the
+instrumented application versions under the Table 3 policies.
+
+Each benchmark runs the same harness as ``repro-experiments fig7x`` at a
+reduced workload scale and process range (ratios are scale-invariant),
+verifies the paper's qualitative claims, and attaches the headline
+numbers as extra_info.
+"""
+
+import pytest
+
+from repro.apps import SMG98, SPPM, SWEEP3D, UMT98
+from repro.experiments import fig7_shape_report, run_fig7
+
+SCALE = 0.05
+SEED = 7
+
+
+def _series_summary(fig):
+    return {
+        s.label: [None if v is None else round(v, 3) for v in s.values]
+        for s in fig.series
+    }
+
+
+def test_fig7a_smg98(benchmark):
+    cpus = (1, 4, 16, 64)
+
+    def run():
+        return run_fig7(SMG98, cpu_counts=cpus, scale=SCALE, seed=SEED)
+
+    fig = benchmark.pedantic(run, rounds=1, iterations=1)
+    report = fig7_shape_report(fig, SMG98)
+    assert all(line.startswith("PASS") for line in report), "\n".join(report)
+    benchmark.extra_info["series"] = _series_summary(fig)
+    benchmark.extra_info["full_over_none_at_64"] = round(fig.ratio("Full", "None", 64), 2)
+    benchmark.extra_info["dynamic_over_none_at_64"] = round(fig.ratio("Dynamic", "None", 64), 3)
+
+
+def test_fig7b_sppm(benchmark):
+    cpus = (1, 4, 16, 64)
+
+    def run():
+        return run_fig7(SPPM, cpu_counts=cpus, scale=SCALE, seed=SEED)
+
+    fig = benchmark.pedantic(run, rounds=1, iterations=1)
+    report = fig7_shape_report(fig, SPPM)
+    assert all(line.startswith("PASS") for line in report), "\n".join(report)
+    benchmark.extra_info["series"] = _series_summary(fig)
+    benchmark.extra_info["full_over_none_at_64"] = round(fig.ratio("Full", "None", 64), 2)
+
+
+def test_fig7c_sweep3d(benchmark):
+    cpus = (2, 8, 32, 64)
+
+    def run():
+        return run_fig7(SWEEP3D, cpu_counts=cpus, scale=SCALE, seed=SEED)
+
+    fig = benchmark.pedantic(run, rounds=1, iterations=1)
+    report = fig7_shape_report(fig, SWEEP3D)
+    assert all(line.startswith("PASS") for line in report), "\n".join(report)
+    benchmark.extra_info["series"] = _series_summary(fig)
+
+
+def test_fig7d_umt98(benchmark):
+    cpus = (1, 2, 4, 8)
+
+    def run():
+        return run_fig7(UMT98, cpu_counts=cpus, scale=SCALE, seed=SEED)
+
+    fig = benchmark.pedantic(run, rounds=1, iterations=1)
+    report = fig7_shape_report(fig, UMT98)
+    assert all(line.startswith("PASS") for line in report), "\n".join(report)
+    benchmark.extra_info["series"] = _series_summary(fig)

@@ -1,0 +1,51 @@
+"""Benchmarks regenerating Figure 8 (a-c): the cost of VT_confsync."""
+
+import pytest
+
+from repro.experiments import run_fig8a, run_fig8b, run_fig8c
+
+SEED = 7
+
+
+def test_fig8a_confsync_ibm(benchmark):
+    counts = (2, 8, 32, 128, 512)
+
+    def run():
+        return run_fig8a(proc_counts=counts, seed=SEED)
+
+    fig = benchmark.pedantic(run, rounds=1, iterations=1)
+    nc = fig.get("No Change").values
+    ch = fig.get("Changes").values
+    # Paper: under 0.04 s in either case, growing slowly with P.
+    assert all(v < 0.04 for v in nc + ch)
+    assert nc[-1] > nc[0]
+    benchmark.extra_info["no_change"] = [round(v, 4) for v in nc]
+    benchmark.extra_info["changes"] = [round(v, 4) for v in ch]
+
+
+def test_fig8b_stats_ibm(benchmark):
+    counts = (2, 8, 32, 128, 512)
+
+    def run():
+        return run_fig8b(proc_counts=counts, seed=SEED)
+
+    fig = benchmark.pedantic(run, rounds=1, iterations=1)
+    values = fig.get("Statistics").values
+    # Paper: an order of magnitude above fig8a, still negligible next to
+    # user-interaction time.
+    assert values[-1] > 0.05
+    assert all(v < 1.0 for v in values)
+    benchmark.extra_info["statistics"] = [round(v, 4) for v in values]
+
+
+def test_fig8c_confsync_ia32(benchmark):
+    counts = tuple(range(2, 17, 2))
+
+    def run():
+        return run_fig8c(proc_counts=counts, seed=SEED)
+
+    fig = benchmark.pedantic(run, rounds=1, iterations=1)
+    values = fig.get("No Change").values
+    # Paper: insignificant delay on the IA32 cluster (< 6 ms).
+    assert all(v < 0.006 for v in values)
+    benchmark.extra_info["no_change"] = [round(v, 5) for v in values]

@@ -1,0 +1,28 @@
+"""Benchmark regenerating Figure 9: time to create and instrument."""
+
+import pytest
+
+from repro.experiments import run_fig9
+
+SEED = 7
+
+
+def test_fig9_create_and_instrument(benchmark):
+    cpus = (1, 2, 8, 32, 64)
+
+    def run():
+        return run_fig9(cpu_counts=cpus, seed=SEED)
+
+    fig = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    smg = fig.get("Smg98").values
+    umt = fig.get("Umt98").values
+    # MPI instrumentation time grows with the process count...
+    assert smg[-1] > smg[1] * 4
+    # ...while the single-image OpenMP app stays flat over 1..8 CPUs.
+    umt_points = [v for v in umt if v is not None]
+    assert max(umt_points) <= min(umt_points) * 1.2
+    benchmark.extra_info["series"] = {
+        s.label: [None if v is None else round(v, 2) for v in s.values]
+        for s in fig.series
+    }

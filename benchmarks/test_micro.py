@@ -1,0 +1,107 @@
+"""Micro-benchmarks of the simulation substrate itself.
+
+Not paper figures — these track the performance of the simulator's hot
+paths (the event kernel, the probe fast path, MPI collectives) so that
+regressions in the infrastructure are visible independently of the
+experiment harness.
+"""
+
+import pytest
+
+from repro.cluster import Cluster, POWER3_SP, Task
+from repro.program import ExecutableImage, ProcessImage, ProgramContext
+from repro.simt import Environment
+from repro.vt import FunctionRegistry, VTProcessState
+
+
+def test_engine_event_throughput(benchmark):
+    """Timeout scheduling/dispatch rate of the DES kernel."""
+
+    def run():
+        env = Environment()
+
+        def proc(env):
+            for _ in range(20_000):
+                yield env.timeout(1.0)
+
+        env.process(proc(env))
+        env.run()
+        return env.events_processed
+
+    events = benchmark(run)
+    assert events >= 20_000
+
+
+def test_static_probe_hot_path(benchmark):
+    """Per-call cost of the active static probe path (VT_begin/VT_end)."""
+    env = Environment()
+    cluster = Cluster(env, POWER3_SP, seed=0)
+    exe = ExecutableImage("micro")
+    exe.define("f")
+    exe.instrument_statically()
+    task = Task(env, cluster.node(0), "t", POWER3_SP)
+    image = ProcessImage(env, exe, "t")
+    pctx = ProgramContext(env, task, image, POWER3_SP)
+    vt = VTProcessState(env, POWER3_SP, image, 0, FunctionRegistry())
+    vt.initialize(task)
+    fi = image.func("f")
+
+    def run():
+        for _ in range(5_000):
+            vt.probe_begin(pctx, fi)
+            vt.probe_end(pctx, fi)
+
+    benchmark(run)
+    assert vt.stats[fi.fid].count >= 5_000
+
+
+def test_leaf_batching_fast_path(benchmark):
+    """call_batch: millions of probed calls per real millisecond."""
+    env = Environment()
+    cluster = Cluster(env, POWER3_SP, seed=0)
+    exe = ExecutableImage("micro")
+    exe.define("leaf")
+    exe.instrument_statically()
+    task = Task(env, cluster.node(0), "t", POWER3_SP)
+    image = ProcessImage(env, exe, "t")
+    pctx = ProgramContext(env, task, image, POWER3_SP)
+    vt = VTProcessState(env, POWER3_SP, image, 0, FunctionRegistry())
+    vt.initialize(task)
+
+    def run():
+        def driver():
+            for _ in range(100):
+                yield from pctx.call_batch("leaf", 10_000, 1e-7)
+
+        proc = task.start(driver())
+        env.run(until=proc)
+        return pctx.fn("leaf").call_count
+
+    calls = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert calls == 1_000_000
+
+
+def test_mpi_barrier_scaling(benchmark):
+    """Wall cost of simulating a 64-rank dissemination barrier."""
+    from repro.jobs import MpiJob
+
+    def run():
+        env = Environment()
+        cluster = Cluster(env, POWER3_SP, seed=0)
+        exe = ExecutableImage("barrier-bench")
+
+        def program(pctx):
+            yield from pctx.call("MPI_Init")
+            for _ in range(5):
+                yield from pctx.mpi.comm.barrier()
+            yield from pctx.call("MPI_Finalize")
+            return pctx.now
+
+        job = MpiJob(env, cluster, exe, 64, program)
+        job.start()
+        env.run(until=job.completion())
+        env.run()
+        return max(p.value for p in job.procs)
+
+    t = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert t > 0

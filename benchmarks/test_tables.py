@@ -1,0 +1,21 @@
+"""Benchmarks regenerating Tables 1-3 (cheap, but keeps the 'one bench
+target per table and figure' contract complete)."""
+
+from repro.experiments import render_table1, render_table2, render_table3
+
+
+def test_table1_commands(benchmark):
+    text = benchmark(render_table1)
+    assert "dynprof" in text and "insert-file" in text
+
+
+def test_table2_applications(benchmark):
+    text = benchmark(render_table2)
+    for app in ("Smg98", "Sppm", "Sweep3d", "Umt98"):
+        assert app in text
+
+
+def test_table3_policies(benchmark):
+    text = benchmark(render_table3)
+    for policy in ("Full", "Full-Off", "Subset", "None", "Dynamic"):
+        assert policy in text

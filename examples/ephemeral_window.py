@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Ephemeral instrumentation: a temporary measurement window.
+
+The paper's scripting idiom (Section 3.3): "a wait that is placed
+between an insert and remove can be used to temporarily monitor a
+particular function or functions".  This example runs the Sweep3d
+kernel under dynprof, opens a 12-second probe window on the ``sweep``
+wavefront function mid-run, closes it again, and shows that:
+
+* trace records exist only inside the window;
+* the two stop-patch-continue operations appear on the timeline as the
+  suspension inactivity the paper describes;
+* the §5.1-style analysis excludes those suspensions from the profile.
+"""
+
+from repro.analysis import ProfileView, Timeline, render_profile, render_timeline
+from repro.apps import SWEEP3D
+from repro.cluster import Cluster, POWER3_SP
+from repro.dynprof import DynProf
+from repro.jobs import MpiJob
+from repro.simt import Environment
+
+
+def main() -> None:
+    env = Environment()
+    cluster = Cluster(env, POWER3_SP, seed=21)
+    n_ranks = 4
+    exe = SWEEP3D.build_exe(False)
+    job = MpiJob(env, cluster, exe, n_ranks,
+                 SWEEP3D.make_program(n_ranks, 0.5), start_suspended=True)
+
+    tool = DynProf(env, cluster, job)
+    # The paper's idiom, verbatim: insert ... wait ... remove.
+    session = tool.run_script("""
+        start
+        wait 20         # let the sweep get going untraced
+        insert sweep    # open the measurement window
+        wait 12
+        remove sweep    # close it
+        quit
+    """)
+    env.run(until=session)
+    env.run(until=job.completion())
+    env.run()
+
+    window = [p for p in tool.timefile.phases if p.name == "instrument"]
+    print(f"probe window opened at t={window[0].start:.1f}s "
+          f"(install took {window[0].elapsed:.2f}s)\n")
+
+    timeline = Timeline(job.trace)
+    print(render_timeline(timeline, width=100))
+
+    record_times = [
+        rec.time for _p, _t, rec in job.trace.all_records()
+        if hasattr(rec, "fid")
+    ]
+    print(f"subroutine records: {len(record_times):,}, all inside "
+          f"[{min(record_times):.1f}s, {max(record_times):.1f}s]")
+
+    inactivity = timeline.total_inactivity()
+    print(f"total suspension across ranks: {inactivity:.2f}s "
+          f"(spawn-suspended startup + two mid-run stop-patch-continue)")
+    assert inactivity > 0, "mid-run patching must show as inactivity"
+
+    print("\nprofile with suspension periods excluded (Section 5.1):")
+    print(render_profile(ProfileView(job.trace, exclude_inactivity=True), top=5))
+
+
+if __name__ == "__main__":
+    main()

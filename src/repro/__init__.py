@@ -1,0 +1,93 @@
+"""repro — Dynamic Instrumentation of Large-Scale MPI and OpenMP Applications.
+
+A complete Python reproduction of Thiffault, Voss, Healey & Kim (IPPS
+2003): the dynprof dynamic instrumenter, the DPCL daemon system, the
+Vampirtrace library with dynamic control of instrumentation, Guide-style
+OpenMP and a full MPI runtime — all running over a deterministic
+discrete-event simulation of the paper's Power3 and IA32 testbeds —
+plus analogs of the four ASCI kernel benchmarks and a harness that
+regenerates every table and figure of the paper.
+
+Typical entry points::
+
+    from repro import Environment, Cluster, POWER3_SP, MpiJob, DynProf
+    from repro.apps import SMG98
+    from repro.dynprof import run_policy
+    from repro.experiments import run_fig7
+
+See README.md for a walkthrough and DESIGN.md for the architecture.
+"""
+
+from .cluster import (
+    IA32_LINUX,
+    POWER3_SP,
+    Cluster,
+    MachineSpec,
+    Node,
+    Placement,
+    Task,
+    get_machine,
+)
+from .dpcl import DaemonHost, DpclClient
+from .dynprof import (
+    POLICIES,
+    DynamicControlMonitor,
+    DynProf,
+    PolicyResult,
+    run_policy,
+)
+from .jobs import MpiJob, OmpJob, install_omp_symbols
+from .mpi import ANY_SOURCE, ANY_TAG, Communicator, MpiWorld, install_mpi_symbols
+from .openmp import DynamicSchedule, GuidedSchedule, OpenMPRuntime, StaticSchedule
+from .program import ExecutableImage, ProcessImage, ProgramContext
+from .simt import Environment, RandomStreams
+from .vt import TraceFile, VTConfig, VTProcessState, vt_confsync
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # simulation
+    "Environment",
+    "RandomStreams",
+    # machine
+    "Cluster",
+    "MachineSpec",
+    "POWER3_SP",
+    "IA32_LINUX",
+    "get_machine",
+    "Node",
+    "Placement",
+    "Task",
+    # program model
+    "ExecutableImage",
+    "ProcessImage",
+    "ProgramContext",
+    # runtimes
+    "MpiWorld",
+    "Communicator",
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "install_mpi_symbols",
+    "OpenMPRuntime",
+    "StaticSchedule",
+    "DynamicSchedule",
+    "GuidedSchedule",
+    # instrumentation stack
+    "VTConfig",
+    "VTProcessState",
+    "TraceFile",
+    "vt_confsync",
+    "DpclClient",
+    "DaemonHost",
+    # the paper's tools
+    "DynProf",
+    "DynamicControlMonitor",
+    "POLICIES",
+    "PolicyResult",
+    "run_policy",
+    # job assembly
+    "MpiJob",
+    "OmpJob",
+    "install_omp_symbols",
+]

@@ -1,0 +1,121 @@
+"""Message statistics — VGV's communication-matrix view.
+
+Aggregates the MPI message records of a trace into per-rank and
+rank-pair statistics: counts, bytes, and the send/receive balance.
+VGV presents these as its "message statistics" displays; here they are
+queryable objects plus a text rendering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..vt import MsgRecord, TraceFile
+
+__all__ = ["MessageStats", "render_message_matrix"]
+
+
+@dataclass
+class _PairStats:
+    count: int = 0
+    bytes: int = 0
+
+
+class MessageStats:
+    """Communication statistics of one trace."""
+
+    def __init__(self, trace: TraceFile) -> None:
+        self.trace = trace
+        #: (src, dst) -> stats, built from the senders' records.
+        self.pairs: Dict[Tuple[int, int], _PairStats] = {}
+        #: per-rank (sent_count, sent_bytes, recv_count, recv_bytes).
+        self.per_rank: Dict[int, List[int]] = {}
+        self._build()
+
+    def _build(self) -> None:
+        for process, _thread, rec in self.trace.all_records():
+            if not isinstance(rec, MsgRecord):
+                continue
+            rank_row = self.per_rank.setdefault(process, [0, 0, 0, 0])
+            if rec.kind == "send":
+                key = (process, rec.peer)
+                pair = self.pairs.get(key)
+                if pair is None:
+                    pair = self.pairs[key] = _PairStats()
+                pair.count += 1
+                pair.bytes += rec.size
+                rank_row[0] += 1
+                rank_row[1] += rec.size
+            else:
+                rank_row[2] += 1
+                rank_row[3] += rec.size
+
+    # -- queries --------------------------------------------------------------
+
+    @property
+    def total_messages(self) -> int:
+        return sum(p.count for p in self.pairs.values())
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(p.bytes for p in self.pairs.values())
+
+    def between(self, src: int, dst: int) -> Tuple[int, int]:
+        """(count, bytes) sent from src to dst."""
+        pair = self.pairs.get((src, dst))
+        return (pair.count, pair.bytes) if pair is not None else (0, 0)
+
+    def sent_by(self, rank: int) -> Tuple[int, int]:
+        row = self.per_rank.get(rank, [0, 0, 0, 0])
+        return (row[0], row[1])
+
+    def received_by(self, rank: int) -> Tuple[int, int]:
+        row = self.per_rank.get(rank, [0, 0, 0, 0])
+        return (row[2], row[3])
+
+    def is_balanced(self) -> bool:
+        """Every sent message was received (trace-level conservation).
+
+        Holds for completed runs; a truncated trace (mid-run snapshot)
+        may legitimately be unbalanced by the in-flight messages.
+        """
+        sent = sum(r[0] for r in self.per_rank.values())
+        received = sum(r[2] for r in self.per_rank.values())
+        return sent == received
+
+    def heaviest_pairs(self, n: int = 5) -> List[Tuple[Tuple[int, int], int]]:
+        """Top-n (src, dst) pairs by bytes."""
+        return sorted(
+            ((key, p.bytes) for key, p in self.pairs.items()),
+            key=lambda item: -item[1],
+        )[:n]
+
+    def __repr__(self) -> str:
+        return (
+            f"<MessageStats {self.total_messages} msgs, "
+            f"{self.total_bytes / 1e6:.2f} MB over {len(self.pairs)} pairs>"
+        )
+
+
+def render_message_matrix(stats: MessageStats, max_ranks: int = 16) -> str:
+    """ASCII src x dst byte matrix (KB), VGV message-statistics style."""
+    ranks = sorted(stats.per_rank)
+    if not ranks:
+        return "(no message records)\n"
+    shown = ranks[:max_ranks]
+    lines = [
+        f"message matrix (KB sent), {stats.total_messages} messages / "
+        f"{stats.total_bytes / 1e6:.2f} MB total"
+    ]
+    header = "src\\dst " + "".join(f"{r:>8d}" for r in shown)
+    lines.append(header)
+    for src in shown:
+        cells = []
+        for dst in shown:
+            _c, b = stats.between(src, dst)
+            cells.append(f"{b / 1024:>8.1f}" if b else f"{'.':>8s}")
+        lines.append(f"{src:>7d} " + "".join(cells))
+    if len(ranks) > max_ranks:
+        lines.append(f"({len(ranks) - max_ranks} more ranks not shown)")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,125 @@
+"""Aggregate per-function profiles — the GuideView-style summary.
+
+Builds inclusive/exclusive time and call counts per function from a
+trace, across all processes and threads.  Implements the Section 5.1
+requirement for hybrid tools: suspension ("inactivity") periods can be
+*excluded* so that probe-insertion stops do not pollute the aggregate
+runtime of the functions they interrupt.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..vt import TraceFile
+from .timeline import Interval, Timeline
+
+__all__ = ["FunctionProfile", "ProfileView"]
+
+
+@dataclass
+class FunctionProfile:
+    """Aggregated metrics of one function."""
+
+    name: str
+    count: int = 0
+    inclusive: float = 0.0
+    exclusive: float = 0.0
+
+    def merge(self, other: "FunctionProfile") -> None:
+        self.count += other.count
+        self.inclusive += other.inclusive
+        self.exclusive += other.exclusive
+
+
+def _overlap(a0: float, a1: float, b0: float, b1: float) -> float:
+    return max(0.0, min(a1, b1) - max(a0, b0))
+
+
+class ProfileView:
+    """Per-function aggregate over a whole trace."""
+
+    def __init__(
+        self,
+        trace: TraceFile,
+        exclude_inactivity: bool = False,
+        timeline: Optional[Timeline] = None,
+    ) -> None:
+        self.trace = trace
+        self.exclude_inactivity = exclude_inactivity
+        self.timeline = timeline if timeline is not None else Timeline(trace)
+        self.functions: Dict[str, FunctionProfile] = {}
+        self._build()
+
+    def _build(self) -> None:
+        from bisect import bisect_left
+
+        for bar in self.timeline.bars.values():
+            inactivity = bar.inactivity if self.exclude_inactivity else []
+
+            def active_duration(iv: Interval) -> float:
+                d = iv.busy_time
+                for pause in inactivity:
+                    d -= _overlap(iv.start, iv.end, pause.start, pause.end)
+                return max(0.0, d)
+
+            # Index intervals per depth with prefix sums of active
+            # duration: children of an interval at depth d are exactly
+            # the depth-(d+1) intervals starting inside it (proper
+            # nesting per thread makes containment automatic).
+            by_depth: Dict[int, Tuple[List[float], List[float]]] = {}
+            for depth in {iv.depth for iv in bar.intervals}:
+                ivs = sorted(
+                    (iv for iv in bar.intervals if iv.depth == depth),
+                    key=lambda iv: iv.start,
+                )
+                starts = [iv.start for iv in ivs]
+                prefix = [0.0]
+                for iv in ivs:
+                    prefix.append(prefix[-1] + active_duration(iv))
+                by_depth[depth] = (starts, prefix)
+
+            for iv in bar.intervals:
+                incl = active_duration(iv)
+                child_time = 0.0
+                children = by_depth.get(iv.depth + 1)
+                if children is not None:
+                    starts, prefix = children
+                    lo = bisect_left(starts, iv.start)
+                    hi = bisect_left(starts, iv.end)
+                    child_time = prefix[hi] - prefix[lo]
+                prof = self.functions.get(iv.name)
+                if prof is None:
+                    prof = self.functions[iv.name] = FunctionProfile(iv.name)
+                prof.count += iv.count
+                prof.inclusive += incl
+                prof.exclusive += max(0.0, incl - child_time)
+
+    # -- queries --------------------------------------------------------------
+
+    def table(self) -> List[FunctionProfile]:
+        """Profiles sorted by exclusive time, descending."""
+        return sorted(
+            self.functions.values(), key=lambda p: (-p.exclusive, p.name)
+        )
+
+    def top(self, n: int) -> List[FunctionProfile]:
+        return self.table()[:n]
+
+    def of(self, name: str) -> FunctionProfile:
+        try:
+            return self.functions[name]
+        except KeyError:
+            raise KeyError(f"function {name!r} not present in the profile") from None
+
+    @property
+    def total_exclusive(self) -> float:
+        return sum(p.exclusive for p in self.functions.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"<ProfileView {len(self.functions)} functions, "
+            f"excl_total={self.total_exclusive:.3f}s"
+            f"{' (inactivity excluded)' if self.exclude_inactivity else ''}>"
+        )

@@ -1,0 +1,201 @@
+"""SVG export of the time-line display — a visual VGV stand-in.
+
+Renders a :class:`~repro.analysis.timeline.Timeline` as a standalone SVG
+(optionally wrapped in an HTML page): one lane per (process, thread),
+coloured function intervals with hover tool-tips, collective spans,
+message lines from sender to matched receiver, and hatched inactivity
+regions where the target was suspended — the paper's Figure 4, headless.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import html
+from typing import Dict, List, Optional, Tuple
+
+from .timeline import Timeline, TimelineBar
+
+__all__ = ["timeline_to_svg", "save_timeline_html"]
+
+_LANE_H = 22
+_LANE_GAP = 8
+_LABEL_W = 90
+_AXIS_H = 28
+
+
+def _color_of(name: str) -> str:
+    """Stable, readable colour per function name."""
+    digest = hashlib.sha256(name.encode("utf-8")).digest()
+    hue = digest[0] * 360 // 256
+    sat = 45 + digest[1] % 30
+    light = 42 + digest[2] % 18
+    return f"hsl({hue},{sat}%,{light}%)"
+
+
+def _match_messages(timeline: Timeline) -> List[Tuple[int, float, int, float]]:
+    """Pair sends with receives: (src, t_send, dst, t_recv) lines.
+
+    Matching is by (src, dst, tag) in time order — the same
+    non-overtaking order the transport guarantees.
+    """
+    sends: Dict[Tuple[int, int, int], List[float]] = {}
+    recvs: Dict[Tuple[int, int, int], List[float]] = {}
+    for (process, _thread), bar in timeline.bars.items():
+        for msg in bar.messages:
+            if msg.kind == "send":
+                sends.setdefault((process, msg.peer, msg.tag), []).append(msg.time)
+            else:
+                recvs.setdefault((msg.peer, process, msg.tag), []).append(msg.time)
+    lines = []
+    for key, send_times in sends.items():
+        recv_times = recvs.get(key, [])
+        src, dst, _tag = key
+        for t_send, t_recv in zip(sorted(send_times), sorted(recv_times)):
+            lines.append((src, t_send, dst, t_recv))
+    return lines
+
+
+def timeline_to_svg(
+    timeline: Timeline,
+    width: int = 1200,
+    title: Optional[str] = None,
+    draw_messages: bool = True,
+    max_message_lines: int = 2000,
+) -> str:
+    """Render the timeline as a standalone SVG document string."""
+    t0, t1 = timeline.span
+    span = max(t1 - t0, 1e-12)
+    bars = sorted(timeline.bars.items())
+    lane_y: Dict[Tuple[int, int], int] = {}
+    for i, (key, _bar) in enumerate(bars):
+        lane_y[key] = _AXIS_H + i * (_LANE_H + _LANE_GAP)
+    height = _AXIS_H + max(1, len(bars)) * (_LANE_H + _LANE_GAP) + 10
+    plot_w = width - _LABEL_W - 10
+
+    def x_of(t: float) -> float:
+        return _LABEL_W + (t - t0) / span * plot_w
+
+    parts: List[str] = []
+    parts.append(
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-family="monospace" font-size="11">'
+    )
+    parts.append(
+        '<defs><pattern id="hatch" width="6" height="6" '
+        'patternUnits="userSpaceOnUse" patternTransform="rotate(45)">'
+        '<rect width="6" height="6" fill="#eee"/>'
+        '<line x1="0" y1="0" x2="0" y2="6" stroke="#999" stroke-width="2"/>'
+        "</pattern></defs>"
+    )
+    if title:
+        parts.append(
+            f'<text x="{_LABEL_W}" y="14" font-size="13">{html.escape(title)}</text>'
+        )
+    # Axis ticks.
+    for k in range(6):
+        t = t0 + span * k / 5
+        x = x_of(t)
+        parts.append(
+            f'<line x1="{x:.1f}" y1="{_AXIS_H - 4}" x2="{x:.1f}" '
+            f'y2="{height - 6}" stroke="#ddd"/>'
+        )
+        parts.append(
+            f'<text x="{x:.1f}" y="{_AXIS_H - 8}" text-anchor="middle" '
+            f'fill="#555">{t:.2f}s</text>'
+        )
+
+    # Lanes.
+    for key, bar in bars:
+        y = lane_y[key]
+        process, thread = key
+        label = f"p{process}" + (f".t{thread}" if thread else "")
+        parts.append(
+            f'<text x="4" y="{y + _LANE_H - 7}" fill="#333">{html.escape(label)}</text>'
+        )
+        parts.append(
+            f'<rect x="{_LABEL_W}" y="{y}" width="{plot_w}" height="{_LANE_H}" '
+            f'fill="#fafafa" stroke="#ccc"/>'
+        )
+        for op, s, e in bar.collectives:
+            parts.append(
+                f'<rect x="{x_of(s):.1f}" y="{y + 2}" '
+                f'width="{max(1.0, x_of(e) - x_of(s)):.1f}" height="{_LANE_H - 4}" '
+                f'fill="#c9a227" opacity="0.6"><title>{html.escape(op)} '
+                f"[{s:.4f}, {e:.4f}]</title></rect>"
+            )
+        for iv in bar.intervals:
+            w = max(0.75, x_of(iv.end) - x_of(iv.start))
+            inset = min(8, 2 * iv.depth)
+            note = f"{iv.name} [{iv.start:.4f}, {iv.end:.4f}]"
+            if iv.count > 1:
+                note += f" x{iv.count}"
+            parts.append(
+                f'<rect x="{x_of(iv.start):.1f}" y="{y + 1 + inset / 2:.1f}" '
+                f'width="{w:.1f}" height="{_LANE_H - 2 - inset:.1f}" '
+                f'fill="{_color_of(iv.name)}">'
+                f"<title>{html.escape(note)}</title></rect>"
+            )
+        for pause in bar.inactivity:
+            w = max(1.0, x_of(pause.end) - x_of(pause.start))
+            parts.append(
+                f'<rect x="{x_of(pause.start):.1f}" y="{y}" width="{w:.1f}" '
+                f'height="{_LANE_H}" fill="url(#hatch)">'
+                f"<title>suspended [{pause.start:.4f}, {pause.end:.4f}]</title></rect>"
+            )
+
+    # Message lines (sender lane bottom -> receiver lane top).
+    if draw_messages:
+        lanes_of_process: Dict[int, int] = {}
+        for (process, thread), y in lane_y.items():
+            if thread == 0:
+                lanes_of_process[process] = y
+        drawn = 0
+        for src, t_send, dst, t_recv in _match_messages(timeline):
+            if drawn >= max_message_lines:
+                break
+            ys = lanes_of_process.get(src)
+            yd = lanes_of_process.get(dst)
+            if ys is None or yd is None:
+                continue
+            parts.append(
+                f'<line x1="{x_of(t_send):.1f}" y1="{ys + _LANE_H / 2:.1f}" '
+                f'x2="{x_of(t_recv):.1f}" y2="{yd + _LANE_H / 2:.1f}" '
+                f'stroke="#333" stroke-width="0.6" opacity="0.45"/>'
+            )
+            drawn += 1
+
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def save_timeline_html(
+    timeline: Timeline,
+    path: str,
+    title: str = "timeline",
+    width: int = 1200,
+) -> None:
+    """Write a standalone HTML page embedding the SVG timeline."""
+    svg = timeline_to_svg(timeline, width=width, title=title)
+    legend_names: List[str] = []
+    for bar in timeline.bars.values():
+        for iv in bar.intervals:
+            if iv.name not in legend_names:
+                legend_names.append(iv.name)
+    legend = "".join(
+        f'<span style="margin-right:14px">'
+        f'<span style="display:inline-block;width:12px;height:12px;'
+        f'background:{_color_of(n)};margin-right:4px"></span>{html.escape(n)}</span>'
+        for n in legend_names[:24]
+    )
+    doc = (
+        "<!doctype html><html><head><meta charset='utf-8'>"
+        f"<title>{html.escape(title)}</title></head>"
+        "<body style='font-family:monospace'>"
+        f"<h3>{html.escape(title)}</h3>{svg}"
+        f"<p>{legend}</p>"
+        "<p>hatched = suspended (dynamic instrumentation inactivity); "
+        "gold = MPI collectives; thin lines = point-to-point messages.</p>"
+        "</body></html>"
+    )
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(doc)

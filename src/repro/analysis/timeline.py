@@ -1,0 +1,187 @@
+"""Time-line data model — the headless analog of VGV's main display.
+
+VGV shows MPI processes and OpenMP threads as horizontal bars with
+function intervals, message lines, and (with dynamic instrumentation)
+regions of inactivity where the target was suspended.  This module
+rebuilds that data model from a :class:`~repro.vt.buffer.TraceFile`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..vt import (
+    BatchPairRecord,
+    CollectiveRecord,
+    EnterRecord,
+    LeaveRecord,
+    MarkerRecord,
+    MsgRecord,
+    TraceFile,
+)
+
+__all__ = ["Interval", "Message", "InactivityPeriod", "TimelineBar", "Timeline"]
+
+
+@dataclass(frozen=True)
+class Interval:
+    """One function-execution interval on a bar."""
+
+    name: str
+    start: float
+    end: float
+    depth: int
+    #: Number of aggregated back-to-back executions this stands for.
+    count: int = 1
+    #: Actual time spent inside the function.  Equal to the span for a
+    #: single execution; for an aggregated batch it is count * duration
+    #: of one execution, which is less than the span (the span includes
+    #: the inter-call gaps).
+    busy: Optional[float] = None
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def busy_time(self) -> float:
+        return self.duration if self.busy is None else self.busy
+
+
+@dataclass(frozen=True)
+class Message:
+    """One message event on a bar (send or receive side)."""
+
+    kind: str
+    peer: int
+    tag: int
+    size: int
+    time: float
+
+
+@dataclass(frozen=True)
+class InactivityPeriod:
+    """A suspension interval ("region of inactivity", Section 4.2)."""
+
+    start: float
+    end: float
+    reason: str = "suspended"
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class TimelineBar:
+    """One (process, thread) horizontal bar."""
+
+    process: int
+    thread: int
+    intervals: List[Interval] = field(default_factory=list)
+    messages: List[Message] = field(default_factory=list)
+    collectives: List[Tuple[str, float, float]] = field(default_factory=list)
+    inactivity: List[InactivityPeriod] = field(default_factory=list)
+    unmatched_enters: int = 0
+
+    @property
+    def span(self) -> Tuple[float, float]:
+        times = (
+            [iv.start for iv in self.intervals]
+            + [iv.end for iv in self.intervals]
+            + [m.time for m in self.messages]
+            + [t for _op, t, _e in self.collectives]
+            + [p.end for p in self.inactivity]
+        )
+        if not times:
+            return (0.0, 0.0)
+        return (min(times), max(times))
+
+
+class Timeline:
+    """The assembled time-line of one application run."""
+
+    def __init__(self, trace: TraceFile, expand_batches_up_to: int = 64) -> None:
+        self.trace = trace
+        self.expand_limit = expand_batches_up_to
+        self.bars: Dict[Tuple[int, int], TimelineBar] = {}
+        for (process, thread), buf in sorted(trace.buffers.items()):
+            self.bars[(process, thread)] = self._build_bar(process, thread, buf.records)
+
+    def _build_bar(self, process: int, thread: int, records) -> TimelineBar:
+        bar = TimelineBar(process, thread)
+        stack: List[Tuple[int, float]] = []  # (fid, start)
+        for rec in records:
+            if isinstance(rec, EnterRecord):
+                stack.append((rec.fid, rec.t))
+            elif isinstance(rec, LeaveRecord):
+                depth = None
+                # Pop to the matching enter (tolerates skew).
+                for i in range(len(stack) - 1, -1, -1):
+                    if stack[i][0] == rec.fid:
+                        _fid, start = stack.pop(i)
+                        depth = i
+                        bar.intervals.append(Interval(
+                            self.trace.function_name(rec.fid), start, rec.t, depth,
+                        ))
+                        break
+            elif isinstance(rec, BatchPairRecord):
+                name = self.trace.function_name(rec.fid)
+                depth = len(stack)
+                if rec.n <= self.expand_limit:
+                    for k in range(rec.n):
+                        s = rec.t_first + k * rec.period
+                        bar.intervals.append(Interval(name, s, s + rec.duration, depth))
+                else:
+                    bar.intervals.append(Interval(
+                        name, rec.t_first, rec.t_last_leave, depth,
+                        count=rec.n, busy=rec.n * rec.duration,
+                    ))
+            elif isinstance(rec, MsgRecord):
+                bar.messages.append(Message(rec.kind, rec.peer, rec.tag, rec.size, rec.t))
+            elif isinstance(rec, CollectiveRecord):
+                bar.collectives.append((rec.op, rec.t_start, rec.t_end))
+            elif isinstance(rec, MarkerRecord):
+                if rec.name == "suspended":
+                    bar.inactivity.append(InactivityPeriod(rec.t_start, rec.t_end))
+        bar.unmatched_enters = len(stack)
+        bar.intervals.sort(key=lambda iv: (iv.start, -iv.duration))
+        return bar
+
+    # -- queries ----------------------------------------------------------------
+
+    @property
+    def n_bars(self) -> int:
+        return len(self.bars)
+
+    def bar(self, process: int, thread: int = 0) -> TimelineBar:
+        return self.bars[(process, thread)]
+
+    @property
+    def span(self) -> Tuple[float, float]:
+        starts, ends = [], []
+        for bar in self.bars.values():
+            s, e = bar.span
+            if e > s:
+                starts.append(s)
+                ends.append(e)
+        if not starts:
+            return (0.0, 0.0)
+        return (min(starts), max(ends))
+
+    def total_inactivity(self) -> float:
+        return sum(
+            p.duration for bar in self.bars.values() for p in bar.inactivity
+        )
+
+    def busy_time_of(self, process: int, thread: int = 0) -> float:
+        """Sum of top-level (depth 0) interval durations on a bar."""
+        bar = self.bar(process, thread)
+        return sum(
+            iv.duration for iv in bar.intervals if iv.depth == 0
+        )
+
+    def __repr__(self) -> str:
+        s, e = self.span
+        return f"<Timeline {self.n_bars} bars span=[{s:.3f}, {e:.3f}]>"

@@ -1,0 +1,48 @@
+"""repro.apps — analogs of the four ASCI kernel benchmarks (Table 2).
+
+=========  ========  ==========================================
+Smg98      MPI/C     A multigrid solver (199 fns, 62 subset)
+Sppm       MPI/F77   A 3D gas dynamics problem (22 fns, 7 subset)
+Sweep3d    MPI/F77   A neutron transport problem (21 fns)
+Umt98      OMP/F77   The Boltzmann transport equation (44 fns, 6 subset)
+=========  ========  ==========================================
+"""
+
+from typing import Dict
+
+from .base import AppSpec, MPI_SCALING_CPUS, NoiseProfile, OMP_SCALING_CPUS, grid_dims, neighbors_2d
+from .inputdeck import ITERATION_KEYS, InputDeck, deck_scale
+from .smg98 import SMG98
+from .sppm import SPPM
+from .sweep3d import SWEEP3D
+from .umt98 import UMT98
+
+__all__ = [
+    "AppSpec",
+    "NoiseProfile",
+    "grid_dims",
+    "neighbors_2d",
+    "MPI_SCALING_CPUS",
+    "OMP_SCALING_CPUS",
+    "InputDeck",
+    "deck_scale",
+    "ITERATION_KEYS",
+    "SMG98",
+    "SPPM",
+    "SWEEP3D",
+    "UMT98",
+    "ALL_APPS",
+    "get_app",
+]
+
+ALL_APPS: Dict[str, AppSpec] = {
+    app.name: app for app in (SMG98, SPPM, SWEEP3D, UMT98)
+}
+
+
+def get_app(name: str) -> AppSpec:
+    """Look up an application analog by name (case-insensitive)."""
+    try:
+        return ALL_APPS[name.lower()]
+    except KeyError:
+        raise KeyError(f"unknown app {name!r}; known: {sorted(ALL_APPS)}") from None

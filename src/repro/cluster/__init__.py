@@ -1,0 +1,28 @@
+"""repro.cluster — machine models: nodes, cores, interconnect, tasks.
+
+Provides the simulated hardware substrate: :class:`MachineSpec` cost
+models (with :data:`POWER3_SP` and :data:`IA32_LINUX` presets matching
+the paper's testbeds), :class:`Cluster`/:class:`Node` topology, the
+:class:`Interconnect` transfer model, and :class:`Task` — the execution
+context every MPI rank and OpenMP thread runs in.
+"""
+
+from .interconnect import Interconnect
+from .machine import IA32_LINUX, MACHINES, POWER3_SP, MachineSpec, get_machine
+from .node import Node
+from .task import Task, TaskObserver
+from .topology import Cluster, Placement
+
+__all__ = [
+    "MachineSpec",
+    "POWER3_SP",
+    "IA32_LINUX",
+    "MACHINES",
+    "get_machine",
+    "Node",
+    "Interconnect",
+    "Cluster",
+    "Placement",
+    "Task",
+    "TaskObserver",
+]

@@ -1,0 +1,81 @@
+"""Interconnect model: point-to-point transfer times with jitter.
+
+The model is a LogP-style analytic one: a transfer costs a fixed one-way
+latency plus ``size / bandwidth``, with intra-node (shared memory) and
+inter-node (switch) parameters, and multiplicative jitter drawn from a
+deterministic per-link RNG stream.  Link contention is *not* modelled —
+the paper's experiments are latency-bound synchronisation patterns and
+probe-overhead measurements, neither of which saturates the Colony
+switch; DESIGN.md records this simplification.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..simt import Channel, Environment, RandomStreams
+from .machine import MachineSpec
+from .node import Node
+
+__all__ = ["Interconnect"]
+
+
+class Interconnect:
+    """Computes and schedules message deliveries between nodes."""
+
+    def __init__(
+        self,
+        env: Environment,
+        spec: MachineSpec,
+        rng: RandomStreams,
+    ) -> None:
+        self.env = env
+        self.spec = spec
+        self.rng = rng.child("net")
+        #: Count of messages sent (diagnostics).
+        self.messages_sent = 0
+        #: Total payload bytes moved (diagnostics).
+        self.bytes_sent = 0
+
+    def transfer_time(self, src: Node, dst: Node, nbytes: int) -> float:
+        """Sampled one-way transfer time from ``src`` to ``dst``.
+
+        Deterministic given the RNG seed and draw order on the
+        (src, dst) link stream.
+        """
+        if nbytes < 0:
+            raise ValueError("negative message size")
+        intra = src.index == dst.index
+        base = self.spec.message_time(nbytes, intra_node=intra)
+        if self.spec.net_jitter > 0.0 and not intra:
+            stream = f"link.{src.index}.{dst.index}"
+            factor = 1.0 + self.rng.get(stream).exponential(self.spec.net_jitter)
+            base *= factor
+        return base
+
+    def deliver(
+        self,
+        src: Node,
+        dst: Node,
+        nbytes: int,
+        channel: Channel,
+        item: object,
+        extra_delay: float = 0.0,
+    ) -> float:
+        """Schedule ``item`` to appear on ``channel`` after the wire time.
+
+        Returns the delivery delay that was charged (useful for tracing).
+        """
+        delay = self.transfer_time(src, dst, nbytes) + extra_delay
+        self.messages_sent += 1
+        self.bytes_sent += nbytes
+        self.send_after(delay, channel, item)
+        return delay
+
+    def send_after(self, delay: float, channel: Channel, item: object) -> None:
+        """Put ``item`` on ``channel`` after ``delay`` seconds."""
+        if delay <= 0.0:
+            channel.put(item)
+            return
+        timeout = self.env.timeout(delay)
+        timeout.callbacks.append(lambda _ev: channel.put(item))

@@ -1,0 +1,64 @@
+"""SMP node model: cores, local daemon channels, per-node RNG."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List
+
+from ..simt import Channel, Environment, RandomStreams, Resource
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .task import Task
+
+__all__ = ["Node"]
+
+
+class Node:
+    """One SMP node of the cluster.
+
+    Owns a counted :class:`~repro.simt.sync.Resource` modelling its cores
+    (a task holds a core slot for its lifetime; the paper never
+    oversubscribes nodes) and a registry of the tasks currently placed on
+    it, which the DPCL daemons use to find their local targets.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        index: int,
+        cores: int,
+        rng: RandomStreams,
+    ) -> None:
+        if cores < 1:
+            raise ValueError("a node needs at least one core")
+        self.env = env
+        self.index = index
+        self.hostname = f"node{index:03d}"
+        self.cores = Resource(env, capacity=cores, name=f"{self.hostname}.cores")
+        self.rng = rng.child(self.hostname)
+        #: Tasks currently resident on this node, keyed by task name.
+        self.tasks: Dict[str, "Task"] = {}
+        #: Inbox used by the node's DPCL super daemon.
+        self.superdaemon_inbox = Channel(env, name=f"{self.hostname}.superd")
+
+    @property
+    def n_cores(self) -> int:
+        return self.cores.capacity
+
+    @property
+    def free_cores(self) -> int:
+        return self.cores.capacity - self.cores.in_use
+
+    def register_task(self, task: "Task") -> None:
+        if task.name in self.tasks:
+            raise ValueError(f"duplicate task name {task.name!r} on {self.hostname}")
+        self.tasks[task.name] = task
+
+    def unregister_task(self, task: "Task") -> None:
+        self.tasks.pop(task.name, None)
+
+    def local_tasks(self) -> List["Task"]:
+        """Tasks on this node, in registration order."""
+        return list(self.tasks.values())
+
+    def __repr__(self) -> str:
+        return f"<Node {self.hostname} cores={self.n_cores} tasks={len(self.tasks)}>"

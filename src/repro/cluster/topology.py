@@ -1,0 +1,115 @@
+"""Cluster assembly and rank placement."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..simt import Environment, RandomStreams
+from .interconnect import Interconnect
+from .machine import MachineSpec, get_machine
+from .node import Node
+
+__all__ = ["Cluster", "Placement"]
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Where each rank of a job lives: ``nodes[rank]`` is its node."""
+
+    nodes: tuple
+
+    @property
+    def n_procs(self) -> int:
+        return len(self.nodes)
+
+    def node_of(self, rank: int) -> Node:
+        return self.nodes[rank]
+
+    def nodes_used(self) -> List[Node]:
+        """Distinct nodes, in first-use order."""
+        seen, out = set(), []
+        for node in self.nodes:
+            if node.index not in seen:
+                seen.add(node.index)
+                out.append(node)
+        return out
+
+
+class Cluster:
+    """A simulated cluster: nodes + interconnect + RNG, per MachineSpec.
+
+    Only the nodes actually needed are materialised lazily — building all
+    144 Power3 nodes for a 4-rank run would be wasted work.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        spec: MachineSpec | str,
+        seed: int = 0,
+    ) -> None:
+        self.env = env
+        self.spec = get_machine(spec) if isinstance(spec, str) else spec
+        self.rng = RandomStreams(seed).child(self.spec.name)
+        self.interconnect = Interconnect(env, self.spec, self.rng)
+        self._nodes: List[Optional[Node]] = [None] * self.spec.n_nodes
+
+    def node(self, index: int) -> Node:
+        """The node at ``index`` (materialised on first access)."""
+        if not 0 <= index < self.spec.n_nodes:
+            raise IndexError(
+                f"node {index} out of range for {self.spec.name} "
+                f"({self.spec.n_nodes} nodes)"
+            )
+        existing = self._nodes[index]
+        if existing is None:
+            existing = Node(self.env, index, self.spec.cores_per_node, self.rng)
+            self._nodes[index] = existing
+        return existing
+
+    @property
+    def materialized_nodes(self) -> List[Node]:
+        return [n for n in self._nodes if n is not None]
+
+    def place(
+        self,
+        n_procs: int,
+        procs_per_node: Optional[int] = None,
+        threads_per_proc: int = 1,
+    ) -> Placement:
+        """Block placement of ``n_procs`` ranks onto nodes.
+
+        Each rank needs ``threads_per_proc`` cores (for its OpenMP team).
+        By default packs ``cores_per_node // threads_per_proc`` ranks per
+        node, like POE's default block allocation.
+        """
+        if n_procs < 1:
+            raise ValueError("need at least one process")
+        if threads_per_proc < 1:
+            raise ValueError("need at least one thread per process")
+        if threads_per_proc > self.spec.cores_per_node:
+            raise ValueError(
+                f"{threads_per_proc} threads per process exceeds the "
+                f"{self.spec.cores_per_node} cores of a {self.spec.name} node"
+            )
+        if procs_per_node is None:
+            procs_per_node = max(1, self.spec.cores_per_node // threads_per_proc)
+        if procs_per_node * threads_per_proc > self.spec.cores_per_node:
+            raise ValueError(
+                f"{procs_per_node} procs x {threads_per_proc} threads "
+                f"oversubscribes a {self.spec.cores_per_node}-core node"
+            )
+        n_nodes_needed = -(-n_procs // procs_per_node)  # ceil div
+        if n_nodes_needed > self.spec.n_nodes:
+            raise ValueError(
+                f"job needs {n_nodes_needed} nodes but {self.spec.name} "
+                f"has only {self.spec.n_nodes}"
+            )
+        nodes = tuple(
+            self.node(rank // procs_per_node) for rank in range(n_procs)
+        )
+        return Placement(nodes=nodes)
+
+    def __repr__(self) -> str:
+        return f"<Cluster {self.spec.name} ({self.spec.n_nodes}x{self.spec.cores_per_node})>"

@@ -1,0 +1,384 @@
+"""The DPCL client API used by monitoring tools (dynprof).
+
+The client runs inside the instrumenter's simulation process.  Every
+operation fans a request out to the communication daemons on the nodes
+that host target processes and waits for all acknowledgements; because
+message delays differ per node (exponential jitter), requests become
+visible to targets at different times — DPCL's defining asynchrony.
+
+Per-process *program structure* navigation (symbol table download) is
+charged client-side and serially, which is what makes instrumentation
+time grow with the number of MPI processes in Figure 9.
+"""
+
+from __future__ import annotations
+
+from itertools import count
+from typing import TYPE_CHECKING, Any, Dict, Generator, List, Optional, Sequence, Tuple
+
+from ..cluster import Cluster, Node
+from ..simt import Channel, Environment
+from .daemon import CommDaemon, DaemonHost, SuperDaemon, _dpcl_delay
+from .messages import (
+    Ack,
+    ActivateProbeReq,
+    AttachReq,
+    CallbackMsg,
+    ConnectReq,
+    DetachReq,
+    ExecuteSnippetReq,
+    InstallProbeReq,
+    RemoveProbeReq,
+    ResumeReq,
+    SetVariableReq,
+    SuspendReq,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..program import ProbeHandle, Snippet
+
+__all__ = ["DpclClient", "DpclError", "ensure_super_daemons"]
+
+
+class DpclError(RuntimeError):
+    """A daemon reported a failure for a client request."""
+
+
+def ensure_super_daemons(env: Environment, cluster: Cluster, nodes: Sequence[Node], host: DaemonHost) -> List[SuperDaemon]:
+    """Start a super daemon on each node that does not have one yet."""
+    daemons = []
+    for node in nodes:
+        existing = getattr(node, "_super_daemon", None)
+        if existing is None:
+            existing = SuperDaemon(env, cluster, node, host)
+            node._super_daemon = existing
+        daemons.append(existing)
+    return daemons
+
+
+class DpclClient:
+    """A monitoring tool's connection to the DPCL system."""
+
+    def __init__(
+        self,
+        env: Environment,
+        cluster: Cluster,
+        client_node: Node,
+        host: DaemonHost,
+        user: str = "user",
+    ) -> None:
+        self.env = env
+        self.cluster = cluster
+        self.spec = cluster.spec
+        self.node = client_node
+        self.host = host
+        self.user = user
+        self.inbox = Channel(env, name=f"dpcl-client@{client_node.hostname}")
+        #: Callback messages not yet consumed by wait_callback().
+        self._callbacks = Channel(env, name="dpcl-callbacks")
+        self._req_ids = count(1)
+        #: node index -> comm daemon inbox channel.
+        self._daemon_inboxes: Dict[int, Channel] = {}
+        #: process name -> node the process lives on.
+        self._process_nodes: Dict[str, Node] = {}
+        #: process name -> image (client-side program structure handle).
+        self._attached: Dict[str, Any] = {}
+
+    # -- low-level plumbing ------------------------------------------------------
+
+    def _new_request_fields(self) -> Tuple[int, Channel, Node]:
+        return next(self._req_ids), self.inbox, self.node
+
+    def _send_to_node(self, node: Node, channel: Channel, msg: Any, nbytes: int = 256) -> None:
+        self.cluster.interconnect.deliver(
+            self.node, node, nbytes, channel, msg,
+            extra_delay=_dpcl_delay(self.cluster, self.node),
+        )
+
+    def _collect_acks(self, req_id: int, expected: int) -> Generator:
+        """Read the inbox until ``expected`` acks for ``req_id`` arrive.
+
+        Callback messages that arrive interleaved are queued for
+        :meth:`wait_callback`.
+        """
+        acks: List[Ack] = []
+        while len(acks) < expected:
+            msg = yield self.inbox.get()
+            if isinstance(msg, CallbackMsg):
+                self._callbacks.put(msg)
+                continue
+            if not isinstance(msg, Ack):
+                raise TypeError(f"client got unexpected message {msg!r}")
+            if msg.req_id != req_id:
+                raise DpclError(
+                    f"out-of-order ack: got req {msg.req_id}, expected {req_id}"
+                )
+            if not msg.ok:
+                raise DpclError(f"daemon on node {msg.node_index}: {msg.error}")
+            acks.append(msg)
+        return acks
+
+    # -- connection management ------------------------------------------------------
+
+    def connect(self, process_locations: Dict[str, Node]) -> Generator:
+        """Connect to the super daemons of every node hosting a target.
+
+        ``process_locations`` maps process name -> node.  After connect,
+        the client can attach to those processes.
+        """
+        self._process_nodes.update(process_locations)
+        nodes = {n.index: n for n in process_locations.values()}
+        new_nodes = [n for idx, n in nodes.items() if idx not in self._daemon_inboxes]
+        if not new_nodes:
+            return []
+        ensure_super_daemons(self.env, self.cluster, new_nodes, self.host)
+        req_id, reply_to, reply_node = self._new_request_fields()
+        for node in new_nodes:
+            self._send_to_node(
+                node, node.superdaemon_inbox,
+                ConnectReq(req_id, reply_to, reply_node, user=self.user),
+            )
+        acks = yield from self._collect_acks(req_id, len(new_nodes))
+        for ack in acks:
+            self._daemon_inboxes[ack.node_index] = ack.payload
+            # Route callbacks from this node's daemon to us.
+            daemon = self._find_daemon(ack.node_index)
+            if daemon is not None:
+                daemon.set_callback_client(self.inbox, self.node)
+        return acks
+
+    def _find_daemon(self, node_index: int) -> Optional[CommDaemon]:
+        node = self.cluster.node(node_index)
+        superd = getattr(node, "_super_daemon", None)
+        if superd is None:
+            return None
+        return superd.comm_daemons.get(self.user)
+
+    def _daemon_inbox_for(self, process_name: str) -> Tuple[Node, Channel]:
+        node = self._process_nodes.get(process_name)
+        if node is None:
+            raise DpclError(f"unknown process {process_name!r}; connect() first")
+        inbox = self._daemon_inboxes.get(node.index)
+        if inbox is None:
+            raise DpclError(f"not connected to node {node.hostname}")
+        return node, inbox
+
+    def _group_by_node(self, names: Sequence[str]) -> Dict[int, Tuple[Node, Channel, List[str]]]:
+        groups: Dict[int, Tuple[Node, Channel, List[str]]] = {}
+        for name in names:
+            node, inbox = self._daemon_inbox_for(name)
+            entry = groups.get(node.index)
+            if entry is None:
+                groups[node.index] = (node, inbox, [name])
+            else:
+                entry[2].append(name)
+        return groups
+
+    # -- attach / structure navigation -------------------------------------------------
+
+    def attach(self, process_names: Sequence[str]) -> Generator:
+        """Attach to targets and walk their program structure client-side."""
+        groups = self._group_by_node(process_names)
+        req_id, reply_to, reply_node = self._new_request_fields()
+        for node, inbox, names in groups.values():
+            self._send_to_node(
+                node, inbox, AttachReq(req_id, reply_to, reply_node, process_names=names)
+            )
+        yield from self._collect_acks(req_id, len(groups))
+        # Client-side program-structure download per process (serial).
+        for name in process_names:
+            target = self.host.lookup(name)
+            if target is None:
+                raise DpclError(f"process {name!r} vanished during attach")
+            _task, image = target
+            n_symbols = len(image.functions)
+            yield self.env.timeout(
+                self.spec.dpcl_client_per_process_cost
+                + n_symbols * self.spec.dpcl_client_per_symbol_cost
+            )
+            self._attached[name] = image
+        return list(process_names)
+
+    @property
+    def attached_processes(self) -> List[str]:
+        return list(self._attached)
+
+    def find_functions(self, process_name: str, pattern: str) -> List[str]:
+        """Client-side symbol lookup in an attached process's structure."""
+        return [fi.name for fi in self.image_of(process_name).find_functions(pattern)]
+
+    def image_of(self, process_name: str):
+        """The attached process's program structure (its image handle)."""
+        image = self._attached.get(process_name)
+        if image is None:
+            raise DpclError(f"process {process_name!r} not attached")
+        return image
+
+    # -- probe management -----------------------------------------------------------------
+
+    def install_probes(
+        self,
+        probes: Sequence[Tuple[str, str, str, "Snippet"]],
+        register_names: Sequence[Tuple[str, str]] = (),
+        activate: bool = True,
+    ) -> Generator:
+        """Install probes: (process, function, where, snippet) tuples.
+
+        Returns the installed :class:`ProbeHandle` s.  Work is fanned out
+        per node and proceeds in parallel across daemons.
+        """
+        by_node: Dict[int, Tuple[Node, Channel, InstallProbeReq]] = {}
+        req_id, reply_to, reply_node = self._new_request_fields()
+        for probe in probes:
+            node, inbox = self._daemon_inbox_for(probe[0])
+            entry = by_node.get(node.index)
+            if entry is None:
+                req = InstallProbeReq(req_id, reply_to, reply_node, activate=activate)
+                by_node[node.index] = (node, inbox, req)
+                entry = by_node[node.index]
+            entry[2].probes.append(tuple(probe))
+        for process_name, fname in register_names:
+            node, _inbox = self._daemon_inbox_for(process_name)
+            entry = by_node.get(node.index)
+            if entry is not None:
+                entry[2].register_names.append((process_name, fname))
+        if not by_node:
+            return []
+        for node, inbox, req in by_node.values():
+            self._send_to_node(node, inbox, req, nbytes=512 + 64 * len(req.probes))
+        acks = yield from self._collect_acks(req_id, len(by_node))
+        handles: List[Any] = []
+        for ack in acks:
+            handles.extend(ack.payload)
+        return handles
+
+    def remove_probes(self, handles: Sequence["ProbeHandle"]) -> Generator:
+        """Remove installed probes; returns the number removed."""
+        by_node: Dict[int, Tuple[Node, Channel, RemoveProbeReq]] = {}
+        req_id, reply_to, reply_node = self._new_request_fields()
+        for handle in handles:
+            node, inbox = self._daemon_inbox_for(handle.image_name)
+            entry = by_node.get(node.index)
+            if entry is None:
+                req = RemoveProbeReq(req_id, reply_to, reply_node)
+                by_node[node.index] = (node, inbox, req)
+                entry = by_node[node.index]
+            entry[2].handles.append(handle)
+        if not by_node:
+            return 0
+        for node, inbox, req in by_node.values():
+            self._send_to_node(node, inbox, req)
+        acks = yield from self._collect_acks(req_id, len(by_node))
+        return sum(ack.payload for ack in acks)
+
+    def set_probes_active(self, handles: Sequence["ProbeHandle"], active: bool) -> Generator:
+        by_node: Dict[int, Tuple[Node, Channel, ActivateProbeReq]] = {}
+        req_id, reply_to, reply_node = self._new_request_fields()
+        for handle in handles:
+            node, inbox = self._daemon_inbox_for(handle.image_name)
+            entry = by_node.get(node.index)
+            if entry is None:
+                req = ActivateProbeReq(req_id, reply_to, reply_node, active=active)
+                by_node[node.index] = (node, inbox, req)
+                entry = by_node[node.index]
+            entry[2].handles.append(handle)
+        if not by_node:
+            return 0
+        for node, inbox, req in by_node.values():
+            self._send_to_node(node, inbox, req)
+        acks = yield from self._collect_acks(req_id, len(by_node))
+        return sum(ack.payload for ack in acks)
+
+    # -- execution control ---------------------------------------------------------------------
+
+    def suspend(self, process_names: Optional[Sequence[str]] = None, blocking: bool = True) -> Generator:
+        """Suspend targets (all attached by default)."""
+        names = list(process_names) if process_names is not None else self.attached_processes
+        groups = self._group_by_node(names)
+        req_id, reply_to, reply_node = self._new_request_fields()
+        for node, inbox, group_names in groups.values():
+            self._send_to_node(
+                node, inbox,
+                SuspendReq(req_id, reply_to, reply_node, process_names=group_names, blocking=blocking),
+            )
+        yield from self._collect_acks(req_id, len(groups))
+        return len(names)
+
+    def resume(self, process_names: Optional[Sequence[str]] = None) -> Generator:
+        names = list(process_names) if process_names is not None else self.attached_processes
+        groups = self._group_by_node(names)
+        req_id, reply_to, reply_node = self._new_request_fields()
+        for node, inbox, group_names in groups.values():
+            self._send_to_node(
+                node, inbox,
+                ResumeReq(req_id, reply_to, reply_node, process_names=group_names),
+            )
+        yield from self._collect_acks(req_id, len(groups))
+        return len(names)
+
+    def set_variable(self, process_name: str, variable: str, value: Any = 1) -> Generator:
+        """Write a variable in one target (releases DYNVT_spin waits)."""
+        node, inbox = self._daemon_inbox_for(process_name)
+        req_id, reply_to, reply_node = self._new_request_fields()
+        self._send_to_node(
+            node, inbox,
+            SetVariableReq(req_id, reply_to, reply_node, process_name=process_name,
+                           variable=variable, value=value),
+        )
+        yield from self._collect_acks(req_id, 1)
+
+    def execute_snippet(self, process_name: str, snippet: "Snippet") -> Generator:
+        """One-shot inferior call in a stopped target; returns its value.
+
+        The DPCL 'execute' primitive: evaluate code in the target's
+        address space immediately instead of installing it at a probe
+        point — how tools run VT_funcdef-style registration calls.
+        """
+        node, inbox = self._daemon_inbox_for(process_name)
+        req_id, reply_to, reply_node = self._new_request_fields()
+        self._send_to_node(
+            node, inbox,
+            ExecuteSnippetReq(req_id, reply_to, reply_node,
+                              process_name=process_name, snippet=snippet),
+        )
+        acks = yield from self._collect_acks(req_id, 1)
+        return acks[0].payload
+
+    def detach(self) -> Generator:
+        """Detach from everything; active probes stay in the targets."""
+        nodes = dict(self._daemon_inboxes)
+        if not nodes:
+            return 0
+        req_id, reply_to, reply_node = self._new_request_fields()
+        for idx, inbox in nodes.items():
+            self._send_to_node(self.cluster.node(idx), inbox, DetachReq(req_id, reply_to, reply_node))
+        acks = yield from self._collect_acks(req_id, len(nodes))
+        self._attached.clear()
+        return sum(a.payload for a in acks)
+
+    # -- callbacks ------------------------------------------------------------------------------
+
+    def wait_callback(self, tag: Optional[str] = None, n: int = 1) -> Generator:
+        """Wait for ``n`` callback messages (optionally filtered by tag).
+
+        Messages queued while waiting for acks are consumed first.
+        """
+        got: List[CallbackMsg] = []
+        while len(got) < n:
+            if len(self._callbacks):
+                msg = yield self._callbacks.get()
+            else:
+                msg = yield self.inbox.get()
+            if isinstance(msg, Ack):
+                raise DpclError(
+                    f"unexpected ack {msg.req_id} while waiting for callbacks"
+                )
+            if isinstance(msg, CallbackMsg) and (tag is None or msg.tag == tag):
+                got.append(msg)
+        return got
+
+    def __repr__(self) -> str:
+        return (
+            f"<DpclClient {self.user}@{self.node.hostname} "
+            f"daemons={len(self._daemon_inboxes)} attached={len(self._attached)}>"
+        )

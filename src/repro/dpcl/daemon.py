@@ -1,0 +1,354 @@
+"""DPCL daemons: one super daemon per node, comm daemons per user.
+
+The super daemon authenticates connecting users and forks one
+communication daemon per user; the communication daemons are what attach
+to target processes and actually perform the patching (Figure 5).  All
+daemon work is charged to the daemon's own simulated time — the target
+is typically suspended while its image is modified, so these costs show
+up as instrumentation wall time (Figure 9), not as application profile
+perturbation.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Generator, List, Optional
+
+from ..cluster import Cluster, Node
+from ..simt import Channel, Environment, Process
+from .messages import (
+    Ack,
+    ActivateProbeReq,
+    AttachReq,
+    CallbackMsg,
+    ConnectReq,
+    DetachReq,
+    DpclRequest,
+    ExecuteSnippetReq,
+    InstallProbeReq,
+    RemoveProbeReq,
+    ResumeReq,
+    SetVariableReq,
+    SuspendReq,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cluster import Task
+    from ..program import ProcessImage
+
+__all__ = ["SuperDaemon", "CommDaemon", "DaemonHost"]
+
+
+class DaemonHost:
+    """Registry binding process names to their (task, image) on a node.
+
+    The job launcher populates this; daemons resolve their local targets
+    through it.
+    """
+
+    def __init__(self) -> None:
+        self._targets: Dict[str, tuple] = {}
+
+    def register(self, name: str, task: "Task", image: "ProcessImage") -> None:
+        self._targets[name] = (task, image)
+
+    def lookup(self, name: str) -> Optional[tuple]:
+        return self._targets.get(name)
+
+    def names(self) -> List[str]:
+        return list(self._targets)
+
+
+class SuperDaemon:
+    """One per node; authenticates users, forks communication daemons."""
+
+    def __init__(self, env: Environment, cluster: Cluster, node: Node, host: DaemonHost) -> None:
+        self.env = env
+        self.cluster = cluster
+        self.node = node
+        self.host = host
+        self.comm_daemons: Dict[str, CommDaemon] = {}
+        self.proc: Process = env.process(self._serve(), name=f"superd@{node.hostname}")
+
+    def _serve(self) -> Generator:
+        inbox = self.node.superdaemon_inbox
+        while True:
+            msg = yield inbox.get()
+            if msg is None:  # shutdown signal (tests)
+                return
+            if not isinstance(msg, ConnectReq):
+                raise TypeError(f"super daemon got unexpected message {msg!r}")
+            # Authentication + fork of the user's communication daemon.
+            yield self.env.timeout(self.cluster.spec.dpcl_connect_cost)
+            daemon = self.comm_daemons.get(msg.user)
+            if daemon is None:
+                daemon = CommDaemon(self.env, self.cluster, self.node, self.host, msg.user)
+                self.comm_daemons[msg.user] = daemon
+            self._reply(msg, Ack(msg.req_id, self.node.index, payload=daemon.inbox))
+
+    def _reply(self, req: DpclRequest, ack: Ack) -> None:
+        self.cluster.interconnect.deliver(
+            self.node, req.reply_node, 128, req.reply_to, ack,
+            extra_delay=_dpcl_delay(self.cluster, self.node),
+        )
+
+
+class CommDaemon:
+    """Per-(node, user) daemon that attaches to and patches local targets."""
+
+    def __init__(self, env: Environment, cluster: Cluster, node: Node, host: DaemonHost, user: str) -> None:
+        self.env = env
+        self.cluster = cluster
+        self.spec = cluster.spec
+        self.node = node
+        self.host = host
+        self.user = user
+        self.inbox = Channel(env, name=f"commd@{node.hostname}:{user}")
+        #: Attached process name -> (task, image).
+        self.attached: Dict[str, tuple] = {}
+        self._parsed_images: set = set()
+        self.probes_installed = 0
+        self.proc: Process = env.process(self._serve(), name=f"commd@{node.hostname}:{user}")
+
+    # -- main loop ---------------------------------------------------------------
+
+    def _serve(self) -> Generator:
+        while True:
+            msg = yield self.inbox.get()
+            if msg is None:
+                return
+            handler = self._handlers.get(type(msg))
+            if handler is None:
+                raise TypeError(f"comm daemon got unexpected message {msg!r}")
+            try:
+                payload = yield from handler(self, msg)
+                ack = Ack(msg.req_id, self.node.index, payload=payload)
+            except Exception as exc:  # surfaced to the client, not fatal here
+                ack = Ack(msg.req_id, self.node.index, ok=False, error=str(exc))
+            self._reply(msg, ack)
+
+    def _reply(self, req: DpclRequest, ack: Ack) -> None:
+        self.cluster.interconnect.deliver(
+            self.node, req.reply_node, 256, req.reply_to, ack,
+            extra_delay=_dpcl_delay(self.cluster, self.node),
+        )
+
+    # -- handlers ---------------------------------------------------------------------
+
+    def _attach(self, msg: AttachReq) -> Generator:
+        attached = []
+        for name in msg.process_names:
+            target = self.host.lookup(name)
+            if target is None:
+                raise KeyError(f"no process {name!r} on {self.node.hostname}")
+            if name not in self.attached:
+                yield self.env.timeout(self.spec.dpcl_attach_cost)
+                self.attached[name] = target
+                task, image = target
+                # Expose DPCL_callback to snippets in this target.
+                image.register_runtime("DPCL_callback", self._make_callback(name))
+            attached.append(name)
+        return attached
+
+    def _make_callback(self, process_name: str):
+        """The DPCL_callback runtime function inserted code can call."""
+
+        def dpcl_callback(pctx, tag="callback", data=None):
+            client = getattr(self, "_callback_client", None)
+            if client is not None:
+                channel, client_node = client
+                self.cluster.interconnect.deliver(
+                    self.node, client_node, 128, channel,
+                    CallbackMsg(str(tag), process_name, data),
+                    extra_delay=_dpcl_delay(self.cluster, self.node),
+                )
+            return None
+
+        return dpcl_callback
+
+    def set_callback_client(self, channel: Channel, client_node: Node) -> None:
+        """Route DPCL_callback messages to this client (set at attach)."""
+        self._callback_client = (channel, client_node)
+
+    def _ensure_parsed(self, image: "ProcessImage") -> Generator:
+        if image.name not in self._parsed_images:
+            yield self.env.timeout(self.spec.dpcl_parse_image_cost)
+            self._parsed_images.add(image.name)
+
+    def _install(self, msg: InstallProbeReq) -> Generator:
+        handles = []
+        # Register function names with the target's VT library first
+        # (one-shot calls executed in the stopped target).
+        for process_name, fname in msg.register_names:
+            task, image = self._target(process_name)
+            if image.vt is not None:
+                yield self.env.timeout(self.spec.vt_funcdef_cost)
+                image.vt.funcdef_external(fname)
+        for process_name, function, where, snippet in msg.probes:
+            task, image = self._target(process_name)
+            yield from self._ensure_parsed(image)
+            yield self.env.timeout(self.spec.dpcl_install_probe_cost)
+            handle = image.install_probe(function, where, snippet, activate=msg.activate)
+            self.probes_installed += 1
+            handles.append(handle)
+        return handles
+
+    def _remove(self, msg: RemoveProbeReq) -> Generator:
+        removed = 0
+        for handle in msg.handles:
+            task, image = self._target(handle.image_name)
+            yield self.env.timeout(self.spec.dpcl_remove_probe_cost)
+            if image.remove_probe(handle):
+                removed += 1
+        return removed
+
+    def _activate(self, msg: ActivateProbeReq) -> Generator:
+        for handle in msg.handles:
+            task, image = self._target(handle.image_name)
+            yield self.env.timeout(self.spec.dpcl_activate_probe_cost)
+            image.set_probe_active(handle, msg.active)
+        return len(msg.handles)
+
+    @staticmethod
+    def _expand_threads(task) -> list:
+        """A process's tasks: just itself, or master + OpenMP workers.
+
+        The blocking suspend must stop *every* thread before the shared
+        image is modified (Section 3.4, OpenMP applications).
+        """
+        group = getattr(task, "thread_group", None)
+        if group is None:
+            return [task]
+        return list(group()) if callable(group) else list(group)
+
+    def _suspend(self, msg: SuspendReq) -> Generator:
+        names = msg.process_names if msg.process_names is not None else list(self.attached)
+        tasks = []
+        for n in names:
+            tasks.extend(self._expand_threads(self._target(n)[0]))
+        for task in tasks:
+            task.request_suspend()
+        if msg.blocking:
+            # Blocking suspend: every thread must be stopped (parked, or
+            # runtime-blocked and guaranteed to park on wake) before we
+            # report success — the guarantee the paper relies on before
+            # modifying a shared OpenMP image (Section 3.4).
+            for task in tasks:
+                if not task.is_stopped:
+                    yield task.when_stopped()
+        return len(tasks)
+
+    def _resume(self, msg: ResumeReq) -> Generator:
+        names = msg.process_names if msg.process_names is not None else list(self.attached)
+        n_resumed = 0
+        for n in names:
+            for task in self._expand_threads(self._target(n)[0]):
+                if task.is_suspend_requested:
+                    task.resume()
+                    n_resumed += 1
+        return n_resumed
+        yield  # pragma: no cover - generator marker
+
+    def _set_variable(self, msg: SetVariableReq) -> Generator:
+        _task, image = self._target(msg.process_name)
+        image.write_variable(msg.variable, msg.value)
+        return None
+        yield  # pragma: no cover
+
+    def _execute_snippet(self, msg: ExecuteSnippetReq) -> Generator:
+        """Inferior call: evaluate a snippet once in the stopped target.
+
+        The snippet runs against the target's address space (image
+        variables, runtime registry) but its time is charged to the
+        daemon — the target is stopped while it happens.  Blocking
+        snippets (anything that yields an event) are rejected: an
+        inferior call cannot wait on target progress.
+        """
+        from ..program import ProgramContext
+
+        task, image = self._target(msg.process_name)
+        if not task.is_stopped and task.proc is not None and task.proc.is_alive:
+            raise RuntimeError(
+                f"execute on {msg.process_name!r}: target must be stopped"
+            )
+        # A shadow context: the daemon's own clock, the target's image.
+        daemon_task = _DaemonClock(self)
+        shadow = ProgramContext(self.env, daemon_task, image, self.spec)
+        gen = msg.snippet.execute(shadow)
+        result = None
+        if hasattr(gen, "send"):
+            try:
+                next(gen)
+            except StopIteration as stop:
+                result = stop.value
+            else:
+                raise RuntimeError(
+                    "execute: snippet blocked; inferior calls cannot wait"
+                )
+        else:  # pragma: no cover - snippets are generator-based
+            result = gen
+        yield self.env.timeout(
+            daemon_task.accrued + self.spec.dpcl_activate_probe_cost
+        )
+        return result
+
+    def _detach(self, msg: DetachReq) -> Generator:
+        n = len(self.attached)
+        self.attached.clear()
+        return n
+        yield  # pragma: no cover
+
+    def _target(self, name: str) -> tuple:
+        target = self.attached.get(name)
+        if target is None:
+            raise KeyError(f"process {name!r} not attached on {self.node.hostname}")
+        return target
+
+    _handlers = {
+        AttachReq: _attach,
+        InstallProbeReq: _install,
+        RemoveProbeReq: _remove,
+        ActivateProbeReq: _activate,
+        SuspendReq: _suspend,
+        ResumeReq: _resume,
+        SetVariableReq: _set_variable,
+        ExecuteSnippetReq: _execute_snippet,
+        DetachReq: _detach,
+    }
+
+
+class _DaemonClock:
+    """Minimal task stand-in for inferior calls: absorbs snippet charges
+    so they can be billed to the daemon afterwards."""
+
+    def __init__(self, daemon: "CommDaemon") -> None:
+        self.env = daemon.env
+        self.name = f"inferior@{daemon.node.hostname}"
+        self.accrued = 0.0
+        self.sample_accum = None
+
+    @property
+    def now(self) -> float:
+        return self.env.now + self.accrued
+
+    def charge(self, dt: float) -> None:
+        self.accrued += dt
+
+    def flush(self):
+        """No engine interaction for inferior calls: charges accrue and
+        are billed to the daemon when the call returns."""
+        return
+        yield  # pragma: no cover - generator marker
+
+    checkpoint = flush
+
+
+def _dpcl_delay(cluster: Cluster, node: Node) -> float:
+    """Sampled DPCL messaging delay from/to a node's daemon.
+
+    The exponential jitter is the asynchrony the paper's Figure 6
+    machinery exists to tolerate: daemons on different nodes see the
+    same broadcast at visibly different times.
+    """
+    spec = cluster.spec
+    jitter = cluster.rng.get(f"dpcl.{node.index}").exponential(spec.dpcl_jitter)
+    return spec.dpcl_msg_latency * (1.0 + jitter)

@@ -1,0 +1,51 @@
+"""repro.dynprof — the paper's contribution: dynamic instrumentation and
+dynamic control of instrumentation for MPI/OpenMP applications.
+
+* :class:`DynProf` — the DPCL-based dynamic instrumenter (Section 3).
+* :mod:`~repro.dynprof.commands` — the Table 1 command language.
+* :mod:`~repro.dynprof.bootstrap` — the Figure 6 MPI_Init/VT_init
+  bootstrap snippets.
+* :mod:`~repro.dynprof.policies` — the Table 3 instrumentation policies
+  and the Figure 7 cell runner.
+* :class:`DynamicControlMonitor` — the Figure 2 monitoring tool for
+  dynamic control of instrumentation.
+"""
+
+from .bootstrap import (
+    INIT_CALLBACK_TAG,
+    SPIN_VARIABLE,
+    bootstrap_anchor,
+    mpi_init_bootstrap,
+    vt_init_bootstrap,
+)
+from .commands import Command, CommandError, HELP_TEXT, parse_command, parse_script
+from .control import BreakpointVisit, DynamicControlMonitor
+from .ephemeral import EphemeralProfiler, SamplingReport
+from .policies import POLICIES, PolicyResult, policy_description, run_policy
+from .timefile import Timefile, TimedPhase
+from .tool import DynProf, DynProfError
+
+__all__ = [
+    "DynProf",
+    "DynProfError",
+    "Command",
+    "CommandError",
+    "HELP_TEXT",
+    "parse_command",
+    "parse_script",
+    "Timefile",
+    "TimedPhase",
+    "POLICIES",
+    "PolicyResult",
+    "policy_description",
+    "run_policy",
+    "DynamicControlMonitor",
+    "BreakpointVisit",
+    "EphemeralProfiler",
+    "SamplingReport",
+    "mpi_init_bootstrap",
+    "vt_init_bootstrap",
+    "bootstrap_anchor",
+    "SPIN_VARIABLE",
+    "INIT_CALLBACK_TAG",
+]

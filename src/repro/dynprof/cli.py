@@ -1,0 +1,121 @@
+"""The dynprof command-line tool.
+
+Mirrors the paper's invocation (Section 3.3)::
+
+    dynprof <stdin> <stdout> <timefile> <target executable> <target params> <poe params>
+
+Here the target executable is one of the bundled ASCI kernel analogs and
+the whole run happens inside the simulated cluster::
+
+    repro-dynprof script.dp out.txt timings.txt sweep3d --cpus 8
+    repro-dynprof - - - smg98 --cpus 4 --scale 0.05   # script on stdin, output on stdout
+
+The script file holds Table 1 commands (insert/remove/insert-file/
+remove-file/start/wait/quit); ``@targets`` in an insert-file argument
+refers to the app's paper-defined dynamic target list.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..apps import ALL_APPS, InputDeck, deck_scale, get_app
+from ..cluster import Cluster, get_machine
+from ..jobs import MpiJob, OmpJob
+from ..simt import Environment
+from .tool import DynProf
+
+__all__ = ["main"]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-dynprof",
+        description="dynprof: dynamically instrument a (simulated) MPI/OpenMP "
+                    "application.",
+    )
+    parser.add_argument("stdin", help="command script file, or '-' for stdin")
+    parser.add_argument("stdout", help="tool output file, or '-' for stdout")
+    parser.add_argument("timefile", help="internal-timings file, or '-' for stdout")
+    parser.add_argument("target", choices=sorted(ALL_APPS),
+                        help="target application")
+    parser.add_argument("--cpus", type=int, default=4,
+                        help="MPI processes / OpenMP threads (default 4)")
+    parser.add_argument("--scale", type=float, default=0.1,
+                        help="workload scale factor (default 0.1)")
+    parser.add_argument("--input", metavar="DECK",
+                        help="application input deck (key = value; the "
+                             "app's native iteration key sets the scale, "
+                             "ncpus overrides --cpus)")
+    parser.add_argument("--machine", default="power3-sp",
+                        help="machine preset (default power3-sp)")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    if args.stdin == "-":
+        script = sys.stdin.read()
+    else:
+        with open(args.stdin, "r", encoding="utf-8") as fh:
+            script = fh.read()
+
+    app = get_app(args.target)
+    scale = args.scale
+    n_cpus = args.cpus
+    if args.input:
+        deck = InputDeck.load(args.input)
+        scale = deck_scale(app, deck, default_scale=args.scale)
+        n_cpus = deck.get_int("ncpus", args.cpus)
+    env = Environment()
+    cluster = Cluster(env, get_machine(args.machine), seed=args.seed)
+    exe = app.build_exe(False)
+    program = app.make_program(n_cpus, scale)
+    if app.kind == "mpi":
+        job = MpiJob(env, cluster, exe, n_cpus, program, start_suspended=True)
+    else:
+        job = OmpJob(env, cluster, exe, n_cpus, program, start_suspended=True)
+
+    tool = DynProf(
+        env, cluster, job,
+        file_contents={"@targets": "\n".join(app.dynamic_targets)},
+    )
+    session = tool.run_script(script)
+    env.run(until=session)
+    if tool.state == "detached" or tool.state == "running":
+        env.run(until=job.completion())
+    env.run()
+
+    body = "\n".join(tool.output) + "\n"
+    if app.kind == "mpi":
+        times = [p.value for p in job.procs]
+    else:
+        times = [job.proc.value]
+    body += (
+        f"\napplication main computation: max {max(times):.3f}s over "
+        f"{len(times)} process(es)\n"
+        f"trace: {job.trace.raw_record_count:,} records, "
+        f"{job.trace.size_bytes / 1e6:.2f} MB\n"
+    )
+    if tool.create_and_instrument_time is not None:
+        body += (
+            f"time to create and instrument: "
+            f"{tool.create_and_instrument_time:.2f}s\n"
+        )
+
+    if args.stdout == "-":
+        sys.stdout.write(body)
+    else:
+        with open(args.stdout, "w", encoding="utf-8") as fh:
+            fh.write(body)
+    timetext = tool.timefile.render()
+    if args.timefile == "-":
+        sys.stdout.write(timetext)
+    else:
+        with open(args.timefile, "w", encoding="utf-8") as fh:
+            fh.write(timetext)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,111 @@
+"""Dynamic control of instrumentation — the monitoring tool of Figure 2.
+
+With dynamic *control*, the application is fully statically instrumented
+and a monitoring tool periodically reconfigures the instrumentation
+library at safe points: the tool sets a breakpoint on
+``configuration_break`` (called by rank 0 inside ``configuration_sync``
+/ ``VT_confsync``); when the application halts there, the user edits the
+configuration through the tool's GUI, and the tool resumes the
+application, which broadcasts and applies the new table.
+
+:class:`DynamicControlMonitor` is that tool, headless: queued
+configuration changes stand in for GUI edits, and ``hold_time`` models
+the human think time the paper identifies as the critical-path
+component ("the update time will be limited by user interactions").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, List, Optional, Union
+
+from ..jobs import MpiJob, OmpJob
+from ..vt import VTConfig
+
+__all__ = ["DynamicControlMonitor", "BreakpointVisit"]
+
+
+@dataclass
+class BreakpointVisit:
+    """One halt of the application at configuration_break."""
+
+    time: float
+    epoch: int
+    applied: Optional[VTConfig] = None
+    hold_time: float = 0.0
+
+
+@dataclass
+class _PendingChange:
+    config: VTConfig
+    hold_time: float
+
+
+class DynamicControlMonitor:
+    """Headless monitoring tool driving VT_confsync reconfiguration."""
+
+    def __init__(self, job: Union[MpiJob, OmpJob]) -> None:
+        self.job = job
+        self._pending: List[_PendingChange] = []
+        self.visits: List[BreakpointVisit] = []
+        self._armed = False
+
+    # -- breakpoint management -----------------------------------------------
+
+    def set_breakpoint(self) -> None:
+        """Arm the configuration_break breakpoint on rank 0's VT."""
+        vt = self._rank0_vt()
+        vt.break_hook = self._on_break
+        self._armed = True
+
+    def clear_breakpoint(self) -> None:
+        vt = self._rank0_vt()
+        vt.break_hook = None
+        self._armed = False
+
+    @property
+    def armed(self) -> bool:
+        return self._armed
+
+    def _rank0_vt(self):
+        if isinstance(self.job, OmpJob):
+            vt = self.job.vt
+        else:
+            vt = self.job.vt_states[0]
+        if vt is None:
+            raise RuntimeError("target job has no VT library linked")
+        return vt
+
+    # -- user actions -------------------------------------------------------------
+
+    def queue_config_change(self, config: VTConfig, hold_time: float = 0.0) -> None:
+        """Queue a configuration to hand over at the next breakpoint.
+
+        ``hold_time`` is the simulated user-interaction time while the
+        application is halted at the breakpoint.
+        """
+        if hold_time < 0:
+            raise ValueError("hold_time must be non-negative")
+        self._pending.append(_PendingChange(config, hold_time))
+
+    # -- the hook (runs in rank 0's context) ------------------------------------------
+
+    def _on_break(self, pctx) -> Generator:
+        vt = pctx.image.vt
+        visit = BreakpointVisit(time=pctx.env.now, epoch=vt.epoch)
+        self.visits.append(visit)
+        if not self._pending:
+            return None
+        change = self._pending.pop(0)
+        visit.hold_time = change.hold_time
+        if change.hold_time > 0:
+            # The application sits halted while the user edits the config.
+            yield pctx.env.timeout(change.hold_time)
+        visit.applied = change.config
+        return change.config
+
+    def __repr__(self) -> str:
+        return (
+            f"<DynamicControlMonitor armed={self._armed} "
+            f"pending={len(self._pending)} visits={len(self.visits)}>"
+        )

@@ -1,0 +1,142 @@
+"""Ephemeral instrumentation — the sampling/profiling hybrid of
+Traub et al. [15] that the paper's background section describes:
+
+    "These combined approaches use statistical sampling to determine
+    parts of the code that should be monitored more closely.  This
+    hybrid model dynamically activates detailed instrumentation for
+    those important regions to get performance snapshots."
+
+:class:`EphemeralProfiler` drives a running dynprof session through the
+two phases:
+
+1. **Sampling** — a SIGPROF-style profiler attaches to every target
+   task for a bounded window, charging a small per-sample interrupt
+   cost, and ranks functions by observed time share.  (The simulated
+   sampler reads the executor's per-function time accumulation — the
+   zero-variance limit a real statistical sampler converges to.)
+2. **Snapshot** — detailed VT entry/exit probes are dynamically
+   inserted into the top-ranked functions only, kept for a measurement
+   window, and removed again.  Complete profiles of the hot code, at a
+   tiny fraction of Full instrumentation's cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Sequence, Tuple
+
+from .tool import DynProf, DynProfError
+
+__all__ = ["EphemeralProfiler", "SamplingReport"]
+
+
+@dataclass
+class SamplingReport:
+    """Outcome of one sampling phase."""
+
+    duration: float
+    interval: float
+    samples_taken: int
+    #: function -> observed seconds, summed over all tasks.
+    time_by_function: Dict[str, float] = field(default_factory=dict)
+
+    def ranked(self) -> List[Tuple[str, float]]:
+        """(function, share) sorted by time share, descending."""
+        total = sum(self.time_by_function.values())
+        if total <= 0:
+            return []
+        return sorted(
+            ((name, t / total) for name, t in self.time_by_function.items()),
+            key=lambda item: -item[1],
+        )
+
+    def top(self, k: int) -> List[str]:
+        return [name for name, _share in self.ranked()[:k]]
+
+
+class EphemeralProfiler:
+    """Sampling-guided temporary instrumentation over a DynProf session."""
+
+    #: Target-side cost of one sampling interrupt (signal + unwind).
+    SAMPLE_COST = 5e-6
+
+    def __init__(self, tool: DynProf) -> None:
+        self.tool = tool
+        self.reports: List[SamplingReport] = []
+
+    # -- phase 1: sampling ----------------------------------------------------
+
+    def sample(self, duration: float, interval: float = 0.01) -> Generator:
+        """Sample every target for ``duration`` seconds; returns the
+        :class:`SamplingReport`.  Runs inside the tool's process."""
+        if self.tool.state != "running":
+            raise DynProfError(f"sampling in state {self.tool.state}")
+        if duration <= 0 or interval <= 0:
+            raise ValueError("duration and interval must be positive")
+        env = self.tool.env
+        tasks = list(self.tool.job.tasks)
+        baselines = {}
+        for task in tasks:
+            if task.sample_accum is None:
+                task.sample_accum = {}
+            baselines[task] = dict(task.sample_accum)
+
+        samples = 0
+        elapsed = 0.0
+        while elapsed < duration:
+            yield env.timeout(interval)
+            elapsed += interval
+            samples += 1
+            for task in tasks:
+                # The profiling interrupt perturbs the target slightly.
+                task.charge(self.SAMPLE_COST)
+
+        merged: Dict[str, float] = {}
+        for task in tasks:
+            accum = task.sample_accum or {}
+            base = baselines[task]
+            for name, t in accum.items():
+                delta = t - base.get(name, 0.0)
+                if delta > 0:
+                    merged[name] = merged.get(name, 0.0) + delta
+            task.sample_accum = None  # detach the sampler
+
+        report = SamplingReport(
+            duration=duration,
+            interval=interval,
+            samples_taken=samples,
+            time_by_function=merged,
+        )
+        self.reports.append(report)
+        return report
+
+    # -- phase 2: snapshot ---------------------------------------------------------
+
+    def snapshot(self, functions: Sequence[str], window: float) -> Generator:
+        """Insert detailed probes on ``functions``, hold for ``window``
+        seconds of target execution, then remove them."""
+        if not functions:
+            raise ValueError("snapshot needs at least one function")
+        if window <= 0:
+            raise ValueError("window must be positive")
+        tool = self.tool
+        yield from tool._suspend_patch_resume(install=list(functions), remove=())
+        yield tool.env.timeout(window)
+        yield from tool._suspend_patch_resume(install=(), remove=list(functions))
+
+    # -- the full hybrid -------------------------------------------------------------
+
+    def run(
+        self,
+        sample_duration: float,
+        snapshot_window: float,
+        top_k: int = 3,
+        interval: float = 0.01,
+    ) -> Generator:
+        """Sample, pick the top-k functions, snapshot them.  Returns
+        (report, snapshotted functions)."""
+        report = yield from self.sample(sample_duration, interval)
+        targets = report.top(top_k)
+        if targets:
+            yield from self.snapshot(targets, snapshot_window)
+        return report, targets

@@ -1,0 +1,161 @@
+"""The instrumentation policies of Table 3 and their runner.
+
+=========  ==================================================================
+Policy     Description
+=========  ==================================================================
+Full       All functions are statically instrumented.
+Full-Off   All functions are statically instrumented but disabled using the
+           configuration file.
+Subset     All functions are statically instrumented with only an important
+           subset left active.
+None       No subroutine instrumentation is inserted.
+Dynamic    The dynprof tool is used to dynamically instrument the same
+           functions used by Subset.
+=========  ==================================================================
+
+``run_policy`` executes one (application, policy, CPU-count) cell of
+Figure 7 and returns the measured times plus trace accounting.  As in
+the paper, the reported program time excludes the time used to create
+and insert the instrumentation (the target is suspended during
+insertion), but *includes* the overhead incurred by the probes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..apps import AppSpec
+from ..cluster import Cluster, MachineSpec, POWER3_SP
+from ..jobs import MpiJob, OmpJob
+from ..simt import Environment
+from ..vt import VTConfig
+from .tool import DynProf
+
+__all__ = ["POLICIES", "PolicyResult", "run_policy", "policy_description"]
+
+POLICIES = ("Full", "Full-Off", "Subset", "None", "Dynamic")
+
+_DESCRIPTIONS = {
+    "Full": "All functions are statically instrumented.",
+    "Full-Off": "All functions are statically instrumented but disabled "
+                "using the configuration file.",
+    "Subset": "All functions are statically instrumented with only an "
+              "important subset left active.",
+    "None": "No subroutine instrumentation is inserted.",
+    "Dynamic": "The dynprof tool is used to dynamically instrument the "
+               "same functions used by Subset.",
+}
+
+
+def policy_description(policy: str) -> str:
+    """The Table 3 description of one instrumentation policy."""
+    return _DESCRIPTIONS[policy]
+
+
+@dataclass
+class PolicyResult:
+    """One cell of Figure 7 (plus diagnostics)."""
+
+    app: str
+    policy: str
+    n_cpus: int
+    scale: float
+    #: Max over ranks of the main-computation elapsed time (the paper's
+    #: reported program time).
+    time: float
+    per_rank_times: List[float] = field(default_factory=list)
+    trace_records: int = 0
+    trace_bytes: int = 0
+    #: Time dynprof spent creating + instrumenting (Figure 9); None for
+    #: the static policies.
+    instrument_time: Optional[float] = None
+
+    def __repr__(self) -> str:
+        return (
+            f"<{self.app}/{self.policy}@{self.n_cpus}cpu "
+            f"time={self.time:.2f}s records={self.trace_records}>"
+        )
+
+
+def _policy_build(app: AppSpec, policy: str):
+    """(instrument_static, vt_config) for a Table 3 policy."""
+    if policy == "Full":
+        return True, VTConfig.all_on()
+    if policy == "Full-Off":
+        return True, VTConfig.all_off()
+    if policy == "Subset":
+        if not app.has_subset_policy:
+            raise ValueError(f"{app.name} has no Subset version (see paper, 4.3)")
+        return True, VTConfig.subset(app.subset)
+    if policy == "None":
+        return False, VTConfig.all_on()
+    if policy == "Dynamic":
+        # The Dynamic target binary carries no static subroutine probes.
+        return False, VTConfig.all_on()
+    raise ValueError(f"unknown policy {policy!r}; known: {POLICIES}")
+
+
+def run_policy(
+    app: AppSpec,
+    policy: str,
+    n_cpus: int,
+    scale: float = 1.0,
+    machine: MachineSpec = POWER3_SP,
+    seed: int = 0,
+) -> PolicyResult:
+    """Run one (app, policy, CPUs) cell and collect the measurements."""
+    if n_cpus not in app.cpu_counts and n_cpus > max(app.cpu_counts):
+        raise ValueError(f"{app.name} was not evaluated beyond {max(app.cpu_counts)} CPUs")
+    env = Environment()
+    cluster = Cluster(env, machine, seed=seed)
+    instrument_static, vt_config = _policy_build(app, policy)
+    exe = app.build_exe(instrument_static)
+    program = app.make_program(n_cpus, scale)
+
+    if app.kind == "mpi":
+        job = MpiJob(
+            env, cluster, exe, n_cpus, program,
+            vt_config=vt_config,
+            start_suspended=(policy == "Dynamic"),
+        )
+    else:
+        job = OmpJob(
+            env, cluster, exe, n_cpus, program,
+            vt_config=vt_config,
+            start_suspended=(policy == "Dynamic"),
+        )
+
+    instrument_time: Optional[float] = None
+    if policy == "Dynamic":
+        # Scripted dynprof session, exactly like the paper's batch runs:
+        # instrument before the main computation via insert-file + start.
+        tool = DynProf(
+            env, cluster, job,
+            file_contents={"targets.txt": "\n".join(app.dynamic_targets)},
+        )
+        tool_proc = tool.run_script("insert-file targets.txt\nstart\nquit\n")
+        env.run(until=tool_proc)
+        instrument_time = tool.create_and_instrument_time
+        env.run(until=job.completion())
+    else:
+        job.start()
+        env.run(until=job.completion())
+    env.run()  # drain (finalize flushes, daemons idle)
+
+    if app.kind == "mpi":
+        per_rank = [p.value for p in job.procs]
+    else:
+        per_rank = [job.proc.value]
+
+    return PolicyResult(
+        app=app.name,
+        policy=policy,
+        n_cpus=n_cpus,
+        scale=scale,
+        time=max(per_rank),
+        per_rank_times=per_rank,
+        trace_records=job.trace.raw_record_count,
+        trace_bytes=job.trace.size_bytes,
+        instrument_time=instrument_time,
+    )

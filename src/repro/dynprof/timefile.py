@@ -1,0 +1,73 @@
+"""The dynprof timefile: internal timings of the instrumenter itself.
+
+"dynprof is instrumented to collect detailed timings about its internal
+operations, and these timings are written to a timefile" (Section 3.3).
+These timings are the raw data behind Figure 9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+__all__ = ["Timefile", "TimedPhase"]
+
+
+@dataclass
+class TimedPhase:
+    """One internal operation of the tool."""
+
+    name: str
+    start: float
+    end: Optional[float] = None
+    detail: str = ""
+
+    @property
+    def elapsed(self) -> float:
+        if self.end is None:
+            raise ValueError(f"phase {self.name!r} still open")
+        return self.end - self.start
+
+
+class Timefile:
+    """Ordered record of the tool's internal phases."""
+
+    def __init__(self) -> None:
+        self.phases: List[TimedPhase] = []
+        self._open: Dict[str, TimedPhase] = {}
+
+    def begin(self, name: str, now: float, detail: str = "") -> TimedPhase:
+        if name in self._open:
+            raise ValueError(f"phase {name!r} already open")
+        phase = TimedPhase(name, now, detail=detail)
+        self._open[name] = phase
+        self.phases.append(phase)
+        return phase
+
+    def end(self, name: str, now: float) -> TimedPhase:
+        phase = self._open.pop(name, None)
+        if phase is None:
+            raise ValueError(f"phase {name!r} is not open")
+        phase.end = now
+        return phase
+
+    def elapsed(self, name: str) -> float:
+        """Total elapsed time over all completed phases called ``name``."""
+        return sum(p.elapsed for p in self.phases if p.name == name and p.end is not None)
+
+    def total(self, *names: str) -> float:
+        """Combined elapsed time of several phase names."""
+        return sum(self.elapsed(n) for n in names)
+
+    def render(self) -> str:
+        """The timefile text, one line per phase."""
+        lines = ["# dynprof internal timings (seconds)"]
+        for p in self.phases:
+            status = f"{p.elapsed:.6f}" if p.end is not None else "OPEN"
+            detail = f"  # {p.detail}" if p.detail else ""
+            lines.append(f"{p.name:<28s} {p.start:>12.6f} {status:>12s}{detail}")
+        return "\n".join(lines) + "\n"
+
+    def write(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.render())

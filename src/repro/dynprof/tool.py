@@ -1,0 +1,489 @@
+"""dynprof — the DPCL-based dynamic instrumenter (Section 3).
+
+The tool spawns a target application (through the poe analog), attaches
+to it via DPCL, and inserts Vampirtrace subroutine entry/exit probes at
+run time.  Invocation mirrors the paper's::
+
+    dynprof <stdin> <stdout> <timefile> <target> <params> <poe params>
+
+Lifecycle (Section 3.3/3.4):
+
+1. **spawn** — the target is created but suspended at its first
+   instruction; the bootstrap snippet (Figure 6) is patched into the
+   exit of MPI_Init (or VT_init for OpenMP) immediately upon loading.
+2. **pre-start commands** — insert/remove requests are *queued*: it is
+   unsafe to insert VT probes before MPI_Init/VT_init completes.
+3. **start** — the application runs to the bootstrap: ranks barrier,
+   send the DPCL callback, and spin.  Once every callback has arrived
+   the tool installs the queued instrumentation into each stopped
+   process image, registers the function names with VT, releases the
+   spins, and the ranks re-synchronise and enter main computation.
+4. **mid-run insert/remove** — suspend all (blocking), patch, resume;
+   the suspension shows up as timeline inactivity.
+5. **quit** — detach; active probes remain in the application.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional, Sequence, Tuple, Union
+
+from ..cluster import Cluster, Node, Task
+from ..dpcl import DpclClient
+from ..jobs import MpiJob, OmpJob
+from ..program import ENTRY, EXIT, ProbeHandle
+from ..simt import Environment, Process
+from ..vt import BEGIN, END, VTProbeSnippet
+from .bootstrap import (
+    INIT_CALLBACK_TAG,
+    SPIN_VARIABLE,
+    bootstrap_anchor,
+    mpi_init_bootstrap,
+    vt_init_bootstrap,
+)
+from .commands import Command, HELP_TEXT, parse_script
+from .timefile import Timefile
+
+__all__ = ["DynProf", "DynProfError"]
+
+
+class DynProfError(RuntimeError):
+    """Tool-level usage errors (bad state transitions etc.)."""
+
+
+class DynProf:
+    """The dynamic instrumenter, driving one target job.
+
+    Parameters
+    ----------
+    job:
+        The target application job, which must have been constructed
+        with ``start_suspended=True`` (dynprof spawns then instruments;
+        attaching to an already-running job is future work, exactly as
+        in the paper).
+    file_contents:
+        In-memory provider for ``insert-file``/``remove-file`` command
+        arguments: maps file name -> text with one function glob per
+        line.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        cluster: Cluster,
+        job: Union[MpiJob, OmpJob],
+        *,
+        user: str = "user",
+        tool_node: Optional[Node] = None,
+        file_contents: Optional[Dict[str, str]] = None,
+        attach: bool = False,
+    ) -> None:
+        if not attach and not job.start_suspended:
+            raise DynProfError(
+                "dynprof requires a job built with start_suspended=True "
+                "(spawn-then-instrument), or attach=True to attach to an "
+                "already-running application"
+            )
+        self.attach_mode = attach
+        self.env = env
+        self.cluster = cluster
+        self.job = job
+        self.kind = "omp" if isinstance(job, OmpJob) else "mpi"
+        self.spec = cluster.spec
+        node = tool_node if tool_node is not None else cluster.node(0)
+        #: The tool runs on an interactive node and needs no compute core.
+        self.task = Task(env, node, f"dynprof:{job.exe.name}", self.spec, bind_core=False)
+        self.client = DpclClient(env, cluster, node, job.daemon_host, user=user)
+        self.timefile = Timefile()
+        self.output: List[str] = []
+
+        #: Function names queued before start (acted on after the
+        #: bootstrap callback confirms it is safe, Section 3.4).
+        self._queued: List[str] = []
+        #: (process, function) -> installed probe handles.
+        self._handles: Dict[Tuple[str, str], List[ProbeHandle]] = {}
+        self.state = "created"
+        self._file_contents = dict(file_contents or {})
+        #: Seconds from session start until the app entered main
+        #: computation (Figure 9's "time to create and instrument").
+        self.create_and_instrument_time: Optional[float] = None
+
+    # -- helpers ------------------------------------------------------------------
+
+    @property
+    def process_names(self) -> List[str]:
+        return [t.name for t in self.job.tasks]
+
+    def _emit(self, text: str) -> None:
+        self.output.append(text)
+
+    def _now(self) -> float:
+        return self.env.now
+
+    # -- session driver --------------------------------------------------------------
+
+    def run_script(self, script: str) -> Process:
+        """Start the tool process executing a command script."""
+        return self.run_commands(parse_script(script))
+
+    def run_commands(self, commands: Sequence[Command]) -> Process:
+        return self.task.start(self.session(commands), name=self.task.name)
+
+    def session(self, commands: Sequence[Command]) -> Generator:
+        """The tool's main generator: spawn (or attach), then obey the
+        commands."""
+        if self.attach_mode:
+            yield from self._attach_running()
+        else:
+            yield from self._spawn()
+        for command in commands:
+            yield from self.execute(command)
+            if self.state == "detached":
+                break
+        return self
+
+    def execute(self, command: Command) -> Generator:
+        handler = {
+            "help": self._cmd_help,
+            "insert": self._cmd_insert,
+            "remove": self._cmd_remove,
+            "insert-file": self._cmd_insert_file,
+            "remove-file": self._cmd_remove_file,
+            "start": self._cmd_start,
+            "quit": self._cmd_quit,
+            "wait": self._cmd_wait,
+        }[command.verb]
+        yield from handler(command)
+
+    # -- phase 1: spawn + bootstrap -----------------------------------------------------
+
+    def _spawn(self) -> Generator:
+        """Create the target (suspended) and patch in the bootstrap."""
+        if self.state != "created":
+            raise DynProfError(f"spawn in state {self.state}")
+        tf = self.timefile
+        tf.begin("create", self._now(), detail=f"{self.job.exe.name}")
+        # poe: job setup, then per-process spawns and per-node image loads.
+        yield self.env.timeout(self.spec.poe_job_setup_cost)
+        n_procs = len(self.job.tasks)
+        yield self.env.timeout(n_procs * self.spec.poe_spawn_cost)
+        nodes = {t.node.index: t.node for t in self.job.tasks}
+        yield self.env.timeout(len(nodes) * self.spec.poe_load_image_cost)
+        self.job.start()  # suspended at first instruction
+        tf.end("create", self._now())
+
+        tf.begin("connect", self._now())
+        yield from self.client.connect({t.name: t.node for t in self.job.tasks})
+        tf.end("connect", self._now())
+
+        tf.begin("attach", self._now(), detail=f"{n_procs} processes")
+        yield from self.client.attach(self.process_names)
+        tf.end("attach", self._now())
+
+        # The bootstrap goes in immediately upon loading (Section 3.4).
+        tf.begin("bootstrap", self._now())
+        anchor = bootstrap_anchor(self.kind)
+        snippet_factory = (
+            mpi_init_bootstrap if self.kind == "mpi" else vt_init_bootstrap
+        )
+        probes = [
+            (name, anchor, EXIT, snippet_factory())
+            for name in self.process_names
+        ]
+        yield from self.client.install_probes(probes)
+        tf.end("bootstrap", self._now())
+        self.state = "spawned"
+        self._emit(f"spawned {self.job.exe.name} x{n_procs} (suspended)")
+
+    # -- attach-to-running (the paper's acknowledged missing feature) -------------------
+
+    def _attach_running(self) -> Generator:
+        """Attach to an application that is already executing.
+
+        The paper restricted its prototype to spawn-then-instrument but
+        "[did] not foresee any difficult issues in extending [the] tool
+        to support dynamic attachment" (Section 3.3).  The one real
+        constraint carries over: no VT instrumentation may be inserted
+        until MPI_Init / VT_init has completed on every process, so the
+        attach waits for that before declaring the session live.
+        """
+        if self.state != "created":
+            raise DynProfError(f"attach in state {self.state}")
+        if self.kind == "mpi" and not self.job.procs:
+            raise DynProfError("cannot attach: the target job is not running")
+        if self.kind == "omp" and self.job.proc is None:
+            raise DynProfError("cannot attach: the target job is not running")
+        tf = self.timefile
+        tf.begin("connect", self._now())
+        yield from self.client.connect({t.name: t.node for t in self.job.tasks})
+        tf.end("connect", self._now())
+        tf.begin("attach", self._now(), detail=f"{len(self.job.tasks)} processes")
+        yield from self.client.attach(self.process_names)
+        tf.end("attach", self._now())
+        # Defer until the target's instrumentation library is up.
+        tf.begin("await-init", self._now())
+        while not self._target_initialized():
+            yield self.env.timeout(0.2)
+        tf.end("await-init", self._now())
+        self.state = "running"
+        self._emit(f"attached to running {self.job.exe.name}")
+
+    def _target_initialized(self) -> bool:
+        if self.kind == "mpi":
+            return self.job.world.all_initialized
+        vt = self.job.vt
+        return vt is None or vt.initialized
+
+    # -- safe-point patching (the Section 5.1 hybrid) -------------------------------------
+
+    def patch_at_safe_point(
+        self,
+        insert: Sequence[str] = (),
+        remove: Sequence[str] = (),
+    ) -> Generator:
+        """Insert/remove probes at the application's next VT_confsync.
+
+        The hybrid the paper concludes with: instead of suspending the
+        ranks wherever the asynchronous DPCL messages happen to catch
+        them (skewed stops that leave residual imbalance), arm the
+        ``configuration_break`` breakpoint and patch while rank 0 is
+        halted at it.  The remaining ranks are either already blocked in
+        the configuration broadcast or soon arrive at it; whatever skew
+        the stop causes is absorbed by confsync's own closing barrier,
+        so the ranks leave the safe point balanced.
+
+        Returns the simulated time at which the safe point was reached.
+        Requires the target to call VT_confsync at its safe points.
+        """
+        if self.state != "running":
+            raise DynProfError(f"safe-point patch in state {self.state}")
+        vt0 = self.job.vt_states[0] if self.kind == "mpi" else self.job.vt
+        if vt0 is None:
+            raise DynProfError("target has no VT library: no confsync safe points")
+        if vt0.break_hook is not None:
+            raise DynProfError("another monitor already owns the breakpoint")
+
+        from ..simt import Channel
+
+        hit = Channel(self.env, name="safe-point-hit")
+        done = self.env.event()
+
+        def hook(pctx):
+            hit.put(pctx.env.now)
+            yield from pctx.task.blocked_wait(done)
+            return None  # no configuration change rides along
+
+        vt0.break_hook = hook
+        tf = self.timefile
+        tf.begin("safe-point-wait", self._now())
+        t_hit = yield hit.get()
+        vt0.break_hook = None
+        tf.end("safe-point-wait", self._now())
+
+        tf.begin("safe-point-patch", self._now(),
+                 detail=f"+{len(insert)} -{len(remove)} globs")
+        # Rank 0 is parked in the hook; the other ranks are blocked in
+        # (or running toward) the confsync broadcast.  The blocking
+        # suspend certifies every target has stopped before any image
+        # is touched.
+        yield from self.client.suspend(blocking=True)
+        try:
+            if insert:
+                yield from self._install_into_all(list(insert))
+            if remove:
+                handles = []
+                for pname in self.process_names:
+                    image = self.client.image_of(pname)
+                    for glob in remove:
+                        for fi in image.find_functions(glob):
+                            handles.extend(self._handles.pop((pname, fi.name), []))
+                if handles:
+                    n = yield from self.client.remove_probes(handles)
+                    self._emit(f"removed {n} probes")
+        finally:
+            yield from self.client.resume()
+            done.succeed()
+        tf.end("safe-point-patch", self._now())
+        self._emit(f"patched at safe point t={t_hit:.3f}s")
+        return t_hit
+
+    # -- commands ------------------------------------------------------------------------
+
+    def _cmd_help(self, command: Command) -> Generator:
+        self._emit(HELP_TEXT)
+        return
+        yield  # pragma: no cover
+
+    def _expand_file_args(self, files: Sequence[str]) -> List[str]:
+        names: List[str] = []
+        for fname in files:
+            text = self._file_contents.get(fname)
+            if text is None:
+                try:
+                    with open(fname, "r", encoding="utf-8") as fh:
+                        text = fh.read()
+                except OSError as e:
+                    raise DynProfError(f"cannot read function list {fname!r}: {e}")
+            for line in text.splitlines():
+                line = line.split("#", 1)[0].strip()
+                if line:
+                    names.append(line)
+        return names
+
+    def _cmd_insert(self, command: Command) -> Generator:
+        yield from self._insert(list(command.args))
+
+    def _cmd_insert_file(self, command: Command) -> Generator:
+        yield from self._insert(self._expand_file_args(command.args))
+
+    def _cmd_remove(self, command: Command) -> Generator:
+        yield from self._remove(list(command.args))
+
+    def _cmd_remove_file(self, command: Command) -> Generator:
+        yield from self._remove(self._expand_file_args(command.args))
+
+    def _insert(self, names: List[str]) -> Generator:
+        if self.state in ("created",):
+            raise DynProfError("insert before spawn")
+        if self.state == "spawned":
+            # Pre-start: record, act after the init callback (Section 3.4).
+            self._queued.extend(names)
+            self._emit(f"queued insert: {' '.join(names)}")
+            return
+        yield from self._suspend_patch_resume(install=names, remove=())
+
+    def _remove(self, names: List[str]) -> Generator:
+        if self.state == "spawned":
+            remaining = [q for q in self._queued if q not in set(names)]
+            self._queued = remaining
+            self._emit(f"queued remove: {' '.join(names)}")
+            return
+        yield from self._suspend_patch_resume(install=(), remove=names)
+
+    def _cmd_start(self, command: Command) -> Generator:
+        if self.state != "spawned":
+            raise DynProfError(f"start in state {self.state}")
+        tf = self.timefile
+        tf.begin("start", self._now())
+        yield from self.client.resume(self.process_names)
+        tf.end("start", self._now())
+
+        # Ranks run MPI_Init, barrier, call back, and spin.
+        tf.begin("init-callbacks", self._now())
+        yield from self.client.wait_callback(
+            tag=INIT_CALLBACK_TAG, n=len(self.process_names)
+        )
+        tf.end("init-callbacks", self._now())
+
+        # Install everything queued while the ranks are captive in the spin.
+        if self._queued:
+            tf.begin("instrument", self._now(), detail=f"{len(self._queued)} globs")
+            yield from self._install_into_all(self._queued)
+            tf.end("instrument", self._now())
+            self._queued = []
+
+        # Release the spins; the second barrier re-synchronises the ranks.
+        tf.begin("release", self._now())
+        for name in self.process_names:
+            yield from self.client.set_variable(name, SPIN_VARIABLE, 1)
+        tf.end("release", self._now())
+
+        self.create_and_instrument_time = self._now()
+        self.state = "running"
+        self._emit("application started")
+
+    def _cmd_wait(self, command: Command) -> Generator:
+        yield self.env.timeout(command.seconds)
+        self._emit(f"waited {command.seconds}s")
+
+    def _cmd_quit(self, command: Command) -> Generator:
+        # Detach; all active instrumentation stays in the application.
+        yield from self.client.detach()
+        self.state = "detached"
+        self._emit("detached")
+
+    # -- probe plumbing -------------------------------------------------------------------
+
+    def _build_probe_requests(self, names: Sequence[str]):
+        """Expand function globs into per-process VT probe requests."""
+        probes = []
+        registrations = []
+        matched_any = set()
+        for pname in self.process_names:
+            image = self.client.image_of(pname)
+            for glob in names:
+                for fi in image.find_functions(glob):
+                    if fi.name in ("MPI_Init", "MPI_Finalize", "VT_init"):
+                        continue  # never double-instrument the runtime anchors
+                    matched_any.add(glob)
+                    registrations.append((pname, fi.name))
+                    probes.append((pname, fi.name, ENTRY, VTProbeSnippet(fi, BEGIN)))
+                    probes.append((pname, fi.name, EXIT, VTProbeSnippet(fi, END)))
+        unmatched = [g for g in names if g not in matched_any]
+        if unmatched:
+            self._emit(f"warning: no functions match {' '.join(unmatched)}")
+        return probes, registrations
+
+    def _install_into_all(self, names: Sequence[str]) -> Generator:
+        probes, registrations = self._build_probe_requests(names)
+        if not probes:
+            return
+        handles = yield from self.client.install_probes(
+            probes, register_names=registrations
+        )
+        for (pname, fname, _where, _snippet), handle in zip(probes, handles):
+            self._handles.setdefault((pname, fname), []).append(handle)
+        self._emit(f"installed {len(handles)} probes")
+
+    def _suspend_patch_resume(self, install: Sequence[str], remove: Sequence[str]) -> Generator:
+        """Mid-run modification: stop-all, patch, continue-all.
+
+        The suspend message reaches the per-node daemons with differing
+        delays (DPCL asynchrony), so ranks stop at slightly different
+        times — the imbalance Section 5.1 proposes confsync-triggered
+        safe points to avoid.
+        """
+        if self.state != "running":
+            raise DynProfError(f"mid-run patch in state {self.state}")
+        tf = self.timefile
+        tf.begin("suspend", self._now())
+        yield from self.client.suspend(blocking=True)
+        tf.end("suspend", self._now())
+        try:
+            if install:
+                tf.begin("instrument", self._now(), detail=f"{len(install)} globs")
+                yield from self._install_into_all(install)
+                tf.end("instrument", self._now())
+            if remove:
+                tf.begin("remove", self._now(), detail=f"{len(remove)} globs")
+                handles = []
+                for pname in self.process_names:
+                    image = self.client.image_of(pname)
+                    for glob in remove:
+                        for fi in image.find_functions(glob):
+                            handles.extend(self._handles.pop((pname, fi.name), []))
+                if handles:
+                    n = yield from self.client.remove_probes(handles)
+                    self._emit(f"removed {n} probes")
+                tf.end("remove", self._now())
+        finally:
+            tf.begin("resume", self._now())
+            yield from self.client.resume()
+            tf.end("resume", self._now())
+
+    # -- introspection --------------------------------------------------------------------
+
+    def probe_inventory(self) -> Dict[str, Dict[str, int]]:
+        """Installed-probe counts: {process: {function: count}}.
+
+        Counts only the probes this tool installed (bootstrap excluded),
+        from its own handle table — what a user would see from the
+        tool's perspective, not from omniscient image access.
+        """
+        inventory: Dict[str, Dict[str, int]] = {}
+        for (pname, fname), handles in self._handles.items():
+            if handles:
+                inventory.setdefault(pname, {})[fname] = len(handles)
+        return inventory
+
+    def __repr__(self) -> str:
+        return f"<DynProf {self.job.exe.name} state={self.state}>"

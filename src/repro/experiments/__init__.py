@@ -1,0 +1,48 @@
+"""repro.experiments — the harness regenerating every table and figure.
+
+* :func:`run_fig7` / panels a-d — execution time under the Table 3
+  policies (Section 4.3);
+* :func:`run_fig8a` / :func:`run_fig8b` / :func:`run_fig8c` —
+  VT_confsync costs (Section 5);
+* :func:`run_fig9` — dynprof's time to create and instrument
+  (Section 5.1);
+* :func:`render_table1` / 2 / 3 — the paper's tables, generated from
+  the live implementation;
+* :mod:`~repro.experiments.cli` — the ``repro-experiments`` entry point.
+"""
+
+from .fig7 import FIG7_PANELS, fig7_shape_report, run_fig7
+from .fig8 import (
+    IA32_PROC_COUNTS,
+    IBM_PROC_COUNTS,
+    measure_confsync,
+    run_fig8a,
+    run_fig8b,
+    run_fig8c,
+)
+from .fig9 import measure_create_and_instrument, run_fig9
+from .results import FigureResult, Series
+from .tables import render_table1, render_table2, render_table3
+from .tracevol import TraceVolumeRow, render_tracevol, run_tracevol
+
+__all__ = [
+    "FigureResult",
+    "Series",
+    "run_fig7",
+    "fig7_shape_report",
+    "FIG7_PANELS",
+    "measure_confsync",
+    "run_fig8a",
+    "run_fig8b",
+    "run_fig8c",
+    "IBM_PROC_COUNTS",
+    "IA32_PROC_COUNTS",
+    "run_fig9",
+    "measure_create_and_instrument",
+    "render_table1",
+    "render_table2",
+    "render_table3",
+    "run_tracevol",
+    "render_tracevol",
+    "TraceVolumeRow",
+]

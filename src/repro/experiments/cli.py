@@ -1,0 +1,127 @@
+"""Command-line harness regenerating every table and figure.
+
+Usage::
+
+    repro-experiments table1 table2 table3      # the paper's tables
+    repro-experiments fig7a --scale 0.1         # one Figure 7 panel
+    repro-experiments fig7                      # all four panels
+    repro-experiments fig8a fig8b fig8c         # confsync costs
+    repro-experiments fig9                      # create+instrument time
+    repro-experiments all --scale 0.05          # everything
+    repro-experiments fig7a --csv out.csv       # machine-readable dump
+
+Workload ``--scale`` shrinks simulated workloads proportionally (the
+paper-shape ratios are scale-invariant); ``--quick`` caps the largest
+process counts for fast smoke runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..apps import get_app
+from .fig7 import FIG7_PANELS, fig7_shape_report, run_fig7
+from .fig8 import IA32_PROC_COUNTS, IBM_PROC_COUNTS, run_fig8a, run_fig8b, run_fig8c
+from .fig9 import run_fig9
+from .results import FigureResult
+from .tables import render_table1, render_table2, render_table3
+from .tracevol import render_tracevol, run_tracevol
+
+__all__ = ["main", "run_experiment", "EXPERIMENTS"]
+
+EXPERIMENTS = (
+    "table1", "table2", "table3",
+    "fig7a", "fig7b", "fig7c", "fig7d", "fig7",
+    "fig8a", "fig8b", "fig8c", "fig8",
+    "fig9",
+    "tracevol",
+    "all",
+)
+
+
+def _quick_counts(counts, cap):
+    return tuple(c for c in counts if c <= cap)
+
+
+def run_experiment(name: str, scale: float, seed: int, quick: bool) -> List[object]:
+    """Run one experiment id; returns text blocks / FigureResults."""
+    out: List[object] = []
+    if name == "table1":
+        out.append(render_table1())
+    elif name == "table2":
+        out.append(render_table2())
+    elif name == "table3":
+        out.append(render_table3())
+    elif name in FIG7_PANELS:
+        app = get_app(FIG7_PANELS[name])
+        cpus = _quick_counts(app.cpu_counts, 16) if quick else None
+        fig = run_fig7(app, cpu_counts=cpus, scale=scale, seed=seed)
+        out.append(fig)
+        out.append("\n".join(fig7_shape_report(fig, app)) + "\n")
+    elif name == "fig7":
+        for panel in ("fig7a", "fig7b", "fig7c", "fig7d"):
+            out.extend(run_experiment(panel, scale, seed, quick))
+    elif name == "fig8a":
+        counts = _quick_counts(IBM_PROC_COUNTS, 32) if quick else IBM_PROC_COUNTS
+        out.append(run_fig8a(counts, seed=seed))
+    elif name == "fig8b":
+        counts = _quick_counts(IBM_PROC_COUNTS, 32) if quick else IBM_PROC_COUNTS
+        out.append(run_fig8b(counts, seed=seed))
+    elif name == "fig8c":
+        counts = _quick_counts(IA32_PROC_COUNTS, 8) if quick else IA32_PROC_COUNTS
+        out.append(run_fig8c(counts, seed=seed))
+    elif name == "fig8":
+        for panel in ("fig8a", "fig8b", "fig8c"):
+            out.extend(run_experiment(panel, scale, seed, quick))
+    elif name == "fig9":
+        cpus = (1, 2, 4, 8) if quick else None
+        out.append(run_fig9(cpu_counts=cpus, seed=seed))
+    elif name == "tracevol":
+        n = 4 if quick else 16
+        out.append(render_tracevol(run_tracevol(n_cpus=n, scale=scale, seed=seed)))
+    elif name == "all":
+        for exp in ("table1", "table2", "table3", "fig7", "fig8", "fig9", "tracevol"):
+            out.extend(run_experiment(exp, scale, seed, quick))
+    else:
+        raise SystemExit(f"unknown experiment {name!r}; known: {EXPERIMENTS}")
+    return out
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the tables and figures of 'Dynamic "
+                    "Instrumentation of Large-Scale MPI and OpenMP "
+                    "Applications' (IPPS 2003).",
+    )
+    parser.add_argument("experiments", nargs="+", choices=EXPERIMENTS,
+                        help="which tables/figures to regenerate")
+    parser.add_argument("--scale", type=float, default=0.1,
+                        help="workload scale factor (default 0.1; 1.0 "
+                             "reproduces paper-magnitude runtimes)")
+    parser.add_argument("--seed", type=int, default=0, help="simulation seed")
+    parser.add_argument("--quick", action="store_true",
+                        help="cap process counts for a fast smoke run")
+    parser.add_argument("--csv", metavar="FILE",
+                        help="also dump figure data as CSV to FILE")
+    args = parser.parse_args(argv)
+
+    csv_chunks: List[str] = []
+    for name in args.experiments:
+        for item in run_experiment(name, args.scale, args.seed, args.quick):
+            if isinstance(item, FigureResult):
+                print(item.render())
+                csv_chunks.append(item.to_csv())
+            else:
+                print(item)
+    if args.csv and csv_chunks:
+        with open(args.csv, "w", encoding="utf-8") as fh:
+            fh.write("\n".join(csv_chunks))
+        print(f"wrote CSV to {args.csv}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,156 @@
+"""Figure 8 — the cost of VT_confsync (dynamic control, Section 5).
+
+Three experiments, each data point the average over 16 calls:
+
+(a) VT_confsync on the IBM system, with and without configuration
+    changes — the basic synchronisation cost;
+(b) VT_confsync with runtime statistics generation on the IBM system —
+    an order of magnitude larger, still negligible next to user
+    interaction time;
+(c) VT_confsync (no change) on the 16-node IA32 Linux cluster — same
+    qualitative behaviour on a different architecture.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Sequence
+
+from ..cluster import Cluster, IA32_LINUX, MachineSpec, POWER3_SP
+from ..jobs import MpiJob
+from ..program import ExecutableImage
+from ..simt import Environment
+from ..vt import VTConfig, vt_confsync
+from .results import FigureResult
+
+__all__ = [
+    "measure_confsync",
+    "run_fig8a",
+    "run_fig8b",
+    "run_fig8c",
+    "IBM_PROC_COUNTS",
+    "IA32_PROC_COUNTS",
+]
+
+#: Processor counts of Figures 8(a)/8(b).
+IBM_PROC_COUNTS = (2, 4, 8, 16, 32, 64, 128, 256, 512)
+#: Processor counts of Figure 8(c).
+IA32_PROC_COUNTS = tuple(range(2, 17))
+
+#: Calls averaged per data point, as in the paper.
+REPS = 16
+
+
+def _confsync_exe(n_funcs: int = 30) -> ExecutableImage:
+    """A small statically instrumented target for the confsync runs."""
+    exe = ExecutableImage("confsync-bench")
+    for i in range(n_funcs):
+        exe.define(f"phase{i:02d}")
+    exe.instrument_statically()
+    return exe
+
+
+def measure_confsync(
+    n_procs: int,
+    machine: MachineSpec = POWER3_SP,
+    change: bool = False,
+    stats: bool = False,
+    reps: int = REPS,
+    seed: int = 0,
+) -> float:
+    """Average VT_confsync cost (max over ranks) for one configuration."""
+    env = Environment()
+    cluster = Cluster(env, machine, seed=seed)
+    exe = _confsync_exe()
+
+    # Alternating configurations so every epoch is a genuine change.
+    configs = [VTConfig.all_off(), VTConfig.all_on()]
+
+    def program(pctx) -> Generator:
+        yield from pctx.call("MPI_Init")
+        vt = pctx.image.vt
+        rank = pctx.mpi.rank
+        if change and rank == 0:
+            state = {"i": 0}
+
+            def hook(_pctx):
+                cfg = configs[state["i"] % 2]
+                state["i"] += 1
+                return cfg
+
+            vt.break_hook = hook
+        comm = pctx.mpi.comm
+        yield from comm.barrier()
+        elapsed = []
+        for _rep in range(reps):
+            t0 = pctx.now
+            yield from vt_confsync(pctx, write_stats=stats)
+            elapsed.append(pctx.now - t0)
+        yield from pctx.call("MPI_Finalize")
+        return sum(elapsed) / len(elapsed)
+
+    job = MpiJob(env, cluster, exe, n_procs, program)
+    job.start()
+    env.run(until=job.completion())
+    env.run()
+    return max(p.value for p in job.procs)
+
+
+def run_fig8a(
+    proc_counts: Sequence[int] = IBM_PROC_COUNTS, seed: int = 0
+) -> FigureResult:
+    """Time for VT_confsync on the IBM system, no-change vs. changes."""
+    fig = FigureResult(
+        "fig8a",
+        "Time for VT_confsync on IBM",
+        "Number of Processors",
+        "Time (s)",
+        list(proc_counts),
+    )
+    fig.notes.append(f"each point averages {REPS} calls (as in the paper)")
+    fig.add_series(
+        "No Change",
+        [measure_confsync(p, POWER3_SP, change=False, seed=seed) for p in proc_counts],
+    )
+    fig.add_series(
+        "Changes",
+        [measure_confsync(p, POWER3_SP, change=True, seed=seed) for p in proc_counts],
+    )
+    return fig
+
+
+def run_fig8b(
+    proc_counts: Sequence[int] = IBM_PROC_COUNTS, seed: int = 0
+) -> FigureResult:
+    """Time to write statistics within VT_confsync on the IBM system."""
+    fig = FigureResult(
+        "fig8b",
+        "Time to write statistics on IBM",
+        "Number of Processors",
+        "Time (s)",
+        list(proc_counts),
+    )
+    fig.notes.append(f"each point averages {REPS} calls (as in the paper)")
+    fig.add_series(
+        "Statistics",
+        [measure_confsync(p, POWER3_SP, stats=True, seed=seed) for p in proc_counts],
+    )
+    return fig
+
+
+def run_fig8c(
+    proc_counts: Sequence[int] = IA32_PROC_COUNTS, seed: int = 0
+) -> FigureResult:
+    """Time for VT_confsync on the IA32 Linux cluster (no change)."""
+    fig = FigureResult(
+        "fig8c",
+        "Time for VT_confsync on IA32",
+        "Number of Processors",
+        "Time (s)",
+        list(proc_counts),
+    )
+    fig.notes.append(f"each point averages {REPS} calls (as in the paper)")
+    fig.add_series(
+        "No Change",
+        [measure_confsync(p, IA32_LINUX, change=False, seed=seed) for p in proc_counts],
+    )
+    return fig

@@ -1,0 +1,102 @@
+"""Figure 9 — time used by dynprof to create and instrument each target.
+
+For every ASCI kernel and processor count, dynprof spawns the target
+(suspended), attaches, patches the bootstrap, starts the run, waits for
+the per-rank init callbacks, installs the dynamic probes while the ranks
+are captive in the spin, and releases them.  The recorded time is the
+tool's wall clock from session start to spin release.
+
+The MPI curves grow with the process count — dynprof must download and
+navigate one program structure, and patch one image, per process — while
+Umt98's curve is flat: all OpenMP threads share a single image
+(Section 5.1).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..apps import ALL_APPS, AppSpec, get_app
+from ..cluster import Cluster, MachineSpec, POWER3_SP
+from ..dynprof import DynProf
+from ..jobs import MpiJob, OmpJob
+from ..simt import Environment
+from .results import FigureResult
+
+__all__ = ["measure_create_and_instrument", "run_fig9"]
+
+
+def measure_create_and_instrument(
+    app: AppSpec | str,
+    n_cpus: int,
+    machine: MachineSpec = POWER3_SP,
+    scale: float = 0.02,
+    seed: int = 0,
+) -> float:
+    """One Figure 9 data point: dynprof's create+instrument wall time.
+
+    The application's own runtime is irrelevant here, so a tiny
+    ``scale`` keeps the measurement cheap; the instrumentation time
+    itself does not depend on the workload scale.
+    """
+    app = get_app(app) if isinstance(app, str) else app
+    env = Environment()
+    cluster = Cluster(env, machine, seed=seed)
+    exe = app.build_exe(False)
+    program = app.make_program(n_cpus, scale)
+    if app.kind == "mpi":
+        job = MpiJob(env, cluster, exe, n_cpus, program, start_suspended=True)
+    else:
+        job = OmpJob(env, cluster, exe, n_cpus, program, start_suspended=True)
+    tool = DynProf(
+        env, cluster, job,
+        file_contents={"targets.txt": "\n".join(app.dynamic_targets)},
+    )
+    proc = tool.run_script("insert-file targets.txt\nstart\nquit\n")
+    env.run(until=proc)
+    assert tool.create_and_instrument_time is not None
+    # Let the job drain so the environment ends cleanly.
+    env.run(until=job.completion())
+    env.run()
+    return tool.create_and_instrument_time
+
+
+def run_fig9(
+    cpu_counts: Optional[Sequence[int]] = None,
+    machine: MachineSpec = POWER3_SP,
+    seed: int = 0,
+    apps: Optional[Sequence[str]] = None,
+) -> FigureResult:
+    """Reproduce Figure 9: one series per application."""
+    app_names = list(apps) if apps is not None else list(ALL_APPS)
+    all_cpus = cpu_counts
+    x: List[int] = sorted(
+        set(all_cpus)
+        if all_cpus is not None
+        else {c for name in app_names for c in get_app(name).cpu_counts}
+    )
+    fig = FigureResult(
+        "fig9",
+        "Time to create and instrument",
+        "CPUs",
+        "Time (s)",
+        x,
+    )
+    for name in app_names:
+        app = get_app(name)
+        values: List[Optional[float]] = []
+        for n in x:
+            if n in app.cpu_counts or (min(app.cpu_counts) <= n <= max(app.cpu_counts)):
+                if app.kind == "omp" and n > max(app.cpu_counts):
+                    values.append(None)
+                else:
+                    values.append(
+                        measure_create_and_instrument(app, n, machine, seed=seed)
+                    )
+            else:
+                values.append(None)
+        fig.add_series(app.title, values)
+    fig.notes.append(
+        "Umt98's curve is flat: a single shared OpenMP image to instrument"
+    )
+    return fig

@@ -1,0 +1,100 @@
+"""Result containers and text rendering for the experiment harness.
+
+Every figure becomes a :class:`FigureResult`: named series over a
+common x-axis (CPU counts), rendered as an aligned text table — the
+same rows/series the paper plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+__all__ = ["Series", "FigureResult"]
+
+
+@dataclass
+class Series:
+    """One line of a figure: a label and y-values over the x-axis."""
+
+    label: str
+    values: List[Optional[float]]
+
+    def value_at(self, x_axis: Sequence[int], x: int) -> Optional[float]:
+        try:
+            return self.values[list(x_axis).index(x)]
+        except ValueError:
+            return None
+
+
+@dataclass
+class FigureResult:
+    """A reproduced figure: x-axis + series + provenance notes."""
+
+    figure_id: str
+    title: str
+    xlabel: str
+    ylabel: str
+    x: List[int]
+    series: List[Series] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_series(self, label: str, values: Sequence[Optional[float]]) -> Series:
+        if len(values) != len(self.x):
+            raise ValueError(
+                f"series {label!r} has {len(values)} values for "
+                f"{len(self.x)} x points"
+            )
+        s = Series(label, list(values))
+        self.series.append(s)
+        return s
+
+    def get(self, label: str) -> Series:
+        for s in self.series:
+            if s.label == label:
+                return s
+        raise KeyError(f"no series {label!r} in {self.figure_id}")
+
+    def ratio(self, num_label: str, den_label: str, x: int) -> float:
+        """Series ratio at one x (e.g. Full/None at 64 CPUs)."""
+        num = self.get(num_label).value_at(self.x, x)
+        den = self.get(den_label).value_at(self.x, x)
+        if num is None or den is None or den == 0:
+            raise ValueError(f"cannot form ratio at x={x}")
+        return num / den
+
+    # -- rendering --------------------------------------------------------------
+
+    def render(self, precision: int = 3) -> str:
+        label_w = max(len(self.xlabel), 6)
+        col_w = max([len(s.label) for s in self.series] + [precision + 7])
+        header = f"{self.figure_id}: {self.title}"
+        lines = [header, "=" * len(header)]
+        row = f"{self.xlabel:>{label_w}s}"
+        for s in self.series:
+            row += f"  {s.label:>{col_w}s}"
+        lines.append(row)
+        for i, x in enumerate(self.x):
+            row = f"{x:>{label_w}d}"
+            for s in self.series:
+                v = s.values[i]
+                cell = "-" if v is None else f"{v:.{precision}f}"
+                row += f"  {cell:>{col_w}s}"
+            lines.append(row)
+        lines.append(f"(y-axis: {self.ylabel})")
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines) + "\n"
+
+    def to_csv(self) -> str:
+        lines = [",".join([self.xlabel] + [s.label for s in self.series])]
+        for i, x in enumerate(self.x):
+            cells = [str(x)]
+            for s in self.series:
+                v = s.values[i]
+                cells.append("" if v is None else repr(v))
+            lines.append(",".join(cells))
+        return "\n".join(lines) + "\n"
+
+    def __repr__(self) -> str:
+        return f"<FigureResult {self.figure_id}: {len(self.series)} series over {self.x}>"

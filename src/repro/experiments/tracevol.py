@@ -1,0 +1,81 @@
+"""Trace-volume experiment — quantifying the paper's motivation.
+
+Section 1: "Performance data gathering has been estimated to grow at
+the rate of 2 megabytes per second on RISC-based processors ... for
+massively parallel computing systems the amount of collected data can
+be impractical for all but the shortest programs."
+
+This supplementary experiment (not a numbered figure in the paper)
+measures, for each application at a fixed CPU count, the trace volume
+and the per-process data rate under every policy — making explicit the
+trade the policies buy: Dynamic delivers the Subset data at ~None cost
+and a vanishing fraction of Full's bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..apps import ALL_APPS, AppSpec, get_app
+from ..cluster import MachineSpec, POWER3_SP
+from ..dynprof import POLICIES, run_policy
+
+__all__ = ["TraceVolumeRow", "run_tracevol", "render_tracevol"]
+
+
+@dataclass
+class TraceVolumeRow:
+    app: str
+    policy: str
+    n_cpus: int
+    time: float
+    records: int
+    mbytes: float
+    #: MB/s per process while the app ran (the paper's 2 MB/s yardstick).
+    rate_mb_s_per_proc: float
+
+
+def run_tracevol(
+    apps: Optional[List[str]] = None,
+    n_cpus: int = 16,
+    scale: float = 0.1,
+    machine: MachineSpec = POWER3_SP,
+    seed: int = 0,
+) -> List[TraceVolumeRow]:
+    """Measure trace volume per (app, policy) at one CPU count."""
+    rows: List[TraceVolumeRow] = []
+    for name in (apps if apps is not None else list(ALL_APPS)):
+        app = get_app(name)
+        cpus = min(n_cpus, max(app.cpu_counts))
+        if cpus not in app.cpu_counts:
+            cpus = max(c for c in app.cpu_counts if c <= cpus)
+        for policy in POLICIES:
+            if policy == "Subset" and not app.has_subset_policy:
+                continue
+            result = run_policy(app, policy, cpus, scale=scale,
+                                machine=machine, seed=seed)
+            mb = result.trace_bytes / 1e6
+            rate = mb / result.time / cpus if result.time > 0 else 0.0
+            rows.append(TraceVolumeRow(
+                app=app.name, policy=policy, n_cpus=cpus,
+                time=result.time, records=result.trace_records,
+                mbytes=mb, rate_mb_s_per_proc=rate,
+            ))
+    return rows
+
+
+def render_tracevol(rows: List[TraceVolumeRow]) -> str:
+    """Text table of per-(app, policy) trace volumes and data rates."""
+    lines = [
+        "Trace volume by policy (the paper's 2 MB/s/processor yardstick)",
+        f"{'app':<9s} {'policy':<9s} {'cpus':>4s} {'time(s)':>9s} "
+        f"{'records':>13s} {'MB':>9s} {'MB/s/proc':>10s}",
+        "-" * 70,
+    ]
+    for r in rows:
+        lines.append(
+            f"{r.app:<9s} {r.policy:<9s} {r.n_cpus:>4d} {r.time:>9.2f} "
+            f"{r.records:>13,} {r.mbytes:>9.2f} {r.rate_mb_s_per_proc:>10.3f}"
+        )
+    return "\n".join(lines) + "\n"

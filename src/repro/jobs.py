@@ -1,0 +1,287 @@
+"""Job assembly: glue cluster, images, VT and MPI/OpenMP into runnable jobs.
+
+This is the poe-level plumbing shared by tests, the example programs and
+dynprof: build a cluster, place ranks, create one task + process image
+(+ VT library + wrapper) per rank, attach the MPI world, and run the
+application program on every rank.
+
+An application *program* is a generator function ``program(pctx)`` that
+drives one rank; it is responsible for calling ``MPI_Init`` /
+``MPI_Finalize`` through the call protocol, exactly like a real MPI main.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, List, Optional
+
+from .cluster import Cluster, MachineSpec, Task
+from .dpcl import DaemonHost
+from .mpi import MpiWorld, install_mpi_symbols
+from .openmp import OpenMPRuntime
+from .program import ExecutableImage, ProcessImage, ProgramContext
+from .simt import AllOf, Environment, Event, Process
+from .vt import FunctionRegistry, TraceFile, VTConfig, VTMpiWrapper, VTProcessState
+
+__all__ = ["MpiJob", "OmpJob", "RankProgram", "install_omp_symbols"]
+
+RankProgram = Callable[[ProgramContext], Generator]
+
+
+class MpiJob:
+    """One MPI application job on a simulated cluster.
+
+    Parameters
+    ----------
+    program:
+        ``program(pctx)`` generator run on every rank.
+    link_vt:
+        Link the VT instrumentation library (all Table 3 policies except
+        a bare un-linked build do this; the "None" policy still links VT
+        so MPI events can be traced — it just compiles no subroutine
+        probes).
+    vt_config:
+        The VT configuration file content (a :class:`VTConfig`); defaults
+        to everything active.
+    start_suspended:
+        Create the target stopped at its first instruction, the way
+        dynprof's spawn-then-instrument flow needs it (Section 3.3).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        cluster: Cluster,
+        exe: ExecutableImage,
+        n_procs: int,
+        program: RankProgram,
+        *,
+        link_vt: bool = True,
+        vt_config: Optional[VTConfig] = None,
+        procs_per_node: Optional[int] = None,
+        threads_per_proc: int = 1,
+        start_suspended: bool = False,
+    ) -> None:
+        self.env = env
+        self.cluster = cluster
+        self.spec: MachineSpec = cluster.spec
+        self.exe = exe
+        self.program = program
+        self.start_suspended = start_suspended
+
+        if "MPI_Init" not in exe:
+            install_mpi_symbols(exe)
+
+        self.placement = cluster.place(
+            n_procs, procs_per_node=procs_per_node, threads_per_proc=threads_per_proc
+        )
+        self.world = MpiWorld(env, cluster, list(self.placement.nodes))
+        self.registry = FunctionRegistry()
+        self.trace = TraceFile(exe.name, record_bytes=self.spec.trace_record_bytes)
+        self.world.trace = self.trace
+
+        self.tasks: List[Task] = []
+        self.images: List[ProcessImage] = []
+        self.pctxs: List[ProgramContext] = []
+        self.vt_states: List[Optional[VTProcessState]] = []
+
+        # The cluster-wide DPCL target registry (shared across jobs so
+        # daemons persist between runs on the same simulated machine).
+        host = getattr(cluster, "_daemon_host", None)
+        if host is None:
+            host = DaemonHost()
+            cluster._daemon_host = host
+        self.daemon_host: DaemonHost = host
+
+        for rank in range(n_procs):
+            node = self.placement.node_of(rank)
+            task = Task(env, node, f"{exe.name}[{rank}]", self.spec)
+            image = ProcessImage(env, exe, f"{exe.name}[{rank}]")
+            pctx = ProgramContext(env, task, image, self.spec)
+            self.world.attach_rank(rank, task, pctx)
+            if link_vt:
+                vt = VTProcessState(
+                    env, self.spec, image, rank,
+                    registry=self.registry,
+                    config=vt_config if vt_config is not None else VTConfig.all_on(),
+                )
+                vt.n_cotracers = n_procs
+                self.world.set_wrapper(rank, VTMpiWrapper(vt))
+                self.vt_states.append(vt)
+            else:
+                self.vt_states.append(None)
+            self.tasks.append(task)
+            self.images.append(image)
+            self.pctxs.append(pctx)
+            host.register(task.name, task, image)
+
+        self.procs: List[Process] = []
+
+    @property
+    def n_procs(self) -> int:
+        return len(self.tasks)
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def start(self) -> List[Process]:
+        """Spawn every rank's program as a simulation process."""
+        if self.procs:
+            raise RuntimeError("job already started")
+        for rank, (task, pctx) in enumerate(zip(self.tasks, self.pctxs)):
+            if self.start_suspended:
+                task.request_suspend()
+            self.procs.append(task.start(self._rank_main(pctx), name=task.name))
+        return self.procs
+
+    def _rank_main(self, pctx: ProgramContext) -> Generator:
+        # Honour "created but suspended at its first instruction".
+        yield from pctx.task.checkpoint()
+        return (yield from self.program(pctx))
+
+    def resume_all(self) -> None:
+        """Release ranks spawned with start_suspended."""
+        for task in self.tasks:
+            if task.is_suspend_requested:
+                task.resume()
+
+    def completion(self) -> Event:
+        """Event triggering when every rank's program has returned."""
+        if not self.procs:
+            raise RuntimeError("job not started")
+        return AllOf(self.env, self.procs)
+
+    def run(self) -> float:
+        """Start (unless already started), run to completion, return the
+        job's makespan (latest rank finish time)."""
+        if not self.procs:
+            self.start()
+        self.env.run(until=self.completion())
+        return self.env.now
+
+    def __repr__(self) -> str:
+        return f"<MpiJob {self.exe.name} x{self.n_procs} on {self.spec.name}>"
+
+
+def install_omp_symbols(exe: ExecutableImage) -> None:
+    """Add the Guide-compiler-planted VT_init symbol to an OpenMP app.
+
+    The Guide compiler statically inserts a call to VT_init at the
+    beginning of main (Section 3.4); dynprof patches the end of VT_init
+    with its callback + spin bootstrap.  VT_init is guaranteed to run in
+    a single-threaded region, so — unlike MPI_Init — no barriers are
+    needed around the inserted code.
+    """
+
+    def vt_init(pctx: ProgramContext) -> None:
+        vt = pctx.image.vt
+        if vt is not None:
+            vt.initialize(pctx.task)
+
+    exe.define("VT_init", body=vt_init, module="libguide")
+
+
+class OmpJob:
+    """One OpenMP application: a single process with a thread team.
+
+    The whole job lives on one SMP node (OpenMP is shared-memory only,
+    which is why the paper's Umt98 runs are restricted to 1..8
+    processors of a single node).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        cluster: Cluster,
+        exe: ExecutableImage,
+        n_threads: int,
+        program: RankProgram,
+        *,
+        link_vt: bool = True,
+        vt_config: Optional[VTConfig] = None,
+        node_index: int = 0,
+        start_suspended: bool = False,
+    ) -> None:
+        self.env = env
+        self.cluster = cluster
+        self.spec: MachineSpec = cluster.spec
+        self.exe = exe
+        self.program = program
+        self.start_suspended = start_suspended
+        if n_threads > self.spec.cores_per_node:
+            raise ValueError(
+                f"{n_threads} threads exceed the {self.spec.cores_per_node} "
+                f"cores of a {self.spec.name} node"
+            )
+        if "VT_init" not in exe:
+            install_omp_symbols(exe)
+
+        node = cluster.node(node_index)
+        self.task = Task(env, node, f"{exe.name}[0]", self.spec)
+        self.image = ProcessImage(env, exe, f"{exe.name}[0]")
+        self.pctx = ProgramContext(env, self.task, self.image, self.spec)
+        self.registry = FunctionRegistry()
+        self.trace = TraceFile(exe.name, record_bytes=self.spec.trace_record_bytes)
+        self.vt: Optional[VTProcessState] = None
+        if link_vt:
+            self.vt = VTProcessState(
+                env, self.spec, self.image, 0,
+                registry=self.registry,
+                config=vt_config if vt_config is not None else VTConfig.all_on(),
+            )
+        self.omp = OpenMPRuntime(self.pctx, n_threads)
+
+        host = getattr(cluster, "_daemon_host", None)
+        if host is None:
+            host = DaemonHost()
+            cluster._daemon_host = host
+        self.daemon_host: DaemonHost = host
+        host.register(self.task.name, self.task, self.image)
+
+        self.proc: Optional[Process] = None
+
+    @property
+    def n_threads(self) -> int:
+        return self.omp.num_threads
+
+    @property
+    def tasks(self) -> List[Task]:
+        return [self.task]
+
+    @property
+    def images(self) -> List[ProcessImage]:
+        return [self.image]
+
+    def start(self) -> Process:
+        if self.proc is not None:
+            raise RuntimeError("job already started")
+        if self.start_suspended:
+            self.task.request_suspend()
+        self.proc = self.task.start(self._main(), name=self.task.name)
+        return self.proc
+
+    def _main(self) -> Generator:
+        yield from self.task.checkpoint()
+        try:
+            result = yield from self.program(self.pctx)
+        finally:
+            self.omp.shutdown()
+        if self.vt is not None:
+            self.vt.flush_to(self.trace)
+        return result
+
+    def resume_all(self) -> None:
+        if self.task.is_suspend_requested:
+            self.task.resume()
+
+    def completion(self) -> Event:
+        if self.proc is None:
+            raise RuntimeError("job not started")
+        return self.proc
+
+    def run(self) -> float:
+        if self.proc is None:
+            self.start()
+        self.env.run(until=self.proc)
+        return self.env.now
+
+    def __repr__(self) -> str:
+        return f"<OmpJob {self.exe.name} x{self.n_threads} threads>"

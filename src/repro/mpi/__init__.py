@@ -1,0 +1,31 @@
+"""repro.mpi — the simulated MPI library.
+
+A generator-based MPI over the cluster model: communicators with
+mpi4py-style point-to-point and collective operations, eager/rendezvous
+protocols, non-overtaking message matching, nonblocking requests, and
+MPI_Init/MPI_Finalize as instrumentable image symbols with the VT
+wrapper interface hooked in.
+"""
+
+from .comm import Communicator
+from .messages import ANY_SOURCE, ANY_TAG, Envelope, Status
+from .request import Request, wait_all
+from .runtime import MpiWorld, RankContext, install_mpi_symbols
+from .transport import Mailbox, Transport
+from .util import payload_size
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Communicator",
+    "Envelope",
+    "Status",
+    "Request",
+    "wait_all",
+    "MpiWorld",
+    "RankContext",
+    "install_mpi_symbols",
+    "Mailbox",
+    "Transport",
+    "payload_size",
+]

@@ -1,0 +1,383 @@
+"""The communicator: point-to-point and collective operations.
+
+The API shape follows mpi4py's lowercase (pickle-based) methods —
+``send``/``recv``/``bcast``/``reduce``/… — except that every operation is
+a *generator* (``yield from comm.send(...)``) because the simulation is
+cooperative.  ``Get_rank``/``Get_size`` aliases are provided for
+familiarity.
+
+Collectives are implemented on top of the simulated point-to-point layer
+with the classic algorithms (dissemination barrier, binomial-tree
+bcast/reduce/gather), so their latency scales O(log P) with real message
+traffic — this is what gives VT_confsync its Figure 8 scaling.  Internal
+collective traffic uses a separate match context and is not logged by
+the VT wrapper (only the collective itself is, as with real PMPI).
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import TYPE_CHECKING, Any, Callable, Generator, List, Optional
+
+from .messages import ANY_SOURCE, ANY_TAG, COLL, P2P, Status
+from .request import Request
+from .util import payload_size
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .runtime import MpiWorld
+
+__all__ = ["Communicator"]
+
+
+def _log2_ceil(n: int) -> int:
+    bits = 0
+    while (1 << bits) < n:
+        bits += 1
+    return bits
+
+
+class Communicator:
+    """One rank's view of MPI_COMM_WORLD.
+
+    Only the world communicator is modelled — the paper's applications
+    and experiments never split communicators.
+    """
+
+    def __init__(self, world: "MpiWorld", rank: int) -> None:
+        self.world = world
+        self.rank = rank
+        self.size = world.n_ranks
+        self._coll_seq = 0
+
+    # mpi4py-style accessors.
+    def Get_rank(self) -> int:
+        return self.rank
+
+    def Get_size(self) -> int:
+        return self.size
+
+    # -- plumbing ------------------------------------------------------------
+
+    @property
+    def _pctx(self):
+        return self.world.rank_contexts[self.rank].pctx
+
+    @property
+    def _task(self):
+        return self.world.rank_contexts[self.rank].task
+
+    @property
+    def _spec(self):
+        return self.world.spec
+
+    @property
+    def _wrapper(self):
+        return self.world.wrappers[self.rank]
+
+    def _check_peer(self, peer: int, what: str) -> None:
+        if not 0 <= peer < self.size:
+            raise ValueError(f"{what} rank {peer} out of range [0, {self.size})")
+
+    # -- point-to-point ---------------------------------------------------------
+
+    def send(self, obj: Any, dest: int, tag: int = 0, size: Optional[int] = None) -> Generator:
+        """Blocking standard-mode send."""
+        yield from self._send(obj, dest, tag, size, context=P2P, log=True)
+
+    def _send(self, obj: Any, dest: int, tag: int, size: Optional[int], context: str, log: bool) -> Generator:
+        self._check_peer(dest, "destination")
+        task = self._task
+        nbytes = payload_size(obj) if size is None else int(size)
+        task.charge(self._spec.mpi_overhead)
+        if log:
+            wrapper = self._wrapper
+            if wrapper is not None:
+                wrapper.on_send(self._pctx, dest, tag, nbytes)
+        yield from task.flush()
+        transport = self.world.transport
+        if nbytes <= self._spec.eager_limit:
+            transport.send_eager(self.rank, dest, tag, context, obj, nbytes)
+        else:
+            handshake = transport.send_rendezvous(self.rank, dest, tag, context, obj, nbytes)
+            transfer = yield from task.blocked_wait(handshake)
+            yield self.world.env.timeout(transfer)
+        yield from task.checkpoint()
+
+    def isend(self, obj: Any, dest: int, tag: int = 0, size: Optional[int] = None) -> Request:
+        """Nonblocking send; completion via the returned Request."""
+        self._check_peer(dest, "destination")
+        task = self._task
+        nbytes = payload_size(obj) if size is None else int(size)
+        task.charge(self._spec.mpi_overhead)
+        wrapper = self._wrapper
+        if wrapper is not None:
+            wrapper.on_send(self._pctx, dest, tag, nbytes)
+        transport = self.world.transport
+        if nbytes <= self._spec.eager_limit:
+            # Eager sends buffer immediately: already complete.
+            done = self.world.env.event()
+            done.succeed(None)
+            transport.send_eager(self.rank, dest, tag, P2P, obj, nbytes)
+            return Request(self, done, "isend")
+        handshake = transport.send_rendezvous(self.rank, dest, tag, P2P, obj, nbytes)
+
+        def finish(transfer: float) -> Generator:
+            yield self.world.env.timeout(transfer)
+            return None
+
+        return Request(self, handshake, "isend", finisher=finish)
+
+    def recv(
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        status: Optional[Status] = None,
+    ) -> Generator:
+        """Blocking receive; returns the payload object."""
+        return (yield from self._recv(source, tag, status, context=P2P, log=True))
+
+    def _recv(self, source: int, tag: int, status: Optional[Status], context: str, log: bool) -> Generator:
+        if source != ANY_SOURCE:
+            self._check_peer(source, "source")
+        task = self._task
+        yield from task.flush()
+        mailbox = self.world.transport.mailboxes[self.rank]
+        envelope = yield from task.blocked_wait(mailbox.post_recv(source, tag, context))
+        if envelope.rendezvous:
+            transfer = self.world.transport.payload_transfer_time(
+                envelope.src, self.rank, envelope.size
+            )
+            envelope.handshake.succeed(transfer)
+            yield self.world.env.timeout(transfer)
+        yield from task.checkpoint()
+        task.charge(self._spec.mpi_overhead)
+        if log:
+            wrapper = self._wrapper
+            if wrapper is not None:
+                wrapper.on_recv(self._pctx, envelope.src, envelope.tag, envelope.size)
+        if status is not None:
+            status.source = envelope.src
+            status.tag = envelope.tag
+            status.size = envelope.size
+        return envelope.payload
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
+        """Nonblocking receive."""
+        if source != ANY_SOURCE:
+            self._check_peer(source, "source")
+        mailbox = self.world.transport.mailboxes[self.rank]
+        event = mailbox.post_recv(source, tag, P2P)
+
+        def finish(envelope) -> Generator:
+            if envelope.rendezvous:
+                transfer = self.world.transport.payload_transfer_time(
+                    envelope.src, self.rank, envelope.size
+                )
+                envelope.handshake.succeed(transfer)
+                yield self.world.env.timeout(transfer)
+            self._task.charge(self._spec.mpi_overhead)
+            wrapper = self._wrapper
+            if wrapper is not None:
+                wrapper.on_recv(self._pctx, envelope.src, envelope.tag, envelope.size)
+            return envelope.payload
+
+        return Request(self, event, "irecv", finisher=finish)
+
+    def sendrecv(
+        self,
+        sendobj: Any,
+        dest: int,
+        sendtag: int = 0,
+        source: int = ANY_SOURCE,
+        recvtag: int = ANY_TAG,
+    ) -> Generator:
+        """Combined send+receive (deadlock-free exchange)."""
+        req = self.isend(sendobj, dest, sendtag)
+        result = yield from self.recv(source, recvtag)
+        yield from req.wait()
+        return result
+
+    def iprobe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> bool:
+        """True if a matching message is waiting (MPI_Iprobe)."""
+        mailbox = self.world.transport.mailboxes[self.rank]
+        return mailbox.probe(source, tag, P2P) is not None
+
+    # -- collective internals -----------------------------------------------------
+
+    def _ctag(self, round_: int) -> int:
+        """Tag for an internal collective message of the current op."""
+        return self._coll_seq * 64 + round_
+
+    def _csend(self, obj: Any, dest: int, round_: int, size: Optional[int] = None) -> Generator:
+        yield from self._send(obj, dest, self._ctag(round_), size, context=COLL, log=False)
+
+    def _crecv(self, source: int, round_: int) -> Generator:
+        return (yield from self._recv(source, self._ctag(round_), None, context=COLL, log=False))
+
+    def _coll_begin(self) -> float:
+        self._coll_seq += 1
+        return self._task.now
+
+    def _coll_end(self, op: str, t_start: float) -> None:
+        wrapper = self._wrapper
+        if wrapper is not None:
+            wrapper.on_collective(self._pctx, op, self.size, t_start)
+
+    # -- collectives ------------------------------------------------------------------
+
+    def barrier(self) -> Generator:
+        """Dissemination barrier: ceil(log2 P) rounds of shifted exchange."""
+        t0 = self._coll_begin()
+        yield from self._dissemination()
+        self._coll_end("MPI_Barrier", t0)
+
+    def _dissemination(self) -> Generator:
+        P = self.size
+        if P > 1:
+            for k in range(_log2_ceil(P)):
+                dist = 1 << k
+                yield from self._csend(0, (self.rank + dist) % P, k, size=4)
+                yield from self._crecv((self.rank - dist) % P, k)
+        yield from self._task.checkpoint()
+
+    def bcast(self, obj: Any, root: int = 0, size: Optional[int] = None) -> Generator:
+        """Binomial-tree broadcast; returns the root's object on all ranks."""
+        self._check_peer(root, "root")
+        t0 = self._coll_begin()
+        P = self.size
+        vrank = (self.rank - root) % P
+        if vrank != 0:
+            parent = _clear_highest_bit(vrank)
+            obj = yield from self._crecv((parent + root) % P, 0)
+        j = 0
+        while True:
+            bit = 1 << j
+            if bit > vrank:
+                child = vrank + bit
+                if child >= P:
+                    break
+                yield from self._csend(obj, (child + root) % P, 0, size=size)
+            j += 1
+        self._coll_end("MPI_Bcast", t0)
+        return obj
+
+    def reduce(
+        self,
+        obj: Any,
+        op: Callable[[Any, Any], Any] = operator.add,
+        root: int = 0,
+    ) -> Generator:
+        """Binomial-tree reduction; root returns the combined value."""
+        self._check_peer(root, "root")
+        t0 = self._coll_begin()
+        P = self.size
+        vrank = (self.rank - root) % P
+        partial = obj
+        j = 0
+        while True:
+            bit = 1 << j
+            if bit > vrank:
+                child = vrank + bit
+                if child >= P:
+                    break
+                contribution = yield from self._crecv((child + root) % P, 0)
+                partial = op(partial, contribution)
+            j += 1
+        if vrank != 0:
+            parent = _clear_highest_bit(vrank)
+            yield from self._csend(partial, (parent + root) % P, 0)
+            self._coll_end("MPI_Reduce", t0)
+            return None
+        self._coll_end("MPI_Reduce", t0)
+        return partial
+
+    def allreduce(self, obj: Any, op: Callable[[Any, Any], Any] = operator.add) -> Generator:
+        """Reduce-to-0 followed by broadcast (2 log P stages)."""
+        t0 = self._coll_begin()
+        partial = yield from self.reduce(obj, op, root=0)
+        result = yield from self.bcast(partial, root=0)
+        self._coll_end("MPI_Allreduce", t0)
+        return result
+
+    def gather(self, obj: Any, root: int = 0, size: Optional[int] = None) -> Generator:
+        """Binomial gather; root returns [value_0, ..., value_{P-1}]."""
+        self._check_peer(root, "root")
+        t0 = self._coll_begin()
+        P = self.size
+        vrank = (self.rank - root) % P
+        collected = {vrank: obj}
+        j = 0
+        while True:
+            bit = 1 << j
+            if bit > vrank:
+                child = vrank + bit
+                if child >= P:
+                    break
+                part = yield from self._crecv((child + root) % P, 0)
+                collected.update(part)
+            j += 1
+        if vrank != 0:
+            parent = _clear_highest_bit(vrank)
+            yield from self._csend(collected, (parent + root) % P, 0, size=size)
+            self._coll_end("MPI_Gather", t0)
+            return None
+        self._coll_end("MPI_Gather", t0)
+        return [collected[v] for v in range(P)]
+
+    def allgather(self, obj: Any) -> Generator:
+        """Gather to 0 + broadcast of the assembled list."""
+        t0 = self._coll_begin()
+        gathered = yield from self.gather(obj, root=0)
+        result = yield from self.bcast(gathered, root=0)
+        self._coll_end("MPI_Allgather", t0)
+        return result
+
+    def scatter(self, objs: Optional[List[Any]], root: int = 0) -> Generator:
+        """Flat-tree scatter; each rank returns its element of root's list."""
+        self._check_peer(root, "root")
+        t0 = self._coll_begin()
+        if self.rank == root:
+            if objs is None or len(objs) != self.size:
+                raise ValueError(
+                    f"scatter root needs a list of exactly {self.size} items"
+                )
+            mine = objs[root]
+            for dest in range(self.size):
+                if dest != root:
+                    yield from self._csend(objs[dest], dest, 0)
+        else:
+            mine = yield from self._crecv(root, 0)
+        self._coll_end("MPI_Scatter", t0)
+        return mine
+
+    def alltoall(self, objs: List[Any]) -> Generator:
+        """Pairwise-exchange all-to-all; returns the received list."""
+        if len(objs) != self.size:
+            raise ValueError(f"alltoall needs a list of exactly {self.size} items")
+        t0 = self._coll_begin()
+        P = self.size
+        result: List[Any] = [None] * P
+        result[self.rank] = objs[self.rank]
+        for k in range(1, P):
+            dest = (self.rank + k) % P
+            src = (self.rank - k) % P
+            # Ordered exchange avoids rendezvous deadlock on large payloads.
+            if self.rank < dest:
+                yield from self._csend(objs[dest], dest, k)
+                result[src] = yield from self._crecv(src, k)
+            else:
+                result[src] = yield from self._crecv(src, k)
+                yield from self._csend(objs[dest], dest, k)
+        self._coll_end("MPI_Alltoall", t0)
+        return result
+
+    def __repr__(self) -> str:
+        return f"<Communicator rank={self.rank}/{self.size}>"
+
+
+def _clear_highest_bit(v: int) -> int:
+    """Parent of ``v`` in a binomial tree rooted at 0."""
+    bit = 1
+    while bit <= v:
+        bit <<= 1
+    return v - (bit >> 1)

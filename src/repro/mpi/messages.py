@@ -1,0 +1,93 @@
+"""Message envelopes and matching constants for the MPI simulator."""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..simt import Event
+
+__all__ = ["ANY_SOURCE", "ANY_TAG", "Envelope", "Status"]
+
+#: Wildcard source for receives (MPI_ANY_SOURCE).
+ANY_SOURCE = -1
+#: Wildcard tag for receives (MPI_ANY_TAG).
+ANY_TAG = -1
+
+#: Communication contexts: user point-to-point traffic vs. the internal
+#: traffic of collective algorithms (separate match spaces, as the MPI
+#: standard's communicator contexts guarantee).
+P2P = "p2p"
+COLL = "coll"
+
+
+class Envelope:
+    """One in-flight message."""
+
+    __slots__ = (
+        "src",
+        "dst",
+        "tag",
+        "context",
+        "payload",
+        "size",
+        "sent_at",
+        "arrived_at",
+        "rendezvous",
+        "handshake",
+    )
+
+    def __init__(
+        self,
+        src: int,
+        dst: int,
+        tag: int,
+        context: str,
+        payload: Any,
+        size: int,
+        sent_at: float,
+        rendezvous: bool = False,
+        handshake: Optional[Event] = None,
+    ) -> None:
+        self.src = src
+        self.dst = dst
+        self.tag = tag
+        self.context = context
+        self.payload = payload
+        self.size = size
+        self.sent_at = sent_at
+        self.arrived_at: Optional[float] = None
+        #: True for large messages using the rendezvous protocol; the
+        #: envelope then acts as the ready-to-send token and ``handshake``
+        #: is triggered when the matching receive is posted.
+        self.rendezvous = rendezvous
+        self.handshake = handshake
+
+    def matches(self, source: int, tag: int, context: str) -> bool:
+        if context != self.context:
+            return False
+        if source != ANY_SOURCE and source != self.src:
+            return False
+        if tag != ANY_TAG and tag != self.tag:
+            return False
+        return True
+
+    def __repr__(self) -> str:
+        proto = "rndv" if self.rendezvous else "eager"
+        return (
+            f"<Envelope {self.src}->{self.dst} tag={self.tag} "
+            f"ctx={self.context} {self.size}B {proto}>"
+        )
+
+
+class Status:
+    """Completion status of a receive (MPI_Status analog)."""
+
+    __slots__ = ("source", "tag", "size")
+
+    def __init__(self, source: int, tag: int, size: int) -> None:
+        self.source = source
+        self.tag = tag
+        self.size = size
+
+    def __repr__(self) -> str:
+        return f"<Status source={self.source} tag={self.tag} size={self.size}>"

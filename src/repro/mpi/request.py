@@ -1,0 +1,75 @@
+"""Nonblocking-operation requests (MPI_Request analog)."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Generator, Optional, Tuple
+
+from ..simt import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .comm import Communicator
+
+__all__ = ["Request"]
+
+
+class Request:
+    """Handle for a pending isend/irecv.
+
+    ``wait()`` is a generator (yield from it); ``test()`` is a
+    non-blocking completion probe.  A completion hook converts the raw
+    event value (e.g. an envelope) into the user-visible result and may
+    itself block (rendezvous payload transfer), which is why ``wait``
+    rather than the event is the completion point.
+    """
+
+    __slots__ = ("comm", "_event", "_finisher", "kind", "_done", "_result")
+
+    def __init__(
+        self,
+        comm: "Communicator",
+        event: Event,
+        kind: str,
+        finisher: Optional[Callable[[Any], Generator]] = None,
+    ) -> None:
+        self.comm = comm
+        self._event = event
+        self._finisher = finisher
+        self.kind = kind
+        self._done = False
+        self._result: Any = None
+
+    def wait(self) -> Generator:
+        """Block until the operation completes; returns its result."""
+        if self._done:
+            return self._result
+        raw = yield self._event
+        if self._finisher is not None:
+            raw = yield from self._finisher(raw)
+        self._done = True
+        self._result = raw
+        return raw
+
+    def test(self) -> Tuple[bool, Any]:
+        """(completed?, result).  Never blocks; completion requires that
+        any finisher work (rendezvous transfer) has already been done by
+        a prior ``wait``, or that none is needed."""
+        if self._done:
+            return True, self._result
+        if self._event.triggered and self._finisher is None:
+            self._done = True
+            self._result = self._event._value
+            return True, self._result
+        return False, None
+
+    def __repr__(self) -> str:
+        state = "done" if self._done else "pending"
+        return f"<Request {self.kind} {state}>"
+
+
+def wait_all(requests) -> "Generator":
+    """Complete a set of requests (MPI_Waitall); returns their results
+    in request order."""
+    results = []
+    for request in requests:
+        results.append((yield from request.wait()))
+    return results

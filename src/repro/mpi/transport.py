@@ -1,0 +1,154 @@
+"""The MPI transport: mailboxes, matching, wire-time scheduling.
+
+Messages travel through the cluster :class:`Interconnect` with sampled
+latency/bandwidth.  Because latency jitter could reorder two messages on
+the same (source, destination, context) flow, arrival times are clamped
+to be non-decreasing per flow — preserving MPI's non-overtaking
+guarantee.
+
+Matching follows the standard: a posted receive matches the earliest-
+arrived envelope with a compatible (source, tag) in the same context;
+unexpected messages queue at the receiver until a matching receive is
+posted.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from ..cluster import Cluster, Node
+from ..simt import Environment, Event
+from .messages import Envelope
+
+__all__ = ["Mailbox", "Transport"]
+
+
+class _PostedRecv:
+    """A receive waiting for a matching envelope."""
+
+    __slots__ = ("source", "tag", "context", "event")
+
+    def __init__(self, source: int, tag: int, context: str, event: Event) -> None:
+        self.source = source
+        self.tag = tag
+        self.context = context
+        self.event = event
+
+
+class Mailbox:
+    """Per-rank incoming-message state."""
+
+    def __init__(self, env: Environment, rank: int) -> None:
+        self.env = env
+        self.rank = rank
+        self._unexpected: Deque[Envelope] = deque()
+        self._posted: Deque[_PostedRecv] = deque()
+
+    @property
+    def unexpected_count(self) -> int:
+        return len(self._unexpected)
+
+    def deliver(self, envelope: Envelope) -> None:
+        """An envelope has arrived on the wire."""
+        envelope.arrived_at = self.env.now
+        for posted in self._posted:
+            if envelope.matches(posted.source, posted.tag, posted.context):
+                self._posted.remove(posted)
+                posted.event.succeed(envelope)
+                return
+        self._unexpected.append(envelope)
+
+    def post_recv(self, source: int, tag: int, context: str) -> Event:
+        """Post a receive; the event triggers with the matched envelope."""
+        event = Event(self.env)
+        for envelope in self._unexpected:
+            if envelope.matches(source, tag, context):
+                self._unexpected.remove(envelope)
+                event.succeed(envelope)
+                return event
+        self._posted.append(_PostedRecv(source, tag, context, event))
+        return event
+
+    def probe(self, source: int, tag: int, context: str) -> Optional[Envelope]:
+        """Non-destructive match against the unexpected queue (MPI_Iprobe)."""
+        for envelope in self._unexpected:
+            if envelope.matches(source, tag, context):
+                return envelope
+        return None
+
+
+class Transport:
+    """Moves envelopes between ranks through the interconnect."""
+
+    def __init__(self, env: Environment, cluster: Cluster, rank_nodes: List[Node]) -> None:
+        self.env = env
+        self.cluster = cluster
+        self.spec = cluster.spec
+        self.rank_nodes = rank_nodes
+        self.mailboxes: List[Mailbox] = [Mailbox(env, r) for r in range(len(rank_nodes))]
+        #: Per-flow last-arrival clamp: (src, dst, context) -> time.
+        self._last_arrival: Dict[Tuple[int, int, str], float] = {}
+        #: Diagnostics.
+        self.eager_sends = 0
+        self.rendezvous_sends = 0
+
+    def n_ranks(self) -> int:
+        return len(self.rank_nodes)
+
+    def _wire_time(self, src: int, dst: int, nbytes: int) -> float:
+        return self.cluster.interconnect.transfer_time(
+            self.rank_nodes[src], self.rank_nodes[dst], nbytes
+        )
+
+    def _arrival(self, src: int, dst: int, context: str, delay: float) -> float:
+        """Wire arrival time with the non-overtaking clamp applied."""
+        t = self.env.now + delay
+        key = (src, dst, context)
+        prev = self._last_arrival.get(key, 0.0)
+        if t < prev:
+            t = prev
+        self._last_arrival[key] = t
+        return t
+
+    def _schedule_delivery(self, envelope: Envelope, at: float) -> None:
+        delay = at - self.env.now
+        mailbox = self.mailboxes[envelope.dst]
+        if delay <= 0.0:
+            mailbox.deliver(envelope)
+        else:
+            timeout = self.env.timeout(delay)
+            timeout.callbacks.append(lambda _ev: mailbox.deliver(envelope))
+
+    # -- send paths --------------------------------------------------------------
+
+    def send_eager(self, src: int, dst: int, tag: int, context: str, payload: object, size: int) -> None:
+        """Fire-and-forget small-message send; the sender does not block."""
+        self.eager_sends += 1
+        envelope = Envelope(src, dst, tag, context, payload, size, self.env.now)
+        arrival = self._arrival(src, dst, context, self._wire_time(src, dst, size))
+        self._schedule_delivery(envelope, arrival)
+
+    def send_rendezvous(self, src: int, dst: int, tag: int, context: str, payload: object, size: int) -> Event:
+        """Large-message send: returns the handshake event.
+
+        The envelope itself is the ready-to-send token: it is matched
+        like any message, but its payload only "transfers" once the
+        receive is posted.  The returned event triggers (with the match
+        time) when the receiver has matched; the *caller* then charges
+        the payload transfer time to complete the send.
+        """
+        self.rendezvous_sends += 1
+        handshake = Event(self.env)
+        envelope = Envelope(
+            src, dst, tag, context, payload, size, self.env.now,
+            rendezvous=True, handshake=handshake,
+        )
+        # The RTS control message is small.
+        arrival = self._arrival(src, dst, context, self._wire_time(src, dst, 64))
+        self._schedule_delivery(envelope, arrival)
+        return handshake
+
+    def payload_transfer_time(self, src: int, dst: int, size: int) -> float:
+        """Bulk-transfer time of a rendezvous payload."""
+        return self._wire_time(src, dst, size)

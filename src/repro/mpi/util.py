@@ -1,0 +1,39 @@
+"""Payload size estimation for the MPI simulator."""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+__all__ = ["payload_size"]
+
+
+def payload_size(obj: Any) -> int:
+    """Estimate the wire size of a Python payload, in bytes.
+
+    numpy arrays report their true buffer size; scalars count as one
+    8-byte element; containers sum their elements plus a small per-item
+    header, mirroring a pickle-based transport like mpi4py's lowercase
+    API.
+    """
+    if obj is None:
+        return 8
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes)
+    if isinstance(obj, (bool, int, float, complex, np.generic)):
+        return 8
+    if isinstance(obj, bytes):
+        return len(obj)
+    if isinstance(obj, str):
+        return len(obj.encode("utf-8"))
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return 16 + sum(payload_size(x) + 8 for x in obj)
+    if isinstance(obj, dict):
+        return 16 + sum(
+            payload_size(k) + payload_size(v) + 16 for k, v in obj.items()
+        )
+    size_hint = getattr(obj, "payload_bytes", None)
+    if callable(size_hint):
+        return int(size_hint())
+    return 64

@@ -1,0 +1,19 @@
+"""repro.openmp — the Guide-style OpenMP runtime analog.
+
+Fork/join parallel regions over simulated threads (tasks on one SMP
+node's cores), worksharing schedules (static/dynamic/guided), barriers,
+critical sections, reductions, and Guidetrace-style per-thread region
+logging into VT.
+"""
+
+from .runtime import OpenMPRuntime, RegionBody
+from .team import DynamicSchedule, GuidedSchedule, StaticSchedule, Team
+
+__all__ = [
+    "OpenMPRuntime",
+    "RegionBody",
+    "Team",
+    "StaticSchedule",
+    "DynamicSchedule",
+    "GuidedSchedule",
+]

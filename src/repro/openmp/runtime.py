@@ -1,0 +1,239 @@
+"""The Guide-style OpenMP runtime: fork/join over a persistent pool.
+
+The Guide compiler transforms OpenMP directives into thread-based code
+linked against the Guidetrace library (Section 3.1).  Like Guide, the
+runtime keeps a *persistent* worker-thread pool: workers are created on
+first use, pinned to cores of the process's node, and sleep on a work
+queue between parallel regions.  :class:`OpenMPRuntime` plays that role
+for one process:
+
+* ``parallel(...)`` dispatches a region body to the pool, runs thread
+  0's share on the master, and joins;
+* region entry/exit is logged to VT per thread (Guidetrace events);
+* all threads share the process's single :class:`ProcessImage`, so
+  patching the image instruments every thread at once — the reason
+  Umt98's instrumentation time is flat in Figure 9;
+* the master task carries a ``thread_group`` so a blocking DPCL suspend
+  stops every thread of the process before the shared image is patched
+  (idle pool workers count as stopped: they are runtime-blocked and
+  park before touching application code on wake).
+"""
+
+from __future__ import annotations
+
+from itertools import count
+from typing import Any, Callable, Generator, List, Optional
+
+from ..cluster import MachineSpec, Task
+from ..program import ProgramContext
+from ..simt import Channel, Environment, Latch
+from .team import DynamicSchedule, GuidedSchedule, StaticSchedule, Team
+
+__all__ = ["OpenMPRuntime", "RegionBody"]
+
+#: A region body: body(tctx, team) -> generator, run once per thread.
+RegionBody = Callable[[ProgramContext, Team], Generator]
+
+
+class _Worker:
+    """One pool thread: persistent task + context + work queue."""
+
+    __slots__ = ("task", "pctx", "queue", "proc")
+
+    def __init__(self, runtime: "OpenMPRuntime", index: int) -> None:
+        master = runtime.master
+        self.task = Task(
+            runtime.env,
+            master.task.node,
+            f"{master.task.name}.t{index}",
+            runtime.spec,
+        )
+        self.pctx = ProgramContext(
+            runtime.env, self.task, master.image, runtime.spec, thread_id=index
+        )
+        self.pctx.mpi = master.mpi
+        self.pctx.omp = runtime
+        self.queue = Channel(runtime.env, name=f"{self.task.name}.work")
+        self.proc = self.task.start(runtime._worker_loop(self), name=self.task.name)
+
+
+class OpenMPRuntime:
+    """Per-process OpenMP state, attached to the master pctx as ``pctx.omp``."""
+
+    def __init__(self, master: ProgramContext, num_threads: int) -> None:
+        if num_threads < 1:
+            raise ValueError("need at least one thread")
+        self.master = master
+        self.env: Environment = master.env
+        self.spec: MachineSpec = master.spec
+        self.num_threads = num_threads
+        self._region_ids = count(1)
+        self._pool: List[_Worker] = []
+        self._shut_down = False
+        master.omp = self
+        master.task.thread_group = self._thread_group
+
+    def _thread_group(self) -> List[Task]:
+        """All tasks of this process: master + pool workers."""
+        return [self.master.task] + [w.task for w in self._pool]
+
+    # -- the pool -------------------------------------------------------------------
+
+    def _ensure_workers(self, n: int) -> None:
+        """Grow the pool to at least ``n`` workers (thread ids 1..n)."""
+        while len(self._pool) < n:
+            self._pool.append(_Worker(self, len(self._pool) + 1))
+
+    def _worker_loop(self, worker: _Worker) -> Generator:
+        while True:
+            item = yield from worker.task.blocked_wait(worker.queue.get())
+            if item is None:  # shutdown
+                return
+            body, team, region_fid, results, latch = item
+            tctx = worker.pctx
+            self._log_region(tctx, region_fid, enter=True)
+            results[tctx.thread_id] = yield from body(tctx, team)
+            self._log_region(tctx, region_fid, enter=False)
+            yield from tctx.task.flush()
+            latch.count_down()
+
+    def shutdown(self) -> None:
+        """Retire the pool (end-of-process); idempotent."""
+        if self._shut_down:
+            return
+        self._shut_down = True
+        for worker in self._pool:
+            worker.queue.put(None)
+
+    # -- parallel regions ----------------------------------------------------------
+
+    def parallel(
+        self,
+        body: RegionBody,
+        num_threads: Optional[int] = None,
+        name: str = "parallel",
+    ) -> Generator:
+        """Execute ``body`` on a team; returns the per-thread results.
+
+        Called from the master's program; blocks (join) until every
+        thread finished the region.
+        """
+        if self._shut_down:
+            raise RuntimeError("OpenMP runtime already shut down")
+        if self.env.active_process is not None and any(
+            self.env.active_process is w.proc for w in self._pool
+        ):
+            raise RuntimeError(
+                "nested parallel regions are not supported: parallel() "
+                "must be called from the master thread (the Guide runtime "
+                "serialised nested parallelism too)"
+            )
+        T = num_threads if num_threads is not None else self.num_threads
+        if T < 1:
+            raise ValueError("need at least one thread")
+        master = self.master
+        spec = self.spec
+        team = Team(self.env, next(self._region_ids), T, spec)
+
+        # Fork cost on the master; flush so workers start at master.now.
+        master.task.charge(
+            spec.omp_fork_base_cost + T * spec.omp_fork_per_thread_cost
+        )
+        yield from master.task.flush()
+
+        region_fid = self._register_region(name)
+        self._ensure_workers(T - 1)
+
+        team.members.append(master)
+        for worker in self._pool[: T - 1]:
+            team.members.append(worker.pctx)
+
+        results: List[Any] = [None] * T
+        latch = Latch(self.env, T - 1)
+        for worker in self._pool[: T - 1]:
+            worker.queue.put((body, team, region_fid, results, latch))
+
+        # Thread 0 runs on the master itself.
+        self._log_region(master, region_fid, enter=True)
+        results[0] = yield from body(master, team)
+        self._log_region(master, region_fid, enter=False)
+        yield from master.task.flush()
+
+        if T > 1:
+            yield from master.task.blocked_wait(latch.wait())
+        # Join: implicit barrier cost on the master.
+        master.task.charge(spec.omp_barrier_cost)
+        yield from master.task.checkpoint()
+        return results
+
+    def parallel_for(
+        self,
+        n: int,
+        body: Callable[[ProgramContext, int, int], Generator],
+        schedule: Any = None,
+        num_threads: Optional[int] = None,
+        name: str = "parallel_for",
+    ) -> Generator:
+        """``#pragma omp parallel for``: body(tctx, start, stop) per chunk."""
+        schedule = schedule if schedule is not None else StaticSchedule()
+
+        def region(tctx: ProgramContext, team: Team) -> Generator:
+            if isinstance(schedule, StaticSchedule):
+                for start, stop in team.for_static(tctx, n, schedule.chunk):
+                    yield from body(tctx, start, stop)
+            elif isinstance(schedule, DynamicSchedule):
+                loop_id = self._shared_loop(team)
+                while True:
+                    chunk = yield from team.next_dynamic_chunk(tctx, loop_id, n, schedule.chunk)
+                    if chunk is None:
+                        break
+                    yield from body(tctx, chunk[0], chunk[1])
+            elif isinstance(schedule, GuidedSchedule):
+                loop_id = self._shared_loop(team)
+                while True:
+                    remaining = n - team._loop_counters[loop_id]
+                    if remaining <= 0:
+                        break
+                    size = max(schedule.min_chunk, remaining // (2 * team.size))
+                    chunk = yield from team.next_dynamic_chunk(tctx, loop_id, n, size)
+                    if chunk is None:
+                        break
+                    yield from body(tctx, chunk[0], chunk[1])
+            else:
+                raise TypeError(f"unknown schedule {schedule!r}")
+            yield from team.barrier(tctx)
+
+        return (yield from self.parallel(region, num_threads, name=name))
+
+    def _shared_loop(self, team: Team) -> int:
+        """The single worksharing loop of a parallel_for region,
+        allocated by whichever thread arrives first (cooperative
+        scheduling makes first-arrival deterministic)."""
+        loop_id = getattr(team, "_active_loop", None)
+        if loop_id is None:
+            loop_id = team.new_dynamic_loop()
+            team._active_loop = loop_id
+        return loop_id
+
+    # -- tracing hooks ---------------------------------------------------------------
+
+    def _register_region(self, name: str) -> Optional[int]:
+        vt = self.master.image.vt
+        if vt is None or not vt.initialized:
+            return None
+        return vt.funcdef(self.master.task, f"$omp${name}")
+
+    def _log_region(self, tctx: ProgramContext, fid: Optional[int], enter: bool) -> None:
+        vt = tctx.image.vt
+        if vt is None or fid is None or not vt.is_fid_active(fid):
+            return
+        task = tctx.task
+        task.charge(self.spec.vt_active_event_cost)
+        buf = vt.buffer_for(task, tctx.thread_id)
+        if enter:
+            buf.enter(fid, task.now)
+        else:
+            buf.leave(fid, task.now)
+
+    def __repr__(self) -> str:
+        return f"<OpenMPRuntime threads={self.num_threads} pool={len(self._pool)}>"

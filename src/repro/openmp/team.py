@@ -1,0 +1,203 @@
+"""OpenMP thread teams: barriers, worksharing, critical, reductions.
+
+A :class:`Team` exists for the duration of one parallel region.  Thread 0
+is the forking master's own task; workers get fresh tasks bound to cores
+of the same node.  All synchronisation is cooperative (simulation
+processes), with per-operation costs from the machine spec.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
+
+from ..cluster import MachineSpec
+from ..simt import Environment, Event
+from ..program import ProgramContext
+
+__all__ = ["Team", "StaticSchedule", "DynamicSchedule", "GuidedSchedule"]
+
+
+class Team:
+    """One parallel region's thread team."""
+
+    def __init__(self, env: Environment, region_id: int, size: int, spec: MachineSpec) -> None:
+        if size < 1:
+            raise ValueError("team size must be >= 1")
+        self.env = env
+        self.region_id = region_id
+        self.size = size
+        self.spec = spec
+        #: Thread contexts, filled in by the runtime at fork.
+        self.members: List[ProgramContext] = []
+        # Barrier state (sense-reversing).
+        self._barrier_count = 0
+        self._barrier_event = Event(env)
+        # Critical sections, keyed by name.
+        self._locks: Dict[str, bool] = {}
+        self._lock_waiters: Dict[str, List[Event]] = {}
+        # Reduction scratch.
+        self._reduce_slots: Dict[int, List[Any]] = {}
+        # Shared index for dynamic scheduling, per loop id.
+        self._loop_counters: Dict[int, int] = {}
+        self._loop_seq = 0
+        # single-construct bookkeeping: per-thread site counters and the
+        # first-arriver ownership per site.
+        self._single_counters: Dict[int, int] = {}
+        self._single_owner: Dict[int, int] = {}
+
+    # -- barrier --------------------------------------------------------------
+
+    def barrier(self, tctx: ProgramContext) -> Generator:
+        """Team-wide barrier; every member must call it."""
+        task = tctx.task
+        task.charge(self.spec.omp_barrier_cost)
+        yield from task.flush()
+        self._barrier_count += 1
+        if self._barrier_count == self.size:
+            self._barrier_count = 0
+            event, self._barrier_event = self._barrier_event, Event(self.env)
+            event.succeed()
+            yield from task.checkpoint()
+        else:
+            yield from task.blocked_wait(self._barrier_event)
+
+    # -- critical sections -------------------------------------------------------
+
+    def critical(self, tctx: ProgramContext, name: str = "") -> Generator:
+        """Enter a named critical section; pair with :meth:`end_critical`."""
+        task = tctx.task
+        task.charge(self.spec.omp_lock_cost)
+        yield from task.flush()
+        while self._locks.get(name, False):
+            waiter = Event(self.env)
+            self._lock_waiters.setdefault(name, []).append(waiter)
+            yield from task.blocked_wait(waiter)
+        self._locks[name] = True
+        yield from task.checkpoint()
+
+    def end_critical(self, tctx: ProgramContext, name: str = "") -> Generator:
+        if not self._locks.get(name, False):
+            raise RuntimeError(f"end_critical({name!r}) without critical()")
+        tctx.task.charge(self.spec.omp_lock_cost)
+        yield from tctx.task.flush()
+        self._locks[name] = False
+        waiters = self._lock_waiters.get(name)
+        if waiters:
+            waiters.pop(0).succeed()
+
+    # -- reductions ----------------------------------------------------------------
+
+    def reduce(self, tctx: ProgramContext, value: Any, op: Callable[[Any, Any], Any]) -> Generator:
+        """All-threads reduction; every member receives the result."""
+        rid = self._loop_seq  # reuse sequence space for uniqueness
+        slot = self._reduce_slots.setdefault(rid, [None] * self.size)
+        slot[tctx.thread_id] = (True, value)
+        yield from self.barrier(tctx)
+        parts = self._reduce_slots[rid]
+        result = None
+        first = True
+        for item in parts:
+            assert item is not None, "reduce called by only part of the team"
+            _flag, v = item
+            result = v if first else op(result, v)
+            first = False
+        yield from self.barrier(tctx)
+        if tctx.thread_id == 0:
+            self._reduce_slots.pop(rid, None)
+            self._loop_seq += 1
+        yield from self.barrier(tctx)
+        return result
+
+    # -- master / single constructs ---------------------------------------------
+
+    def is_master(self, tctx: ProgramContext) -> bool:
+        """``#pragma omp master``: true only on thread 0 (no sync)."""
+        return tctx.thread_id == 0
+
+    def single(self, tctx: ProgramContext) -> bool:
+        """``#pragma omp single nowait``: true on exactly one thread.
+
+        Threads must reach the single sites of a region in the same
+        order; the first thread to arrive at each site owns it.  No
+        implied barrier — call :meth:`barrier` afterwards for the
+        standard (non-nowait) form.
+        """
+        site = self._single_counters.get(tctx.thread_id, 0)
+        self._single_counters[tctx.thread_id] = site + 1
+        owner = self._single_owner.get(site)
+        if owner is None:
+            self._single_owner[site] = tctx.thread_id
+            return True
+        return owner == tctx.thread_id
+
+    # -- worksharing -----------------------------------------------------------------
+
+    def for_static(self, tctx: ProgramContext, n: int, chunk: Optional[int] = None) -> List[Tuple[int, int]]:
+        """Static schedule: this thread's (start, stop) chunks for n iters."""
+        if n < 0:
+            raise ValueError("negative iteration count")
+        tid, T = tctx.thread_id, self.size
+        if chunk is None:
+            # One contiguous block per thread.
+            base, extra = divmod(n, T)
+            start = tid * base + min(tid, extra)
+            stop = start + base + (1 if tid < extra else 0)
+            return [(start, stop)] if stop > start else []
+        chunks = []
+        pos = tid * chunk
+        while pos < n:
+            chunks.append((pos, min(pos + chunk, n)))
+            pos += T * chunk
+        return chunks
+
+    def new_dynamic_loop(self) -> int:
+        """Allocate a loop id for a dynamic/guided schedule."""
+        self._loop_seq += 1
+        loop_id = self._loop_seq
+        self._loop_counters[loop_id] = 0
+        return loop_id
+
+    def next_dynamic_chunk(self, tctx: ProgramContext, loop_id: int, n: int, chunk: int) -> Generator:
+        """Grab the next chunk of a dynamic loop, or None when exhausted.
+
+        Generator: the caller's accrued compute is flushed *before* the
+        shared counter is read, so chunks are claimed in simulated-time
+        order — without this, cooperative scheduling would let one
+        thread drain the whole loop before the others ever ran.
+        """
+        tctx.task.charge(self.spec.omp_chunk_cost)
+        yield from tctx.task.flush()
+        pos = self._loop_counters[loop_id]
+        if pos >= n:
+            return None
+        stop = min(pos + chunk, n)
+        self._loop_counters[loop_id] = stop
+        return (pos, stop)
+
+    def __repr__(self) -> str:
+        return f"<Team region={self.region_id} size={self.size}>"
+
+
+class StaticSchedule:
+    """schedule(static[, chunk]) marker for parallel_for."""
+
+    def __init__(self, chunk: Optional[int] = None) -> None:
+        self.chunk = chunk
+
+
+class DynamicSchedule:
+    """schedule(dynamic, chunk) marker for parallel_for."""
+
+    def __init__(self, chunk: int = 1) -> None:
+        if chunk < 1:
+            raise ValueError("dynamic chunk must be >= 1")
+        self.chunk = chunk
+
+
+class GuidedSchedule:
+    """schedule(guided) — chunk sizes decay geometrically."""
+
+    def __init__(self, min_chunk: int = 1) -> None:
+        if min_chunk < 1:
+            raise ValueError("guided min_chunk must be >= 1")
+        self.min_chunk = min_chunk

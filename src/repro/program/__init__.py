@@ -1,0 +1,62 @@
+"""repro.program — executable-image model and runtime code patching.
+
+The substrate for dynamic instrumentation: symbol tables
+(:class:`ExecutableImage`), per-process live images
+(:class:`ProcessImage`), Dyninst-style snippets, base/mini trampolines
+(Figure 1 of the paper), and the :class:`ProgramContext` executor that
+runs application call trees with both static and dynamic probes applied.
+"""
+
+from .executor import ProgramContext
+from .image import (
+    ENTRY,
+    EXIT,
+    ExecutableImage,
+    FunctionInstance,
+    FunctionSymbol,
+    ProcessImage,
+    VariableCell,
+)
+from .snippet import (
+    Arith,
+    Assign,
+    CallFunc,
+    Compare,
+    Const,
+    If,
+    IncrementVar,
+    Nop,
+    Sequence,
+    Snippet,
+    SnippetError,
+    SpinWait,
+    VarRef,
+)
+from .trampoline import BaseTrampoline, MiniTrampoline, ProbeHandle
+
+__all__ = [
+    "ENTRY",
+    "EXIT",
+    "ExecutableImage",
+    "ProcessImage",
+    "FunctionSymbol",
+    "FunctionInstance",
+    "VariableCell",
+    "ProgramContext",
+    "Snippet",
+    "SnippetError",
+    "Const",
+    "VarRef",
+    "Assign",
+    "Arith",
+    "Compare",
+    "CallFunc",
+    "Sequence",
+    "If",
+    "IncrementVar",
+    "Nop",
+    "SpinWait",
+    "BaseTrampoline",
+    "MiniTrampoline",
+    "ProbeHandle",
+]

@@ -1,0 +1,240 @@
+"""The call-tree executor: runs application functions on a task.
+
+:class:`ProgramContext` is one thread of control (an MPI rank's main
+thread, or one OpenMP thread) executing functions of a
+:class:`~repro.program.image.ProcessImage`.  On every call it applies, in
+order:
+
+1. the *dynamic* entry trampoline, if one is patched in (Figure 1);
+2. the *static* compiled-in VT entry probe, if the build has one;
+3. the function body;
+4. the static VT exit probe;
+5. the dynamic exit trampoline.
+
+Two fast paths keep large workloads tractable without distorting the
+cost model:
+
+* plain (non-generator) bodies are invoked directly, avoiding generator
+  plumbing for compute-only functions;
+* :meth:`ProgramContext.call_batch` executes ``n`` identical *leaf*
+  calls in aggregate — per-call probe costs are charged ``n`` times and
+  trace records are emitted as batch records, which is exact for cost
+  and count purposes because leaf calls cannot block or nest.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional, Union
+
+from ..cluster import MachineSpec, Task
+from ..simt import Environment
+from .image import FunctionInstance, ProcessImage
+
+__all__ = ["ProgramContext"]
+
+
+class ProgramContext:
+    """Execution context of one thread of control."""
+
+    __slots__ = (
+        "env",
+        "task",
+        "image",
+        "spec",
+        "mpi",
+        "omp",
+        "thread_id",
+        "props",
+    )
+
+    def __init__(
+        self,
+        env: Environment,
+        task: Task,
+        image: ProcessImage,
+        spec: MachineSpec,
+        thread_id: int = 0,
+    ) -> None:
+        self.env = env
+        self.task = task
+        self.image = image
+        self.spec = spec
+        #: Rank handle, set by the MPI runtime when the app is MPI.
+        self.mpi: Any = None
+        #: Team handle, set by the OpenMP runtime inside parallel regions.
+        self.omp: Any = None
+        self.thread_id = thread_id
+        #: Scratch space for application state.
+        self.props: dict = {}
+
+    # -- clock & compute delegates ------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Local clock (engine time + unflushed compute)."""
+        return self.task.now
+
+    def charge(self, dt: float) -> None:
+        self.task.charge(dt)
+
+    def compute(self, dt: float) -> Generator:
+        yield from self.task.compute(dt)
+
+    def flush(self) -> Generator:
+        yield from self.task.flush()
+
+    # -- function lookup -------------------------------------------------------
+
+    def fn(self, name: str) -> FunctionInstance:
+        """Resolve a function by name (cache the result in app code)."""
+        return self.image.func(name)
+
+    # -- the call protocol ------------------------------------------------------
+
+    def call(self, target: Union[str, FunctionInstance], *args: Any) -> Generator:
+        """Call a function with full probe semantics. Generator."""
+        fi = target if isinstance(target, FunctionInstance) else self.image.func(target)
+        fi.call_count += 1
+        vt = self.image.vt
+        if fi.entry is not None:
+            yield from fi.entry.fire(self)
+        if fi.static_on and vt is not None:
+            vt.static_begin(self, fi)
+        sym = fi.symbol
+        body = sym.body
+        sampling = self.task.sample_accum is not None
+        if sampling:
+            t_before = self.task.compute_time
+        if body is None:
+            result = None
+        elif sym.is_generator:
+            result = yield from body(self, *args)
+        else:
+            result = body(self, *args)
+        if sampling:
+            # Inclusive attribution, the way a SIGPROF-style sampler
+            # sees time (leaves dominate; see dynprof.ephemeral).  The
+            # sampler may have detached while the body ran.
+            accum = self.task.sample_accum
+            if accum is not None:
+                accum[fi.name] = accum.get(fi.name, 0.0) + (
+                    self.task.compute_time - t_before
+                )
+        if fi.static_on and vt is not None:
+            vt.static_end(self, fi)
+        if fi.exit is not None:
+            yield from fi.exit.fire(self)
+        return result
+
+    def call_leaf(
+        self,
+        target: Union[str, FunctionInstance],
+        cost: float,
+        work: Optional[Callable[[], Any]] = None,
+    ) -> Generator:
+        """One call of a leaf function whose body is pure compute.
+
+        ``cost`` is the modelled body time; ``work``, if given, is real
+        Python/numpy computation executed for its results (its wall time
+        is *represented* by ``cost``, not added to it).
+        """
+        yield from self.call_batch(target, 1, cost, work)
+
+    def call_batch(
+        self,
+        target: Union[str, FunctionInstance],
+        n: int,
+        per_call_cost: float,
+        work: Optional[Callable[[], Any]] = None,
+    ) -> Generator:
+        """Execute ``n`` identical calls of a leaf function, in aggregate.
+
+        Equivalent (in charged time, trace-record counts and statistics)
+        to calling the function ``n`` times back-to-back.  Requires the
+        function to be a leaf: its symbol must have no body.  If the
+        probe configuration is not batchable (a non-VT snippet is patched
+        in), falls back to ``n`` individual calls.
+        """
+        if n < 0:
+            raise ValueError("negative batch count")
+        if n == 0:
+            return None
+        fi = target if isinstance(target, FunctionInstance) else self.image.func(target)
+        if fi.symbol.body is not None:
+            raise ValueError(
+                f"call_batch target {fi.name!r} has a body; only cost-only "
+                f"leaf functions can be batched"
+            )
+        entry_cost = 0.0
+        exit_cost = 0.0
+        if fi.entry is not None:
+            c = fi.entry.batch_cost(self)
+            if c is None:
+                yield from self._call_loop(fi, n, per_call_cost, work)
+                return None
+            entry_cost = c
+        if fi.exit is not None:
+            c = fi.exit.batch_cost(self)
+            if c is None:
+                yield from self._call_loop(fi, n, per_call_cost, work)
+                return None
+            exit_cost = c
+
+        vt = self.image.vt
+        begin_cost = end_cost = 0.0
+        static_records = False
+        if fi.static_on and vt is not None:
+            begin_cost, end_cost, static_records = vt.pair_info(self, fi)
+
+        period = entry_cost + begin_cost + per_call_cost + end_cost + exit_cost
+        t0 = self.task.now
+        fi.call_count += n
+
+        # Side effects *before* charging, using precomputed timestamps.
+        if static_records:
+            # The begin timestamp is taken inside VT_begin, i.e. after the
+            # entry trampoline and the begin-event cost of iteration 0.
+            first_begin = t0 + entry_cost + begin_cost
+            duration = per_call_cost + end_cost  # inclusive: until VT_end stamps
+            vt.record_batch_pair(self, fi, n, first_begin, period, duration)
+        if fi.entry is not None and len(fi.entry) > 0:
+            fi.entry.batch_side_effects(self, n, t0, period, phase=entry_cost)
+        if fi.exit is not None and len(fi.exit) > 0:
+            fi.exit.batch_side_effects(
+                self, n, t0, period,
+                phase=entry_cost + begin_cost + per_call_cost + end_cost + exit_cost,
+            )
+
+        self.task.charge(n * period)
+        accum = self.task.sample_accum
+        if accum is not None:
+            accum[fi.name] = accum.get(fi.name, 0.0) + n * per_call_cost
+        if work is not None:
+            work()
+        return None
+
+    def _call_loop(
+        self,
+        fi: FunctionInstance,
+        n: int,
+        per_call_cost: float,
+        work: Optional[Callable[[], Any]],
+    ) -> Generator:
+        """Slow-but-general fallback: n individual probed calls."""
+        vt = self.image.vt
+        for _ in range(n):
+            fi.call_count += 1
+            if fi.entry is not None:
+                yield from fi.entry.fire(self)
+            if fi.static_on and vt is not None:
+                vt.static_begin(self, fi)
+            self.task.charge(per_call_cost)
+            if fi.static_on and vt is not None:
+                vt.static_end(self, fi)
+            if fi.exit is not None:
+                yield from fi.exit.fire(self)
+        if work is not None:
+            work()
+
+    def __repr__(self) -> str:
+        return f"<ProgramContext {self.task.name} tid={self.thread_id}>"

@@ -1,0 +1,342 @@
+"""Dyninst-style instrumentation snippets.
+
+A snippet is a small AST describing the code a mini-trampoline executes
+(the paper calls these *instrumentation primitives*, e.g.
+``start_timer();`` in Figure 1).  Snippets are built by the monitoring
+tool, shipped to the DPCL daemons, and executed inside the target
+process's address space.
+
+Execution is generator-based because a snippet may *block* the target:
+the MPI_Init bootstrap snippet of Figure 6 contains two ``MPI_Barrier``
+calls and a spin-wait.  Each AST node charges
+``MachineSpec.snippet_op_cost`` to the executing task, so longer
+mini-trampolines genuinely cost more target time.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional, Sequence as Seq
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .executor import ProgramContext
+
+__all__ = [
+    "Snippet",
+    "Const",
+    "VarRef",
+    "Assign",
+    "Arith",
+    "Compare",
+    "CallFunc",
+    "Sequence",
+    "If",
+    "SpinWait",
+    "Nop",
+]
+
+
+class SnippetError(Exception):
+    """Raised for malformed snippets or unresolved call targets."""
+
+
+class Snippet:
+    """Base class of all snippet AST nodes."""
+
+    #: Number of primitive operations this node itself contributes.
+    op_weight: int = 1
+
+    def execute(self, pctx: "ProgramContext") -> Generator:
+        """Run the snippet in ``pctx``; may yield (block). Returns a value."""
+        raise NotImplementedError
+
+    def op_count(self) -> int:
+        """Total primitive-operation count of the subtree (cost basis)."""
+        return self.op_weight
+
+    def describe(self) -> str:
+        """Human-readable one-line form (used by dynprof's timefile)."""
+        return type(self).__name__
+
+
+class Nop(Snippet):
+    """Does nothing; the analog of ``configuration_break``'s empty body."""
+
+    op_weight = 0
+
+    def execute(self, pctx: "ProgramContext") -> Generator:
+        return None
+        yield  # pragma: no cover - marks this as a generator function
+
+    def describe(self) -> str:
+        return "nop"
+
+
+class Const(Snippet):
+    """A literal value."""
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+    def execute(self, pctx: "ProgramContext") -> Generator:
+        pctx.task.charge(pctx.spec.snippet_op_cost * self.op_weight)
+        return self.value
+        yield  # pragma: no cover
+
+    def describe(self) -> str:
+        return repr(self.value)
+
+
+class VarRef(Snippet):
+    """Read a variable from the target process's address space."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def execute(self, pctx: "ProgramContext") -> Generator:
+        pctx.task.charge(pctx.spec.snippet_op_cost * self.op_weight)
+        return pctx.image.read_variable(self.name)
+        yield  # pragma: no cover
+
+    def describe(self) -> str:
+        return self.name
+
+
+class Assign(Snippet):
+    """Write ``expr`` into a target-process variable."""
+
+    def __init__(self, name: str, expr: Snippet) -> None:
+        self.name = name
+        self.expr = expr
+
+    def execute(self, pctx: "ProgramContext") -> Generator:
+        value = yield from _run(self.expr, pctx)
+        pctx.task.charge(pctx.spec.snippet_op_cost * self.op_weight)
+        pctx.image.write_variable(self.name, value)
+        return value
+
+    def op_count(self) -> int:
+        return self.op_weight + self.expr.op_count()
+
+    def describe(self) -> str:
+        return f"{self.name} = {self.expr.describe()}"
+
+
+_ARITH_OPS: dict = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+}
+
+_CMP_OPS: dict = {
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+class Arith(Snippet):
+    """Binary arithmetic on two sub-snippets."""
+
+    def __init__(self, op: str, lhs: Snippet, rhs: Snippet) -> None:
+        if op not in _ARITH_OPS:
+            raise SnippetError(f"unknown arithmetic operator {op!r}")
+        self.op = op
+        self.lhs = lhs
+        self.rhs = rhs
+
+    def execute(self, pctx: "ProgramContext") -> Generator:
+        a = yield from _run(self.lhs, pctx)
+        b = yield from _run(self.rhs, pctx)
+        pctx.task.charge(pctx.spec.snippet_op_cost * self.op_weight)
+        return _ARITH_OPS[self.op](a, b)
+
+    def op_count(self) -> int:
+        return self.op_weight + self.lhs.op_count() + self.rhs.op_count()
+
+    def describe(self) -> str:
+        return f"({self.lhs.describe()} {self.op} {self.rhs.describe()})"
+
+
+class Compare(Snippet):
+    """Binary comparison on two sub-snippets."""
+
+    def __init__(self, op: str, lhs: Snippet, rhs: Snippet) -> None:
+        if op not in _CMP_OPS:
+            raise SnippetError(f"unknown comparison operator {op!r}")
+        self.op = op
+        self.lhs = lhs
+        self.rhs = rhs
+
+    def execute(self, pctx: "ProgramContext") -> Generator:
+        a = yield from _run(self.lhs, pctx)
+        b = yield from _run(self.rhs, pctx)
+        pctx.task.charge(pctx.spec.snippet_op_cost * self.op_weight)
+        return _CMP_OPS[self.op](a, b)
+
+    def op_count(self) -> int:
+        return self.op_weight + self.lhs.op_count() + self.rhs.op_count()
+
+    def describe(self) -> str:
+        return f"({self.lhs.describe()} {self.op} {self.rhs.describe()})"
+
+
+class CallFunc(Snippet):
+    """Call a function registered in the target's address space.
+
+    The callee is resolved at execution time against the process image's
+    runtime registry — this is how inserted code "directly calls an
+    instrumentation library" (Figure 1).  The callee may be a plain
+    callable or a generator function (blocking, e.g. ``MPI_Barrier``).
+    """
+
+    op_weight = 2  # call + return
+
+    def __init__(self, name: str, args: Optional[Seq[Snippet]] = None) -> None:
+        self.name = name
+        self.args = list(args or [])
+
+    def execute(self, pctx: "ProgramContext") -> Generator:
+        values = []
+        for arg in self.args:
+            values.append((yield from _run(arg, pctx)))
+        pctx.task.charge(pctx.spec.snippet_op_cost * self.op_weight)
+        target = pctx.image.resolve_runtime(self.name)
+        if target is None:
+            raise SnippetError(
+                f"snippet calls unresolved function {self.name!r} in "
+                f"{pctx.image.name}"
+            )
+        result = target(pctx, *values)
+        if hasattr(result, "send"):  # blocking callee
+            result = yield from result
+        return result
+
+    def op_count(self) -> int:
+        return self.op_weight + sum(a.op_count() for a in self.args)
+
+    def describe(self) -> str:
+        args = ", ".join(a.describe() for a in self.args)
+        return f"{self.name}({args})"
+
+
+class Sequence(Snippet):
+    """Execute sub-snippets in order; value of the last one."""
+
+    op_weight = 0
+
+    def __init__(self, items: Seq[Snippet]) -> None:
+        self.items = list(items)
+
+    def execute(self, pctx: "ProgramContext") -> Generator:
+        result = None
+        for item in self.items:
+            result = yield from _run(item, pctx)
+        return result
+
+    def op_count(self) -> int:
+        return sum(i.op_count() for i in self.items)
+
+    def describe(self) -> str:
+        return "; ".join(i.describe() for i in self.items)
+
+
+class If(Snippet):
+    """Conditional execution."""
+
+    def __init__(self, cond: Snippet, then: Snippet, orelse: Optional[Snippet] = None) -> None:
+        self.cond = cond
+        self.then = then
+        self.orelse = orelse
+
+    def execute(self, pctx: "ProgramContext") -> Generator:
+        pctx.task.charge(pctx.spec.snippet_op_cost * self.op_weight)
+        test = yield from _run(self.cond, pctx)
+        if test:
+            return (yield from _run(self.then, pctx))
+        if self.orelse is not None:
+            return (yield from _run(self.orelse, pctx))
+        return None
+
+    def op_count(self) -> int:
+        total = self.op_weight + self.cond.op_count() + self.then.op_count()
+        if self.orelse is not None:
+            total += self.orelse.op_count()
+        return total
+
+    def describe(self) -> str:
+        s = f"if {self.cond.describe()} {{ {self.then.describe()} }}"
+        if self.orelse is not None:
+            s += f" else {{ {self.orelse.describe()} }}"
+        return s
+
+
+class IncrementVar(Snippet):
+    """Counter probe: ``variable += by`` in the target's address space.
+
+    The classic cheap Dyninst primitive for call counting.  Batchable:
+    ``n`` firings charge ``n`` times the per-fire cost and add ``n * by``
+    to the counter in one step, so counting probes keep the executor's
+    leaf fast path.
+    """
+
+    op_weight = 2  # load + store
+
+    def __init__(self, name: str, by: int = 1) -> None:
+        self.name = name
+        self.by = by
+
+    def execute(self, pctx: "ProgramContext") -> Generator:
+        pctx.task.charge(pctx.spec.snippet_op_cost * self.op_weight)
+        cell = pctx.image.variable_cell(self.name)
+        cell.write((cell.value or 0) + self.by)
+        return cell.value
+        yield  # pragma: no cover - generator marker
+
+    # -- batching protocol (see BaseTrampoline.batch_cost) ------------------
+
+    def batch_fire_cost(self, pctx: "ProgramContext") -> float:
+        return pctx.spec.snippet_op_cost * self.op_weight
+
+    def batch_apply(self, pctx: "ProgramContext", n: int, t_first: float, period: float) -> None:
+        cell = pctx.image.variable_cell(self.name)
+        cell.write((cell.value or 0) + n * self.by)
+
+    def describe(self) -> str:
+        return f"{self.name} += {self.by}"
+
+
+class SpinWait(Snippet):
+    """Spin until a target-process variable becomes truthy.
+
+    This is ``DYNVT_spin`` from Figure 6: the target burns time in a
+    loop until the instrumenter (through its daemon) flips the variable.
+    In the simulation the task simply blocks on the variable's cell
+    event; the elapsed wall time is identical to spinning, and the
+    timeline view reports the interval as bootstrap wait.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def execute(self, pctx: "ProgramContext") -> Generator:
+        pctx.task.charge(pctx.spec.snippet_op_cost * self.op_weight)
+        yield from pctx.task.flush()
+        cell = pctx.image.variable_cell(self.name)
+        while not cell.value:
+            yield cell.changed()
+        return cell.value
+
+    def describe(self) -> str:
+        return f"spin_until({self.name})"
+
+
+def _run(snippet: Snippet, pctx: "ProgramContext") -> Generator:
+    """Execute ``snippet``, transparently handling non-generator returns."""
+    gen = snippet.execute(pctx)
+    if hasattr(gen, "send"):
+        return (yield from gen)
+    return gen  # pragma: no cover - all execute() are generators today

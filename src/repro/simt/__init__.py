@@ -1,0 +1,42 @@
+"""repro.simt — deterministic discrete-event simulation kernel.
+
+This is the foundation layer of the reproduction: a small, fast,
+generator-based DES engine (in the style of SimPy) with the extra
+primitives the parallel-machine model needs (gates for ptrace-style
+suspension, channels for daemon traffic, named RNG streams for
+reproducible jitter).
+"""
+
+from .engine import Environment, Infinity
+from .errors import (
+    DeadProcessError,
+    EventRescheduleError,
+    Interrupt,
+    SimtError,
+    StopSimulation,
+)
+from .events import NORMAL, URGENT, AllOf, AnyOf, Event, Process, Timeout
+from .rng import RandomStreams
+from .sync import Channel, Gate, Latch, Resource
+
+__all__ = [
+    "Environment",
+    "Infinity",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "URGENT",
+    "NORMAL",
+    "Channel",
+    "Gate",
+    "Latch",
+    "Resource",
+    "RandomStreams",
+    "SimtError",
+    "StopSimulation",
+    "Interrupt",
+    "DeadProcessError",
+    "EventRescheduleError",
+]

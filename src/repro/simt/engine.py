@@ -1,0 +1,179 @@
+"""The discrete-event simulation engine.
+
+:class:`Environment` owns the event queue and the simulation clock.  The
+queue is a binary heap keyed by ``(time, priority, sequence)``; the
+sequence counter makes ordering total and therefore the whole simulation
+deterministic, which the test suite and the experiment harness rely on.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, List, Optional, Tuple
+
+from .errors import SimtError, StopSimulation
+from .events import NORMAL, PENDING, Event, Process, ProcessGenerator, Timeout
+
+__all__ = ["Environment", "Infinity"]
+
+#: Convenience alias used for "run until the queue drains".
+Infinity = float("inf")
+
+
+class Environment:
+    """A simulation environment: clock + event queue + process bookkeeping.
+
+    Typical use::
+
+        env = Environment()
+
+        def worker(env):
+            yield env.timeout(1.5)
+            return "done"
+
+        proc = env.process(worker(env))
+        env.run()
+        assert env.now == 1.5 and proc.value == "done"
+
+    Parameters
+    ----------
+    initial_time:
+        Starting value of the simulated clock (seconds).
+    strict:
+        When True (default), a process that crashes with no observer
+        (nothing joined on it) aborts the simulation with its exception
+        instead of dying silently.  Mirrors the behaviour a real job
+        launcher has when a rank aborts.
+    """
+
+    def __init__(self, initial_time: float = 0.0, strict: bool = True) -> None:
+        self._now = float(initial_time)
+        self._queue: List[Tuple[float, int, int, Event]] = []
+        self._seq = count()
+        self._active_process: Optional[Process] = None
+        self.strict = strict
+        self._crash: Optional[Tuple[Process, BaseException]] = None
+        #: Total number of events processed (exposed for perf diagnostics).
+        self.events_processed = 0
+
+    # -- clock ------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time, in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    # -- event factories ----------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a new pending :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create a :class:`Timeout` triggering ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator, name: Optional[str] = None) -> Process:
+        """Start a new :class:`Process` driving ``generator``."""
+        return Process(self, generator, name=name)
+
+    # -- scheduling ---------------------------------------------------------
+
+    def schedule(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
+        """Put a triggered event on the queue ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        heapq.heappush(self._queue, (self._now + delay, priority, next(self._seq), event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if the queue is empty."""
+        return self._queue[0][0] if self._queue else Infinity
+
+    def step(self) -> None:
+        """Process exactly one event (advancing the clock to it)."""
+        if not self._queue:
+            raise SimtError("step() on an empty event queue")
+        when, _prio, _seq, event = heapq.heappop(self._queue)
+        if when < self._now:  # pragma: no cover - guarded by schedule()
+            raise SimtError("event scheduled in the past")
+        self._now = when
+        self.events_processed += 1
+        callbacks, event.callbacks = event.callbacks, None
+        if callbacks:
+            for callback in callbacks:
+                callback(event)
+        if self._crash is not None:
+            proc, exc = self._crash
+            self._crash = None
+            raise SimtError(
+                f"unobserved process {proc.name!r} crashed at t={self._now}"
+            ) from exc
+
+    def _crashed(self, process: Process, exc: BaseException) -> None:
+        """Record an unobserved process crash (strict mode)."""
+        if self._crash is None:
+            self._crash = (process, exc)
+
+    def run(self, until: Any = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be:
+
+        * ``None`` — run until the event queue drains;
+        * a number — run until the clock reaches that time;
+        * an :class:`Event` — run until that event is processed, returning
+          its value (or raising its exception if it failed).
+        """
+        stop_event: Optional[Event] = None
+        stop_time = Infinity
+        if until is None:
+            pass
+        elif isinstance(until, Event):
+            stop_event = until
+            if stop_event.callbacks is None:  # already processed
+                if stop_event.ok:
+                    return stop_event.value
+                raise stop_event.value
+            # Mark the event as observed so a failing process awaited via
+            # run(until=...) is not treated as an unobserved crash.
+            stop_event.callbacks.append(lambda _ev: None)
+        else:
+            stop_time = float(until)
+            if stop_time < self._now:
+                raise ValueError(
+                    f"until={stop_time} is in the past (now={self._now})"
+                )
+
+        try:
+            while self._queue:
+                if stop_event is not None and stop_event.callbacks is None:
+                    break
+                if self.peek() > stop_time:
+                    self._now = stop_time
+                    break
+                self.step()
+            else:
+                if stop_time is not Infinity and stop_time > self._now:
+                    self._now = stop_time
+        except StopSimulation as stop:
+            return stop.reason
+
+        if stop_event is not None:
+            if stop_event._value is PENDING:
+                raise SimtError(
+                    "run() terminated with the awaited event still pending "
+                    "(deadlock: no scheduled event can trigger it)"
+                )
+            if stop_event.ok:
+                return stop_event.value
+            raise stop_event.value
+        return None
+
+    def __repr__(self) -> str:
+        return f"<Environment now={self._now} queued={len(self._queue)}>"

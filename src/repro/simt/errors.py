@@ -1,0 +1,49 @@
+"""Exception types used by the :mod:`repro.simt` simulation kernel."""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class SimtError(Exception):
+    """Base class for all simulation-kernel errors."""
+
+
+class StopSimulation(SimtError):
+    """Raised internally to halt :meth:`Environment.run` early.
+
+    Users normally stop a simulation by passing ``until=`` to
+    :meth:`repro.simt.engine.Environment.run`; this exception exists for
+    programmatic early exit (e.g. a watchdog process).
+    """
+
+    def __init__(self, reason: Any = None) -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+class Interrupt(SimtError):
+    """Thrown *into* a process generator by :meth:`Process.interrupt`.
+
+    The interrupted process receives this exception at its current yield
+    point.  ``cause`` carries an arbitrary payload describing why the
+    interrupt happened (e.g. a suspend request).  The event the process was
+    waiting on is *not* cancelled; the process may re-yield it to keep
+    waiting.
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+
+    @property
+    def cause(self) -> Any:
+        """The payload passed to :meth:`Process.interrupt`."""
+        return self.args[0]
+
+
+class DeadProcessError(SimtError):
+    """An operation was attempted on a process that already terminated."""
+
+
+class EventRescheduleError(SimtError):
+    """An already-triggered event was triggered (succeed/fail) again."""

@@ -1,0 +1,212 @@
+"""Synchronisation primitives built on the event kernel.
+
+These are the building blocks the machine simulation uses:
+
+* :class:`Channel` — an unbounded FIFO of items with blocking ``get``;
+  carries DPCL daemon traffic and MPI transport frames.
+* :class:`Gate` — a boolean barrier that processes park on while closed;
+  implements ptrace-style suspend/resume of simulated tasks.
+* :class:`Resource` — counted resource with FIFO queueing; models CPU
+  cores when a node is oversubscribed.
+* :class:`Latch` — a countdown event; handy for "all N daemons acked".
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, List, Optional
+
+from .engine import Environment
+from .events import Event
+
+__all__ = ["Channel", "Gate", "Resource", "Latch"]
+
+
+class Channel:
+    """An unbounded FIFO message channel.
+
+    ``put`` never blocks; ``get`` returns an event that triggers with the
+    oldest item once one is available.  Items are delivered in put order,
+    and blocked getters are served in arrival order (FIFO fairness).
+    """
+
+    def __init__(self, env: Environment, name: str = "channel") -> None:
+        self.env = env
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def waiting(self) -> int:
+        """Number of processes currently blocked in :meth:`get`."""
+        return len(self._getters)
+
+    def put(self, item: Any) -> None:
+        """Deposit ``item``; wakes the oldest blocked getter, if any."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """Return an event yielding the next item (may already be available)."""
+        event = Event(self.env)
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    def try_get(self) -> Optional[Any]:
+        """Non-blocking get: pop and return an item, or None if empty."""
+        if self._items:
+            return self._items.popleft()
+        return None
+
+    def peek_all(self) -> List[Any]:
+        """Snapshot of queued items (for inspection/testing)."""
+        return list(self._items)
+
+
+class Gate:
+    """A reusable open/closed gate, used to suspend and resume tasks.
+
+    While the gate is *closed*, processes that call :meth:`wait` park on
+    it; :meth:`open` releases all of them at once.  The gate also counts
+    parked processes and exposes a ``parked_event`` so a controller can
+    implement a *blocking* suspend ("wait until all targets have actually
+    stopped") the way DPCL's blocking suspend does.
+    """
+
+    def __init__(self, env: Environment, open_: bool = True, name: str = "gate") -> None:
+        self.env = env
+        self.name = name
+        self._open = open_
+        self._waiters: List[Event] = []
+        #: (threshold, event) pairs from :meth:`when_parked`.
+        self._parked_watchers: List[tuple] = []
+        #: Called with (gate, parked_count) whenever a process parks.
+        self.on_park: Optional[Callable[["Gate", int], None]] = None
+
+    @property
+    def is_open(self) -> bool:
+        return self._open
+
+    @property
+    def parked(self) -> int:
+        """Number of processes currently parked on the closed gate."""
+        return len(self._waiters)
+
+    def close(self) -> None:
+        """Close the gate; subsequent :meth:`wait` calls park."""
+        self._open = False
+
+    def open(self) -> None:
+        """Open the gate, releasing every parked process."""
+        self._open = True
+        waiters, self._waiters = self._waiters, []
+        for event in waiters:
+            event.succeed()
+
+    def wait(self) -> Event:
+        """Event that triggers immediately if open, else when opened."""
+        event = Event(self.env)
+        if self._open:
+            event.succeed()
+        else:
+            self._waiters.append(event)
+            parked = len(self._waiters)
+            if self.on_park is not None:
+                self.on_park(self, parked)
+            still_waiting = []
+            for threshold, watcher in self._parked_watchers:
+                if parked >= threshold:
+                    watcher.succeed(parked)
+                else:
+                    still_waiting.append((threshold, watcher))
+            self._parked_watchers = still_waiting
+        return event
+
+    def when_parked(self, n: int) -> Event:
+        """Event triggering once at least ``n`` processes are parked."""
+        event = Event(self.env)
+        if self.parked >= n:
+            event.succeed(self.parked)
+        else:
+            self._parked_watchers.append((n, event))
+        return event
+
+
+class Resource:
+    """A counted resource with FIFO queueing (e.g. CPU cores on a node).
+
+    Usage from a process::
+
+        req = resource.request()
+        yield req
+        try:
+            ...  # hold the resource
+        finally:
+            resource.release()
+    """
+
+    def __init__(self, env: Environment, capacity: int, name: str = "resource") -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.env = env
+        self.name = name
+        self.capacity = capacity
+        self._in_use = 0
+        self._queue: Deque[Event] = deque()
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queued(self) -> int:
+        return len(self._queue)
+
+    def request(self) -> Event:
+        event = Event(self.env)
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            event.succeed()
+        else:
+            self._queue.append(event)
+        return event
+
+    def release(self) -> None:
+        if self._in_use <= 0:
+            raise RuntimeError(f"release of idle resource {self.name!r}")
+        if self._queue:
+            # Hand the slot directly to the next waiter.
+            self._queue.popleft().succeed()
+        else:
+            self._in_use -= 1
+
+
+class Latch:
+    """A countdown latch: triggers its event after ``n`` countdowns."""
+
+    def __init__(self, env: Environment, n: int) -> None:
+        if n < 0:
+            raise ValueError("latch count must be >= 0")
+        self.env = env
+        self.remaining = n
+        self.event = Event(env)
+        if n == 0:
+            self.event.succeed(0)
+
+    def count_down(self, payload: Any = None) -> None:
+        if self.remaining <= 0:
+            raise RuntimeError("latch already released")
+        self.remaining -= 1
+        if self.remaining == 0:
+            self.event.succeed(payload)
+
+    def wait(self) -> Event:
+        return self.event

@@ -1,0 +1,54 @@
+"""The MPI wrapper (profiling) interface.
+
+The real Vampirtrace interposes on MPI through the PMPI wrapper layer:
+every MPI call first runs VT bookkeeping, then the real operation.  Here
+the simulated MPI runtime calls these hooks; VT uses them to (a) log
+message/collective records and (b) *initialise itself inside MPI_Init* —
+the constraint that forces dynprof to defer all instrumentation until
+MPI_Init completes (Section 3.4, Figure 6).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from .buffer import TraceFile
+from .state import VTProcessState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..program import ProgramContext
+
+__all__ = ["VTMpiWrapper"]
+
+
+class VTMpiWrapper:
+    """Per-process VT hooks installed into the MPI runtime."""
+
+    def __init__(self, state: VTProcessState) -> None:
+        self.state = state
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def on_init_complete(self, pctx: "ProgramContext") -> None:
+        """Called at the end of MPI_Init: VT sets up its data structures.
+
+        It is unsafe to call any VT function before this hook has run on
+        every process.
+        """
+        self.state.initialize(pctx.task)
+
+    def on_finalize(self, pctx: "ProgramContext", trace: Optional[TraceFile]) -> None:
+        """Called in MPI_Finalize: flush trace buffers to the trace file."""
+        if trace is not None:
+            self.state.flush_to(trace)
+
+    # -- events --------------------------------------------------------------
+
+    def on_send(self, pctx: "ProgramContext", dest: int, tag: int, size: int) -> None:
+        self.state.log_message(pctx, "send", dest, tag, size)
+
+    def on_recv(self, pctx: "ProgramContext", source: int, tag: int, size: int) -> None:
+        self.state.log_message(pctx, "recv", source, tag, size)
+
+    def on_collective(self, pctx: "ProgramContext", op: str, comm_size: int, t_start: float) -> None:
+        self.state.log_collective(pctx, op, comm_size, t_start)

@@ -1,0 +1,67 @@
+"""The snippets dynprof inserts: dynamic VT_begin / VT_end probes.
+
+A :class:`VTProbeSnippet` is the instrumentation primitive of Figure 1:
+a mini-trampoline body that calls straight into the Vampirtrace library.
+It is *batchable*: the executor's leaf fast path can charge ``n`` firings
+analytically and emit aggregated trace records, which is exact because
+the snippet's behaviour per firing is a constant-cost library call.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..program.snippet import Snippet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..program import FunctionInstance, ProgramContext
+
+__all__ = ["VTProbeSnippet", "BEGIN", "END"]
+
+BEGIN = "begin"
+END = "end"
+
+
+class VTProbeSnippet(Snippet):
+    """``VT_begin(fid)`` / ``VT_end(fid)`` as dynamically inserted code."""
+
+    #: call + constant argument, like CallFunc(name, [Const(fid)]).
+    op_weight = 3
+
+    def __init__(self, fi: "FunctionInstance", kind: str) -> None:
+        if kind not in (BEGIN, END):
+            raise ValueError(f"bad VT probe kind {kind!r}")
+        self.fi = fi
+        self.kind = kind
+
+    def execute(self, pctx: "ProgramContext"):
+        pctx.task.charge(pctx.spec.snippet_op_cost * self.op_weight)
+        vt = pctx.image.vt
+        if vt is not None:
+            if self.kind == BEGIN:
+                vt.probe_begin(pctx, self.fi)
+            else:
+                vt.probe_end(pctx, self.fi)
+        return None
+        yield  # pragma: no cover - generator marker
+
+    # -- batching protocol (see BaseTrampoline.batch_cost) ------------------
+
+    def batch_fire_cost(self, pctx: "ProgramContext") -> float:
+        """Cost of one firing under the current VT configuration."""
+        ops = pctx.spec.snippet_op_cost * self.op_weight
+        vt = pctx.image.vt
+        if vt is None:
+            return ops
+        begin_cost, end_cost, _records = vt.pair_info(pctx, self.fi)
+        return ops + (begin_cost if self.kind == BEGIN else end_cost)
+
+    def batch_apply(self, pctx: "ProgramContext", n: int, t_first: float, period: float) -> None:
+        """Record side effects of ``n`` batched firings."""
+        vt = pctx.image.vt
+        if vt is not None:
+            vt.batch_mark(pctx, self.fi, self.kind, n, t_first, period)
+
+    def describe(self) -> str:
+        name = self.fi.name
+        return f"VT_{self.kind}({name!r})"

@@ -1,0 +1,165 @@
+"""Trace record types written by the Vampirtrace analog.
+
+A trace is a sequence of time-stamped records per (process, thread).
+``BatchPairRecord`` is the aggregated form emitted by the executor's
+leaf-call batching: it stands for ``n`` consecutive (enter, leave) pairs
+and counts as ``2n`` raw records for trace-size accounting — the paper's
+original motivation is exactly that these raw records accumulate at
+megabytes per second per processor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = [
+    "TraceRecord",
+    "EnterRecord",
+    "LeaveRecord",
+    "BatchPairRecord",
+    "MsgRecord",
+    "CollectiveRecord",
+    "MarkerRecord",
+]
+
+
+class TraceRecord:
+    """Base class; subclasses are lightweight slotted value objects."""
+
+    __slots__ = ()
+
+    #: Number of raw on-disk records this object stands for.
+    def record_count(self) -> int:
+        return 1
+
+    @property
+    def time(self) -> float:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class EnterRecord(TraceRecord):
+    """Function entry (VT_begin)."""
+
+    __slots__ = ("fid", "t")
+
+    def __init__(self, fid: int, t: float) -> None:
+        self.fid = fid
+        self.t = t
+
+    @property
+    def time(self) -> float:
+        return self.t
+
+    def __repr__(self) -> str:
+        return f"Enter(fid={self.fid}, t={self.t:.6f})"
+
+
+class LeaveRecord(TraceRecord):
+    """Function exit (VT_end)."""
+
+    __slots__ = ("fid", "t")
+
+    def __init__(self, fid: int, t: float) -> None:
+        self.fid = fid
+        self.t = t
+
+    @property
+    def time(self) -> float:
+        return self.t
+
+    def __repr__(self) -> str:
+        return f"Leave(fid={self.fid}, t={self.t:.6f})"
+
+
+class BatchPairRecord(TraceRecord):
+    """``n`` consecutive (enter, leave) pairs of one function.
+
+    Pair ``k`` (0-based) entered at ``t_first + k * period`` and left
+    ``duration`` later.
+    """
+
+    __slots__ = ("fid", "n", "t_first", "period", "duration")
+
+    def __init__(self, fid: int, n: int, t_first: float, period: float, duration: float) -> None:
+        self.fid = fid
+        self.n = n
+        self.t_first = t_first
+        self.period = period
+        self.duration = duration
+
+    def record_count(self) -> int:
+        return 2 * self.n
+
+    @property
+    def time(self) -> float:
+        return self.t_first
+
+    @property
+    def t_last_leave(self) -> float:
+        return self.t_first + (self.n - 1) * self.period + self.duration
+
+    def __repr__(self) -> str:
+        return (
+            f"BatchPair(fid={self.fid}, n={self.n}, t={self.t_first:.6f}, "
+            f"dt={self.duration:.2e})"
+        )
+
+
+class MsgRecord(TraceRecord):
+    """A point-to-point MPI message event (send or receive side)."""
+
+    __slots__ = ("kind", "peer", "tag", "size", "t")
+
+    def __init__(self, kind: str, peer: int, tag: int, size: int, t: float) -> None:
+        if kind not in ("send", "recv"):
+            raise ValueError(f"bad message record kind {kind!r}")
+        self.kind = kind
+        self.peer = peer
+        self.tag = tag
+        self.size = size
+        self.t = t
+
+    @property
+    def time(self) -> float:
+        return self.t
+
+    def __repr__(self) -> str:
+        return f"Msg({self.kind} peer={self.peer} tag={self.tag} {self.size}B t={self.t:.6f})"
+
+
+class CollectiveRecord(TraceRecord):
+    """An MPI collective operation interval on one rank."""
+
+    __slots__ = ("op", "comm_size", "t_start", "t_end")
+
+    def __init__(self, op: str, comm_size: int, t_start: float, t_end: float) -> None:
+        self.op = op
+        self.comm_size = comm_size
+        self.t_start = t_start
+        self.t_end = t_end
+
+    @property
+    def time(self) -> float:
+        return self.t_start
+
+    def __repr__(self) -> str:
+        return f"Coll({self.op} t={self.t_start:.6f}..{self.t_end:.6f})"
+
+
+class MarkerRecord(TraceRecord):
+    """A named marker interval (e.g. suspension / bootstrap inactivity)."""
+
+    __slots__ = ("name", "t_start", "t_end")
+
+    def __init__(self, name: str, t_start: float, t_end: Optional[float] = None) -> None:
+        self.name = name
+        self.t_start = t_start
+        self.t_end = t_start if t_end is None else t_end
+
+    @property
+    def time(self) -> float:
+        return self.t_start
+
+    def __repr__(self) -> str:
+        return f"Marker({self.name} t={self.t_start:.6f}..{self.t_end:.6f})"

@@ -1,0 +1,96 @@
+"""Tests for application input decks."""
+
+import pytest
+
+from repro.apps import ITERATION_KEYS, InputDeck, SMG98, SPPM, SWEEP3D, UMT98, deck_scale
+
+
+def test_parse_key_value_forms():
+    deck = InputDeck.parse("""
+    # sweep3d-style deck
+    itm = 6
+    dx  = 0.25        ! fortran comment
+    name = run_A
+    """)
+    assert deck.get_int("itm") == 6
+    assert deck.get("dx") == 0.25
+    assert deck.get("name") == "run_A"
+    assert len(deck) == 3
+    assert "ITM" in deck  # keys are case-insensitive
+
+
+def test_parse_errors():
+    with pytest.raises(ValueError, match="key = value"):
+        InputDeck.parse("just a token")
+    with pytest.raises(ValueError, match="empty"):
+        InputDeck.parse("x =")
+    with pytest.raises(ValueError, match="empty"):
+        InputDeck.parse("= 5")
+
+
+def test_get_int_coercion():
+    deck = InputDeck.parse("a = 5\nb = 5.0\nc = text\n")
+    assert deck.get_int("a") == 5
+    assert deck.get_int("b") == 5
+    assert deck.get_int("missing", 9) == 9
+    with pytest.raises(ValueError, match="not an integer"):
+        deck.get_int("c")
+
+
+@pytest.mark.parametrize("app,key,paper", [
+    (SMG98, "maxiter", 10),
+    (SPPM, "nstop", 20),
+    (SWEEP3D, "itm", 12),
+    (UMT98, "niter", 10),
+])
+def test_native_iteration_keys(app, key, paper):
+    assert ITERATION_KEYS[app.name] == (key, paper)
+    deck = InputDeck.parse(f"{key} = {paper}")
+    assert deck_scale(app, deck) == pytest.approx(1.0)
+    deck_half = InputDeck.parse(f"{key} = {paper // 2}")
+    assert deck_scale(app, deck_half) == pytest.approx(0.5, abs=0.1)
+
+
+def test_deck_scale_fallback_and_explicit():
+    deck = InputDeck.parse("unrelated = 1")
+    assert deck_scale(SMG98, deck, default_scale=0.3) == 0.3
+    deck = InputDeck.parse("scale = 0.25\nmaxiter = 100")
+    assert deck_scale(SMG98, deck) == 0.25  # explicit scale wins
+
+
+def test_deck_scale_validation():
+    with pytest.raises(ValueError, match="must be >= 1"):
+        deck_scale(SMG98, InputDeck.parse("maxiter = 0"))
+    with pytest.raises(ValueError, match="positive"):
+        deck_scale(SMG98, InputDeck.parse("scale = -1"))
+
+
+def test_deck_drives_program_iterations():
+    """A deck's iteration count reaches the actual program."""
+    from repro.cluster import Cluster, POWER3_SP
+    from repro.jobs import MpiJob
+    from repro.simt import Environment
+
+    deck = InputDeck.parse("itm = 2")
+    scale = deck_scale(SWEEP3D, deck)
+    env = Environment()
+    cluster = Cluster(env, POWER3_SP, seed=1)
+    job = MpiJob(env, cluster, SWEEP3D.build_exe(False), 2,
+                 SWEEP3D.make_program(2, scale))
+    job.run()
+    env.run()
+    state = job.pctxs[0].props["sweep"]
+    assert state.iterations == 2
+
+
+def test_cli_accepts_input_deck(tmp_path):
+    from repro.dynprof.cli import main
+
+    deck = tmp_path / "input"
+    deck.write_text("itm = 1\nncpus = 2\n")
+    script = tmp_path / "s.dp"
+    script.write_text("start\nquit\n")
+    out = tmp_path / "o.txt"
+    rc = main([str(script), str(out), "-", "sweep3d", "--input", str(deck)])
+    assert rc == 0
+    assert "2 process(es)" in out.read_text()

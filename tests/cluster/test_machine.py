@@ -1,0 +1,66 @@
+"""Tests for machine specs and the cost model."""
+
+import pytest
+
+from repro.cluster import IA32_LINUX, POWER3_SP, MachineSpec, get_machine
+
+
+def test_power3_matches_paper_testbed():
+    # Section 4.1: 144 SMP nodes, 8 x 375 MHz Power3 each.
+    assert POWER3_SP.n_nodes == 144
+    assert POWER3_SP.cores_per_node == 8
+    assert POWER3_SP.cpu_mhz == 375
+    assert POWER3_SP.total_cores() == 144 * 8
+
+
+def test_ia32_matches_paper_testbed():
+    # Section 5: 16-node Pentium III Linux cluster.
+    assert IA32_LINUX.n_nodes == 16
+
+
+def test_get_machine_by_name():
+    assert get_machine("power3-sp") is POWER3_SP
+    assert get_machine("ia32-linux") is IA32_LINUX
+
+
+def test_get_machine_unknown_raises():
+    with pytest.raises(KeyError, match="unknown machine"):
+        get_machine("cray-t3e")
+
+
+def test_message_time_intra_vs_inter():
+    spec = POWER3_SP
+    intra = spec.message_time(1024, intra_node=True)
+    inter = spec.message_time(1024, intra_node=False)
+    assert intra < inter
+
+
+def test_message_time_scales_with_size():
+    spec = POWER3_SP
+    small = spec.message_time(100, intra_node=False)
+    large = spec.message_time(10_000_000, intra_node=False)
+    assert large > small
+    # Large message dominated by bandwidth term.
+    assert large == pytest.approx(
+        spec.net_latency + 10_000_000 / spec.net_bandwidth
+    )
+
+
+def test_active_probe_costs_more_than_lookup():
+    # Core premise of the cost model (Section 4.2 of the paper): a
+    # deactivated probe still costs a table lookup, an active one costs
+    # more (timestamp + record).
+    for spec in (POWER3_SP, IA32_LINUX):
+        assert spec.vt_active_event_cost > spec.vt_lookup_cost > 0.0
+
+
+def test_with_overrides_is_a_modified_copy():
+    modified = POWER3_SP.with_overrides(net_latency=1e-3)
+    assert modified.net_latency == 1e-3
+    assert POWER3_SP.net_latency != 1e-3
+    assert modified.n_nodes == POWER3_SP.n_nodes
+
+
+def test_spec_is_frozen():
+    with pytest.raises(Exception):
+        POWER3_SP.net_latency = 0.0  # type: ignore[misc]

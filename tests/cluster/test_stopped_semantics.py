@@ -1,0 +1,134 @@
+"""Edge cases of the stopped/blocked semantics behind blocking suspend."""
+
+import pytest
+
+from repro.cluster import Cluster, POWER3_SP, Task
+from repro.simt import Channel, Environment
+
+
+def make_task(env, name="t"):
+    cluster = Cluster(env, POWER3_SP.with_overrides(compute_quantum=0.01), seed=1)
+    return Task(env, cluster.node(0), name, cluster.spec)
+
+
+def test_blocked_task_counts_as_stopped_when_suspended():
+    env = Environment()
+    task = make_task(env)
+    ch = Channel(env)
+
+    def body():
+        item = yield from task.blocked_wait(ch.get())
+        return (item, env.now)
+
+    def controller(env):
+        yield env.timeout(1.0)
+        task.request_suspend()
+        # The task is blocked on the channel: stopped immediately.
+        assert task.is_stopped
+        ev = task.when_stopped()
+        assert ev.triggered
+        yield env.timeout(2.0)
+        ch.put("wake")       # arrives while still suspended...
+        yield env.timeout(2.0)
+        task.resume()        # ...and only now may it proceed
+
+    proc = task.start(body())
+    env.process(controller(env))
+    item, when = env.run(until=proc)
+    assert item == "wake"
+    # Woke at t=3 but parked until resume at t=5.
+    assert when == pytest.approx(5.0)
+    assert task.total_suspended_time == pytest.approx(2.0)
+
+
+def test_when_stopped_fires_on_park():
+    env = Environment()
+    task = make_task(env)
+
+    def body():
+        yield from task.compute(3.0)
+
+    def controller(env):
+        yield env.timeout(1.0)
+        task.request_suspend()
+        stopped = task.when_stopped()
+        assert not stopped.triggered  # mid-compute: not yet parked
+        yield stopped
+        parked_at = env.now
+        task.resume()
+        return parked_at
+
+    task.start(body())
+    c = env.process(controller(env))
+    parked_at = env.run(until=c)
+    env.run()
+    assert 1.0 <= parked_at <= 1.02  # within one (tiny) quantum
+
+
+def test_when_stopped_fires_on_task_completion():
+    env = Environment()
+    task = make_task(env)
+
+    def body():
+        yield from task.compute(1.0)
+
+    def controller(env):
+        yield env.timeout(0.5)
+        ev = task.when_stopped()
+        yield ev
+        return env.now
+
+    task.start(body())
+    c = env.process(controller(env))
+    # The task never suspends; the watcher releases when it finishes.
+    assert env.run(until=c) == pytest.approx(1.0)
+
+
+def test_stopped_task_executes_nothing_until_resume():
+    """The guarantee blocking suspend needs before patching: a stopped
+    task runs no application code, even across its wake event."""
+    env = Environment()
+    task = make_task(env)
+    ch = Channel(env)
+    executed = []
+
+    def body():
+        yield from task.blocked_wait(ch.get())
+        executed.append(env.now)  # first app action after the wait
+
+    def controller(env):
+        yield env.timeout(1.0)
+        task.request_suspend()
+        ch.put("x")
+        yield env.timeout(5.0)
+        assert executed == []  # six seconds later: still nothing ran
+        task.resume()
+
+    task.start(body())
+    env.process(controller(env))
+    env.run()
+    assert executed == [pytest.approx(6.0)]
+
+
+def test_nested_blocked_waits_track_depth():
+    env = Environment()
+    task = make_task(env)
+    outer, inner = Channel(env), Channel(env)
+
+    def body():
+        def wait_inner():
+            return (yield from task.blocked_wait(inner.get()))
+
+        # blocked_wait nested inside another event wait path.
+        yield from task.blocked_wait(env.process(wait_inner()))
+        return env.now
+
+    def controller(env):
+        yield env.timeout(1.0)
+        assert task._blocked_depth >= 1
+        inner.put("go")
+
+    proc = task.start(body())
+    env.process(controller(env))
+    assert env.run(until=proc) == pytest.approx(1.0)
+    assert task._blocked_depth == 0

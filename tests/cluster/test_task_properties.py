@@ -1,0 +1,96 @@
+"""Property-based tests for Task: compute conservation under suspension."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Cluster, POWER3_SP, Task
+from repro.simt import Environment
+
+SETTINGS = dict(max_examples=25, deadline=None)
+
+
+@given(
+    chunks=st.lists(st.floats(0.01, 2.0), min_size=1, max_size=10),
+    suspend_at=st.floats(0.05, 3.0),
+    hold=st.floats(0.01, 2.0),
+)
+@settings(**SETTINGS)
+def test_total_time_is_compute_plus_suspension(chunks, suspend_at, hold):
+    """However a suspension interleaves with compute, the task's finish
+    time equals its total compute plus its total suspended time."""
+    env = Environment()
+    spec = POWER3_SP.with_overrides(compute_quantum=0.05)
+    cluster = Cluster(env, spec, seed=1)
+    task = Task(env, cluster.node(0), "t", spec)
+    total = sum(chunks)
+
+    def body():
+        for c in chunks:
+            yield from task.compute(c)
+        return env.now
+
+    def controller(env):
+        yield env.timeout(suspend_at)
+        if task.proc.is_alive:
+            task.request_suspend()
+            yield env.timeout(hold)
+            task.resume()
+
+    proc = task.start(body())
+    env.process(controller(env))
+    finish = env.run(until=proc)
+    env.run()
+    assert abs(task.compute_time - total) < 1e-9
+    assert abs(finish - (total + task.total_suspended_time)) < 1e-9
+    # If the suspension landed while computing, it was observed in full
+    # (within one quantum of landing slack).
+    if task.suspensions:
+        observed = task.total_suspended_time
+        assert observed <= hold + 1e-9
+
+
+@given(
+    n_suspends=st.integers(1, 4),
+    gap=st.floats(0.2, 1.0),
+    hold=st.floats(0.05, 0.5),
+)
+@settings(**SETTINGS)
+def test_repeated_suspensions_accumulate(n_suspends, gap, hold):
+    env = Environment()
+    spec = POWER3_SP.with_overrides(compute_quantum=0.02)
+    cluster = Cluster(env, spec, seed=1)
+    task = Task(env, cluster.node(0), "t", spec)
+    work = n_suspends * (gap + 1.0)
+
+    def body():
+        yield from task.compute(work)
+        return env.now
+
+    def controller(env):
+        for _ in range(n_suspends):
+            yield env.timeout(gap)
+            if not task.proc.is_alive:
+                return
+            task.request_suspend()
+            yield task.when_parked()
+            yield env.timeout(hold)
+            task.resume()
+
+    proc = task.start(body())
+    env.process(controller(env))
+    finish = env.run(until=proc)
+    env.run()
+    assert abs(finish - (work + task.total_suspended_time)) < 1e-9
+    assert len(task.suspensions) <= n_suspends
+
+
+@given(offsets=st.lists(st.floats(0.0, 5.0), min_size=1, max_size=5))
+@settings(**SETTINGS)
+def test_offset_clock_advances_now_not_compute(offsets):
+    env = Environment()
+    cluster = Cluster(env, POWER3_SP, seed=1)
+    task = Task(env, cluster.node(0), "t", POWER3_SP)
+    for off in offsets:
+        task.offset_clock(off)
+    assert task.compute_time == 0.0
+    assert abs(task.now - sum(offsets)) < 1e-9

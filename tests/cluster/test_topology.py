@@ -1,0 +1,130 @@
+"""Tests for cluster topology, placement, and the interconnect."""
+
+import pytest
+
+from repro.cluster import Cluster, IA32_LINUX, POWER3_SP
+from repro.simt import Channel, Environment
+
+
+def test_nodes_materialize_lazily():
+    env = Environment()
+    cluster = Cluster(env, POWER3_SP, seed=0)
+    assert cluster.materialized_nodes == []
+    n3 = cluster.node(3)
+    assert n3.hostname == "node003"
+    assert len(cluster.materialized_nodes) == 1
+    assert cluster.node(3) is n3
+
+
+def test_node_index_bounds():
+    env = Environment()
+    cluster = Cluster(env, IA32_LINUX, seed=0)
+    with pytest.raises(IndexError):
+        cluster.node(16)
+    with pytest.raises(IndexError):
+        cluster.node(-1)
+
+
+def test_block_placement_fills_nodes():
+    env = Environment()
+    cluster = Cluster(env, POWER3_SP, seed=0)
+    placement = cluster.place(16)  # 8 cores/node -> 2 nodes
+    assert placement.n_procs == 16
+    assert len(placement.nodes_used()) == 2
+    assert placement.node_of(0).index == 0
+    assert placement.node_of(7).index == 0
+    assert placement.node_of(8).index == 1
+
+
+def test_placement_with_threads_reserves_cores():
+    env = Environment()
+    cluster = Cluster(env, POWER3_SP, seed=0)
+    # 4 threads per rank on 8-core nodes -> 2 ranks per node.
+    placement = cluster.place(8, threads_per_proc=4)
+    assert len(placement.nodes_used()) == 4
+
+
+def test_placement_rejects_too_many_threads():
+    env = Environment()
+    cluster = Cluster(env, POWER3_SP, seed=0)
+    with pytest.raises(ValueError, match="threads per process"):
+        cluster.place(1, threads_per_proc=9)
+
+
+def test_placement_rejects_oversubscription():
+    env = Environment()
+    cluster = Cluster(env, POWER3_SP, seed=0)
+    with pytest.raises(ValueError, match="oversubscribes"):
+        cluster.place(8, procs_per_node=4, threads_per_proc=4)
+
+
+def test_placement_rejects_jobs_larger_than_machine():
+    env = Environment()
+    cluster = Cluster(env, IA32_LINUX, seed=0)
+    with pytest.raises(ValueError, match="has only"):
+        cluster.place(33, procs_per_node=2)
+
+
+def test_placement_validation():
+    env = Environment()
+    cluster = Cluster(env, POWER3_SP, seed=0)
+    with pytest.raises(ValueError):
+        cluster.place(0)
+    with pytest.raises(ValueError):
+        cluster.place(1, threads_per_proc=0)
+
+
+def test_interconnect_intra_node_faster_than_inter():
+    env = Environment()
+    cluster = Cluster(env, POWER3_SP, seed=0)
+    a, b = cluster.node(0), cluster.node(1)
+    intra = cluster.interconnect.transfer_time(a, a, 1024)
+    inter = cluster.interconnect.transfer_time(a, b, 1024)
+    assert intra < inter
+
+
+def test_interconnect_jitter_is_deterministic():
+    def sample():
+        env = Environment()
+        cluster = Cluster(env, POWER3_SP, seed=7)
+        a, b = cluster.node(0), cluster.node(1)
+        return [cluster.interconnect.transfer_time(a, b, 4096) for _ in range(5)]
+
+    assert sample() == sample()
+
+
+def test_interconnect_deliver_schedules_after_wire_time():
+    env = Environment()
+    cluster = Cluster(env, POWER3_SP.with_overrides(net_jitter=0.0), seed=0)
+    a, b = cluster.node(0), cluster.node(1)
+    ch = Channel(env)
+    delay = cluster.interconnect.deliver(a, b, 1000, ch, "hello")
+    assert delay == pytest.approx(cluster.spec.message_time(1000, False))
+
+    def getter(env):
+        v = yield ch.get()
+        return (v, env.now)
+
+    p = env.process(getter(env))
+    value, when = env.run(until=p)
+    assert value == "hello"
+    assert when == pytest.approx(delay)
+
+
+def test_interconnect_counts_traffic():
+    env = Environment()
+    cluster = Cluster(env, POWER3_SP, seed=0)
+    a, b = cluster.node(0), cluster.node(1)
+    ch = Channel(env)
+    cluster.interconnect.deliver(a, b, 500, ch, 1)
+    cluster.interconnect.deliver(a, b, 700, ch, 2)
+    assert cluster.interconnect.messages_sent == 2
+    assert cluster.interconnect.bytes_sent == 1200
+
+
+def test_negative_message_size_rejected():
+    env = Environment()
+    cluster = Cluster(env, POWER3_SP, seed=0)
+    a = cluster.node(0)
+    with pytest.raises(ValueError):
+        cluster.interconnect.transfer_time(a, a, -1)

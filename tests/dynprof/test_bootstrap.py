@@ -1,0 +1,129 @@
+"""Focused tests for the Figure 6 bootstrap machinery."""
+
+import pytest
+
+from repro.cluster import Cluster, POWER3_SP
+from repro.dynprof import (
+    INIT_CALLBACK_TAG,
+    SPIN_VARIABLE,
+    DynProf,
+    bootstrap_anchor,
+    mpi_init_bootstrap,
+    vt_init_bootstrap,
+)
+from repro.jobs import MpiJob
+from repro.program import CallFunc, ExecutableImage, Sequence, SpinWait
+from repro.simt import Environment
+
+SPEC = POWER3_SP.with_overrides(net_jitter=0.05)
+
+
+def test_mpi_bootstrap_matches_figure6():
+    """Barrier; DPCL_callback(); DYNVT_spin(); Barrier — in that order."""
+    snip = mpi_init_bootstrap()
+    assert isinstance(snip, Sequence)
+    kinds = [type(s).__name__ for s in snip.items]
+    assert kinds == ["CallFunc", "CallFunc", "SpinWait", "CallFunc"]
+    assert snip.items[0].name == "MPI_Barrier"
+    assert snip.items[1].name == "DPCL_callback"
+    assert snip.items[2].name == SPIN_VARIABLE
+    assert snip.items[3].name == "MPI_Barrier"
+    text = snip.describe()
+    assert text.index("MPI_Barrier") < text.index("DPCL_callback") < text.index("spin_until")
+
+
+def test_omp_bootstrap_has_no_barriers():
+    """VT_init runs single-threaded at the top of main: callback + spin
+    only (Section 3.4)."""
+    snip = vt_init_bootstrap()
+    kinds = [type(s).__name__ for s in snip.items]
+    assert kinds == ["CallFunc", "SpinWait"]
+    assert "MPI_Barrier" not in snip.describe()
+
+
+def test_bootstrap_anchor_per_kind():
+    assert bootstrap_anchor("mpi") == "MPI_Init"
+    assert bootstrap_anchor("omp") == "VT_init"
+    with pytest.raises(ValueError):
+        bootstrap_anchor("pvm")
+
+
+def test_prestart_command_order_is_preserved_through_spin():
+    """Commands issued before MPI_Init completes are recorded and only
+    acted on after the callback confirms it is safe — and the ranks are
+    still captive in the spin when the probes go in."""
+    env = Environment()
+    cluster = Cluster(env, SPEC, seed=12)
+    exe = ExecutableImage("b")
+    exe.define("kernel")
+
+    probe_installed_at = {}
+    spin_released_at = {}
+
+    def program(pctx):
+        yield from pctx.call("MPI_Init")
+        spin_released_at[pctx.mpi.rank] = pctx.now
+        yield from pctx.call("kernel")
+        yield from pctx.call("MPI_Finalize")
+        return pctx.now
+
+    job = MpiJob(env, cluster, exe, 4, program, start_suspended=True)
+    tool = DynProf(env, cluster, job)
+
+    orig_install = tool._install_into_all
+
+    def spying_install(names):
+        for i, image in enumerate(job.images):
+            probe_installed_at[i] = env.now
+        return orig_install(names)
+
+    tool._install_into_all = spying_install
+    proc = tool.run_script("insert kernel\nstart\nquit\n")
+    env.run(until=proc)
+    env.run(until=job.completion())
+    env.run()
+
+    # Installation happened while every rank was still spinning: strictly
+    # before any rank's MPI_Init returned.
+    first_release = min(spin_released_at.values())
+    assert all(t <= first_release for t in probe_installed_at.values())
+    # And the second barrier re-synchronised the releases tightly.
+    spread = max(spin_released_at.values()) - min(spin_released_at.values())
+    assert spread < 0.01
+
+
+def test_spin_variable_poke_releases_exactly_once():
+    """The daemon's set_variable write is what ends DYNVT_spin."""
+    env = Environment()
+    cluster = Cluster(env, SPEC, seed=2)
+    from repro.cluster import Task
+    from repro.program import ProcessImage, ProgramContext
+
+    exe = ExecutableImage("s")
+    task = Task(env, cluster.node(0), "t", SPEC)
+    image = ProcessImage(env, exe, "t")
+    pctx = ProgramContext(env, task, image, SPEC)
+    image.register_runtime("DPCL_callback", lambda p, *a: None)
+
+    released = []
+
+    def driver():
+        yield from vt_init_bootstrap().execute(pctx)
+        released.append(env.now)
+
+    def releaser(env):
+        yield env.timeout(3.0)
+        image.write_variable(SPIN_VARIABLE, 1)
+
+    proc = task.start(driver())
+    env.process(releaser(env))
+    env.run(until=proc)
+    assert released == [pytest.approx(3.0, abs=0.01)]
+
+
+def test_callback_tag_is_stable():
+    # dynprof correlates callbacks by this tag; changing it breaks the
+    # spawn handshake, so pin it.
+    assert INIT_CALLBACK_TAG == "dynprof:init-done"
+    snip = mpi_init_bootstrap()
+    assert snip.items[1].args[0].value == INIT_CALLBACK_TAG

@@ -1,0 +1,48 @@
+"""Tests for the repro-dynprof command line."""
+
+import pytest
+
+from repro.dynprof.cli import main
+
+
+def test_cli_scripted_session(tmp_path, capsys):
+    script = tmp_path / "session.dp"
+    script.write_text("insert-file @targets\nstart\nquit\n")
+    out = tmp_path / "out.txt"
+    timefile = tmp_path / "timings.txt"
+    rc = main([str(script), str(out), str(timefile), "sweep3d",
+               "--cpus", "2", "--scale", "0.05"])
+    assert rc == 0
+    body = out.read_text()
+    assert "installed" in body
+    assert "time to create and instrument" in body
+    timings = timefile.read_text()
+    assert "instrument" in timings and "bootstrap" in timings
+
+
+def test_cli_stdout_mode(tmp_path, capsys, monkeypatch):
+    import io
+
+    monkeypatch.setattr("sys.stdin", io.StringIO("start\nquit\n"))
+    rc = main(["-", "-", "-", "umt98", "--cpus", "2", "--scale", "0.05"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "application started" in out
+    assert "# dynprof internal timings" in out
+
+
+def test_cli_rejects_unknown_target(tmp_path):
+    script = tmp_path / "s.dp"
+    script.write_text("start\nquit\n")
+    with pytest.raises(SystemExit):
+        main([str(script), "-", "-", "linpack"])
+
+
+def test_cli_ia32_machine(tmp_path):
+    script = tmp_path / "s.dp"
+    script.write_text("insert sweep\nstart\nquit\n")
+    out = tmp_path / "o.txt"
+    rc = main([str(script), str(out), "-", "sweep3d",
+               "--cpus", "2", "--scale", "0.05", "--machine", "ia32-linux"])
+    assert rc == 0
+    assert "application main computation" in out.read_text()

@@ -1,0 +1,89 @@
+"""Tests for the Table 1 command language."""
+
+import pytest
+
+from repro.dynprof import Command, CommandError, parse_command, parse_script
+
+
+ALL_VERBS = ["help", "insert", "remove", "insert-file", "remove-file",
+             "start", "quit", "wait"]
+SHORTCUTS = {"h": "help", "i": "insert", "r": "remove", "if": "insert-file",
+             "rf": "remove-file", "s": "start", "q": "quit", "w": "wait"}
+
+
+def test_all_table1_commands_parse():
+    for verb in ALL_VERBS:
+        line = verb if verb in ("help", "start", "quit", "wait") else f"{verb} fn"
+        cmd = parse_command(line)
+        assert cmd.verb == verb
+
+
+def test_all_table1_shortcuts_parse():
+    for short, long in SHORTCUTS.items():
+        line = short if long in ("help", "start", "quit", "wait") else f"{short} fn"
+        assert parse_command(line).verb == long
+
+
+def test_insert_collects_function_args():
+    cmd = parse_command("insert hypre_SMGRelax hypre_SMGSolve")
+    assert cmd.args == ("hypre_SMGRelax", "hypre_SMGSolve")
+
+
+def test_insert_without_args_rejected():
+    for verb in ("insert", "remove", "insert-file", "remove-file"):
+        with pytest.raises(CommandError, match="argument"):
+            parse_command(verb)
+
+
+def test_start_with_args_rejected():
+    with pytest.raises(CommandError):
+        parse_command("start now")
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(CommandError, match="unknown"):
+        parse_command("frobnicate")
+
+
+def test_wait_durations():
+    assert parse_command("wait").seconds == 1.0
+    assert parse_command("wait 3.5").seconds == 3.5
+    assert parse_command("w 10").seconds == 10.0
+    with pytest.raises(CommandError):
+        parse_command("wait -1")
+    with pytest.raises(CommandError):
+        parse_command("wait soon")
+    with pytest.raises(CommandError):
+        parse_command("wait 1 2")
+
+
+def test_blanks_and_comments_skipped():
+    assert parse_command("") is None
+    assert parse_command("   # just a comment") is None
+    cmd = parse_command("insert f  # trailing comment")
+    assert cmd.args == ("f",)
+
+
+def test_parse_script():
+    script = """
+    # instrument the solver, run for a while, then strip the probes
+    insert-file solver.txt
+    start
+    wait 30
+    remove-file solver.txt
+    quit
+    """
+    cmds = parse_script(script)
+    assert [c.verb for c in cmds] == [
+        "insert-file", "start", "wait", "remove-file", "quit",
+    ]
+
+
+def test_parse_script_reports_line_numbers():
+    with pytest.raises(CommandError, match="line 2"):
+        parse_script("start\nbogus\n")
+
+
+def test_command_str_roundtrip():
+    assert str(parse_command("insert a b")) == "insert a b"
+    assert str(parse_command("w 2")) == "wait 2.0"

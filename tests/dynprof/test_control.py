@@ -1,0 +1,132 @@
+"""Dedicated tests for the DynamicControlMonitor (Figure 2)."""
+
+import pytest
+
+from repro.cluster import Cluster, POWER3_SP
+from repro.dynprof import BreakpointVisit, DynamicControlMonitor
+from repro.jobs import MpiJob, OmpJob
+from repro.program import ExecutableImage
+from repro.simt import Environment
+from repro.vt import VTConfig, vt_confsync
+
+SPEC = POWER3_SP.with_overrides(net_jitter=0.0)
+
+
+def build_job(env, n=4, epochs=6):
+    exe = ExecutableImage("controlled")
+    exe.define("f")
+    exe.instrument_statically()
+
+    def program(pctx):
+        yield from pctx.call("MPI_Init")
+        applied = []
+        for _ in range(epochs):
+            yield from pctx.call("f")
+            result = yield from vt_confsync(pctx)
+            applied.append(result is not None)
+        yield from pctx.call("MPI_Finalize")
+        return applied
+
+    cluster = Cluster(env, SPEC, seed=3)
+    return MpiJob(env, cluster, exe, n, program)
+
+
+def test_monitor_arms_and_clears_breakpoint():
+    env = Environment()
+    job = build_job(env)
+    monitor = DynamicControlMonitor(job)
+    assert not monitor.armed
+    monitor.set_breakpoint()
+    assert monitor.armed
+    assert job.vt_states[0].break_hook is not None
+    monitor.clear_breakpoint()
+    assert not monitor.armed
+    assert job.vt_states[0].break_hook is None
+    job.run()
+    env.run()
+    assert monitor.visits == []  # cleared before the run: no visits
+
+
+def test_monitor_records_every_breakpoint_visit():
+    env = Environment()
+    job = build_job(env, epochs=5)
+    monitor = DynamicControlMonitor(job)
+    monitor.set_breakpoint()
+    job.run()
+    env.run()
+    assert len(monitor.visits) == 5
+    assert all(isinstance(v, BreakpointVisit) for v in monitor.visits)
+    assert all(v.applied is None for v in monitor.visits)  # nothing queued
+    times = [v.time for v in monitor.visits]
+    assert times == sorted(times)
+
+
+def test_queued_changes_apply_in_order():
+    env = Environment()
+    job = build_job(env, epochs=6)
+    monitor = DynamicControlMonitor(job)
+    monitor.set_breakpoint()
+    monitor.queue_config_change(VTConfig.all_off())
+    monitor.queue_config_change(VTConfig.all_on())
+    job.run()
+    env.run()
+    applied = [v for v in monitor.visits if v.applied is not None]
+    assert len(applied) == 2
+    assert applied[0].applied == VTConfig.all_off()
+    assert applied[1].applied == VTConfig.all_on()
+    # The per-rank programs saw exactly two applying epochs.
+    for proc in job.procs:
+        assert proc.value.count(True) == 2
+    # Final epoch counter on every rank: two applied changes.
+    assert all(vt.epoch == 2 for vt in job.vt_states)
+
+
+def test_hold_time_stalls_the_application():
+    env = Environment()
+    job = build_job(env, epochs=3)
+    monitor = DynamicControlMonitor(job)
+    monitor.set_breakpoint()
+    monitor.queue_config_change(VTConfig.all_off(), hold_time=4.0)
+    t = job.run()
+    env.run()
+    # The 4s of user think time is on the critical path of every rank.
+    assert t >= 4.0
+    applied = [v for v in monitor.visits if v.applied is not None]
+    assert applied[0].hold_time == 4.0
+
+
+def test_negative_hold_time_rejected():
+    env = Environment()
+    monitor = DynamicControlMonitor(build_job(env))
+    with pytest.raises(ValueError):
+        monitor.queue_config_change(VTConfig.all_off(), hold_time=-1)
+
+
+def test_monitor_requires_vt():
+    env = Environment()
+    cluster = Cluster(env, SPEC, seed=3)
+    exe = ExecutableImage("novt")
+    job = MpiJob(env, cluster, exe, 2, lambda pctx: iter(()), link_vt=False)
+    monitor = DynamicControlMonitor(job)
+    with pytest.raises(RuntimeError, match="no VT"):
+        monitor.set_breakpoint()
+
+
+def test_monitor_works_on_omp_jobs():
+    env = Environment()
+    cluster = Cluster(env, SPEC, seed=3)
+    exe = ExecutableImage("ompctl")
+    exe.define("f")
+    exe.instrument_statically()
+
+    def program(pctx):
+        yield from pctx.call("VT_init")
+        yield from pctx.call("f")
+        return None
+
+    job = OmpJob(env, cluster, exe, 2, program)
+    monitor = DynamicControlMonitor(job)
+    monitor.set_breakpoint()
+    assert job.vt.break_hook is not None
+    job.run()
+    env.run()

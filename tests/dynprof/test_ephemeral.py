@@ -1,0 +1,161 @@
+"""Tests for ephemeral instrumentation (the Traub et al. hybrid)."""
+
+import pytest
+
+from repro.cluster import Cluster, POWER3_SP
+from repro.dynprof import DynProf, DynProfError, EphemeralProfiler
+from repro.jobs import MpiJob
+from repro.program import ExecutableImage
+from repro.simt import Environment
+
+SPEC = POWER3_SP.with_overrides(net_jitter=0.0)
+
+
+def build_app(iterations=60):
+    """An app with one clearly hot function and two lukewarm ones."""
+    exe = ExecutableImage("sampled")
+
+    def hot(pctx):
+        yield from pctx.compute(0.4)
+
+    def warm(pctx):
+        yield from pctx.compute(0.1)
+
+    exe.define("hot_kernel", body=hot)
+    exe.define("warm_helper", body=warm)
+    exe.define("cold_leaf")
+
+    def program(pctx):
+        yield from pctx.call("MPI_Init")
+        for _ in range(iterations):
+            yield from pctx.call("hot_kernel")
+            yield from pctx.call("warm_helper")
+            yield from pctx.call_batch("cold_leaf", 1000, 1e-6)
+        yield from pctx.call("MPI_Finalize")
+        return pctx.now
+
+    return exe, program
+
+
+def run_profiler(profiler_body, n_ranks=2, seed=2):
+    env = Environment()
+    cluster = Cluster(env, SPEC, seed=seed)
+    exe, program = build_app()
+    job = MpiJob(env, cluster, exe, n_ranks, program, start_suspended=True)
+    tool = DynProf(env, cluster, job)
+    profiler = EphemeralProfiler(tool)
+
+    def session():
+        yield from tool._spawn()
+        from repro.dynprof.commands import parse_command
+        yield from tool.execute(parse_command("start"))
+        return (yield from profiler_body(profiler))
+
+    proc = tool.task.start(session())
+    env.run(until=proc)
+    env.run(until=job.completion())
+    env.run()
+    return env, job, tool, profiler, proc.value
+
+
+def test_sampling_ranks_hot_function_first():
+    def body(profiler):
+        report = yield from profiler.sample(duration=5.0, interval=0.05)
+        return report
+
+    _env, _job, _tool, _prof, report = run_profiler(body)
+    ranked = report.ranked()
+    assert ranked[0][0] == "hot_kernel"
+    # ~80% of sampled time: hot 0.4 vs warm 0.1 vs cold 0.001.
+    assert ranked[0][1] > 0.6
+    assert report.samples_taken in (100, 101)  # fp accumulation
+    assert report.top(2) == ["hot_kernel", "warm_helper"]
+
+
+def test_sampling_detaches_accumulator():
+    def body(profiler):
+        yield from profiler.sample(duration=1.0, interval=0.1)
+        return [t.sample_accum for t in profiler.tool.job.tasks]
+
+    _env, _job, _tool, _prof, accums = run_profiler(body)
+    assert all(a is None for a in accums)
+
+
+def test_sampling_charges_interrupt_cost():
+    def body(profiler):
+        task = profiler.tool.job.tasks[0]
+        before = task.compute_time
+        yield from profiler.sample(duration=2.0, interval=0.02)
+        return task.compute_time - before
+
+    _env, _job, _tool, _prof, delta = run_profiler(body)
+    # 100 samples x 5 us of interrupt cost, plus whatever the app computed.
+    assert delta >= 100 * EphemeralProfiler.SAMPLE_COST
+
+
+def test_snapshot_installs_then_removes():
+    def body(profiler):
+        yield from profiler.snapshot(["hot_kernel"], window=3.0)
+        return None
+
+    _env, job, _tool, _prof, _ = run_profiler(body)
+    for image in job.images:
+        assert image.probes_installed_at("hot_kernel", "entry") == 0
+    # But records were collected during the window.
+    names = set()
+    for _p, _t, rec in job.trace.all_records():
+        if hasattr(rec, "fid"):
+            names.add(job.trace.function_name(rec.fid))
+    assert "hot_kernel" in names
+    assert "cold_leaf" not in names
+
+
+def test_full_hybrid_targets_top_k():
+    def body(profiler):
+        report, targets = yield from profiler.run(
+            sample_duration=4.0, snapshot_window=3.0, top_k=1,
+        )
+        return targets
+
+    _env, job, _tool, _prof, targets = run_profiler(body)
+    assert targets == ["hot_kernel"]
+    assert len(_prof.reports) == 1
+
+
+def test_sampling_requires_running_tool():
+    env = Environment()
+    cluster = Cluster(env, SPEC, seed=1)
+    exe, program = build_app()
+    job = MpiJob(env, cluster, exe, 2, program, start_suspended=True)
+    tool = DynProf(env, cluster, job)
+    profiler = EphemeralProfiler(tool)
+
+    def session():
+        yield from tool._spawn()
+        try:
+            yield from profiler.sample(1.0)
+        except DynProfError as e:
+            return "rejected"
+
+    proc = tool.task.start(session())
+    env.run(until=proc)
+    assert proc.value == "rejected"
+    job.resume_all()
+    env.run()
+
+
+def test_parameter_validation():
+    env = Environment()
+    cluster = Cluster(env, SPEC, seed=1)
+    exe, program = build_app()
+    job = MpiJob(env, cluster, exe, 2, program, start_suspended=True)
+    tool = DynProf(env, cluster, job)
+    tool.state = "running"  # bypass for validation checks
+    profiler = EphemeralProfiler(tool)
+    with pytest.raises(ValueError):
+        next(profiler.sample(0, 0.1))
+    with pytest.raises(ValueError):
+        next(profiler.snapshot([], 1.0))
+    with pytest.raises(ValueError):
+        next(profiler.snapshot(["f"], 0))
+    job.resume_all()

@@ -1,0 +1,229 @@
+"""Tests for the Section 5.1 extensions: safe-point patching and
+attach-to-running."""
+
+import pytest
+
+from repro.cluster import Cluster, POWER3_SP
+from repro.dynprof import DynProf, DynProfError
+from repro.jobs import MpiJob
+from repro.program import ExecutableImage
+from repro.simt import Environment
+from repro.vt import vt_confsync
+
+SPEC = POWER3_SP.with_overrides(net_jitter=0.02)
+
+
+def build_confsync_app(iterations=20, per_iter=1.0):
+    """An app with a confsync safe point every iteration."""
+    exe = ExecutableImage("hybridapp")
+
+    def work(pctx):
+        yield from pctx.compute(per_iter)
+
+    exe.define("work", body=work)
+    exe.define("helper")
+
+    def program(pctx):
+        yield from pctx.call("MPI_Init")
+        comm = pctx.mpi.comm
+        yield from comm.barrier()
+        t0 = pctx.now
+        for _ in range(iterations):
+            yield from pctx.call("work")
+            yield from pctx.call_batch("helper", 100, 1e-6)
+            yield from vt_confsync(pctx)  # the safe point
+        yield from comm.barrier()
+        elapsed = pctx.now - t0
+        yield from pctx.call("MPI_Finalize")
+        return elapsed
+
+    return exe, program
+
+
+def run_with_tool(n_ranks, tool_body, iterations=20, suspended=True, attach=False, seed=6):
+    env = Environment()
+    cluster = Cluster(env, SPEC, seed=seed)
+    exe, program = build_confsync_app(iterations)
+    job = MpiJob(env, cluster, exe, n_ranks, program, start_suspended=suspended)
+    tool = DynProf(env, cluster, job, attach=attach)
+    if attach:
+        job.start()
+
+    def session():
+        if attach:
+            yield from tool._attach_running()
+        else:
+            yield from tool._spawn()
+            from repro.dynprof.commands import parse_command
+            yield from tool.execute(parse_command("start"))
+        return (yield from tool_body(tool))
+
+    proc = tool.task.start(session())
+    env.run(until=proc)
+    env.run(until=job.completion())
+    env.run()
+    return env, job, tool, proc.value
+
+
+# ------------------------------------------------------ safe-point patch
+
+
+def test_safe_point_patch_installs_probes():
+    def body(tool):
+        t_hit = yield from tool.patch_at_safe_point(insert=["work"])
+        return t_hit
+
+    env, job, tool, t_hit = run_with_tool(4, body)
+    assert t_hit > 0
+    for image in job.images:
+        # bootstrap + entry/exit of work
+        assert image.installed_probes == 3
+    # Probes actually fired after the safe point.
+    assert job.trace.raw_record_count > 0
+
+
+def test_safe_point_patch_absorbs_skew():
+    """The hybrid's point: whatever stop-skew the patch causes is
+    absorbed by confsync's own closing barrier, so the ranks come out
+    balanced and any visible inactivity stays short."""
+
+    def body(tool):
+        yield from tool.patch_at_safe_point(insert=["work"])
+
+    env, job, tool, _ = run_with_tool(8, body)
+    times = [p.value for p in job.procs]
+    assert max(times) - min(times) < 0.2  # balanced after the patch
+    for task in job.tasks:
+        # Beyond the initial spawn suspension, any patch-time stop is
+        # brief (the patch itself, not a skewed wait).
+        for start, end in task.suspensions[1:]:
+            assert end - start < 1.0
+
+
+def test_safe_point_vs_stop_anywhere_imbalance():
+    """Safe-point patching leaves the ranks balanced; a stop-anywhere
+    patch skews them (the imbalance Section 5.1 worries about)."""
+
+    def safe_body(tool):
+        yield from tool.patch_at_safe_point(insert=["work"])
+
+    _env, job_safe, _t, _ = run_with_tool(8, safe_body, seed=9)
+    times_safe = [p.value for p in job_safe.procs]
+    spread_safe = max(times_safe) - min(times_safe)
+
+    def anywhere_body(tool):
+        yield tool.env.timeout(3.0)
+        yield from tool._suspend_patch_resume(install=["work"], remove=())
+
+    _env, job_any, _t, _ = run_with_tool(8, anywhere_body, seed=9)
+    # Both instrumented the same function; the safe-point job is at
+    # least as balanced as the stop-anywhere one.
+    times_any = [p.value for p in job_any.procs]
+    spread_any = max(times_any) - min(times_any)
+    assert spread_safe <= spread_any + 1e-9
+
+
+def test_safe_point_remove():
+    def body(tool):
+        yield from tool.patch_at_safe_point(insert=["work", "helper"])
+        yield tool.env.timeout(4.0)
+        yield from tool.patch_at_safe_point(remove=["helper"])
+        return None
+
+    env, job, tool, _ = run_with_tool(4, body)
+    for image in job.images:
+        assert image.probes_installed_at("helper", "entry") == 0
+        assert image.probes_installed_at("work", "entry") == 1
+
+
+def test_safe_point_requires_running_state():
+    env = Environment()
+    cluster = Cluster(env, SPEC, seed=1)
+    exe, program = build_confsync_app()
+    job = MpiJob(env, cluster, exe, 2, program, start_suspended=True)
+    tool = DynProf(env, cluster, job)
+
+    def session():
+        yield from tool._spawn()
+        try:
+            yield from tool.patch_at_safe_point(insert=["work"])
+        except DynProfError as e:
+            return str(e)
+
+    proc = tool.task.start(session())
+    env.run(until=proc)
+    assert "state" in proc.value
+    job.resume_all()
+    env.run()
+
+
+def test_safe_point_breakpoint_conflict():
+    def body(tool):
+        vt0 = tool.job.vt_states[0]
+        vt0.break_hook = lambda pctx: None  # someone else owns it
+        try:
+            yield from tool.patch_at_safe_point(insert=["work"])
+        except DynProfError as e:
+            vt0.break_hook = None
+            return "conflict" if "breakpoint" in str(e) else "other"
+
+    _env, _job, _tool, result = run_with_tool(2, body)
+    assert result == "conflict"
+
+
+# ------------------------------------------------------ attach-to-running
+
+
+def test_attach_to_running_and_instrument():
+    def body(tool):
+        assert tool.state == "running"
+        yield from tool._suspend_patch_resume(install=["work"], remove=())
+        return tool.state
+
+    env, job, tool, state = run_with_tool(4, body, suspended=False, attach=True)
+    assert state == "running"
+    for image in job.images:
+        # No bootstrap probe in attach mode: just entry/exit of work.
+        assert image.installed_probes == 2
+    assert all(p.value > 0 for p in job.procs)
+
+
+def test_attach_waits_for_mpi_init():
+    """No instrumentation before every rank finished MPI_Init."""
+
+    def body(tool):
+        yield tool.env.timeout(0.0)
+        return tool.job.world.all_initialized
+
+    _env, _job, tool, initialized = run_with_tool(
+        4, body, suspended=False, attach=True
+    )
+    assert initialized is True
+    assert any(p.name == "await-init" for p in tool.timefile.phases)
+
+
+def test_attach_requires_started_job():
+    env = Environment()
+    cluster = Cluster(env, SPEC, seed=1)
+    exe, program = build_confsync_app()
+    job = MpiJob(env, cluster, exe, 2, program)
+    tool = DynProf(env, cluster, job, attach=True)
+
+    def session():
+        try:
+            yield from tool._attach_running()
+        except DynProfError as e:
+            return str(e)
+
+    proc = tool.task.start(session())
+    env.run(until=proc)
+    assert "not running" in proc.value
+
+
+def test_spawn_mode_still_requires_suspended():
+    env = Environment()
+    cluster = Cluster(env, SPEC, seed=1)
+    exe, program = build_confsync_app()
+    job = MpiJob(env, cluster, exe, 2, program)
+    with pytest.raises(DynProfError, match="start_suspended"):
+        DynProf(env, cluster, job)

@@ -1,0 +1,70 @@
+"""Unit tests for the Table 3 policy runner."""
+
+import pytest
+
+from repro.apps import SMG98, SWEEP3D
+from repro.dynprof import POLICIES, PolicyResult, policy_description, run_policy
+
+
+def test_policy_registry_matches_table3():
+    assert POLICIES == ("Full", "Full-Off", "Subset", "None", "Dynamic")
+    for policy in POLICIES:
+        text = policy_description(policy)
+        assert text and text[0].isupper()
+
+
+def test_unknown_policy_rejected():
+    with pytest.raises(ValueError, match="unknown policy"):
+        run_policy(SMG98, "Half", 2, scale=0.01)
+
+
+def test_sweep3d_subset_rejected():
+    with pytest.raises(ValueError, match="no Subset version"):
+        run_policy(SWEEP3D, "Subset", 2, scale=0.01)
+
+
+def test_cpus_beyond_evaluation_range_rejected():
+    with pytest.raises(ValueError, match="not evaluated beyond"):
+        run_policy(SMG98, "None", 128, scale=0.01)
+
+
+def test_result_fields_populated():
+    result = run_policy(SMG98, "Full", 2, scale=0.02, seed=4)
+    assert isinstance(result, PolicyResult)
+    assert result.app == "smg98" and result.policy == "Full"
+    assert result.n_cpus == 2 and result.scale == 0.02
+    assert len(result.per_rank_times) == 2
+    assert result.time == max(result.per_rank_times)
+    assert result.trace_records > 0
+    assert result.trace_bytes == result.trace_records * 24
+    assert result.instrument_time is None  # static policy
+    assert "smg98/Full@2cpu" in repr(result)
+
+
+def test_dynamic_records_instrument_time():
+    result = run_policy(SWEEP3D, "Dynamic", 2, scale=0.02, seed=4)
+    assert result.instrument_time is not None
+    assert result.instrument_time > 1.0
+
+
+def test_policy_runs_are_deterministic():
+    a = run_policy(SMG98, "Subset", 4, scale=0.02, seed=7)
+    b = run_policy(SMG98, "Subset", 4, scale=0.02, seed=7)
+    assert a.time == b.time
+    assert a.per_rank_times == b.per_rank_times
+    assert a.trace_records == b.trace_records
+
+
+def test_different_seeds_vary_slightly():
+    # 16 ranks span two nodes, so inter-node latency jitter applies.
+    a = run_policy(SMG98, "None", 16, scale=0.02, seed=1)
+    b = run_policy(SMG98, "None", 16, scale=0.02, seed=2)
+    # Jitter differs, workload identical: small relative spread.
+    assert a.time != b.time
+    assert abs(a.time - b.time) / a.time < 0.05
+
+
+def test_none_policy_traces_no_subroutines():
+    result = run_policy(SMG98, "None", 2, scale=0.02, seed=4)
+    full = run_policy(SMG98, "Full", 2, scale=0.02, seed=4)
+    assert result.trace_records < full.trace_records / 100

@@ -1,0 +1,65 @@
+"""Tests for the dynprof timefile."""
+
+import pytest
+
+from repro.dynprof import Timefile
+
+
+def test_begin_end_elapsed():
+    tf = Timefile()
+    tf.begin("attach", 1.0, detail="4 processes")
+    tf.end("attach", 3.5)
+    assert tf.elapsed("attach") == pytest.approx(2.5)
+    assert tf.phases[0].detail == "4 processes"
+
+
+def test_repeated_phases_accumulate():
+    tf = Timefile()
+    for start in (0.0, 10.0, 20.0):
+        tf.begin("instrument", start)
+        tf.end("instrument", start + 2.0)
+    assert tf.elapsed("instrument") == pytest.approx(6.0)
+    assert len(tf.phases) == 3
+
+
+def test_total_over_names():
+    tf = Timefile()
+    tf.begin("a", 0.0)
+    tf.end("a", 1.0)
+    tf.begin("b", 1.0)
+    tf.end("b", 4.0)
+    assert tf.total("a", "b") == pytest.approx(4.0)
+    assert tf.total("a") == pytest.approx(1.0)
+    assert tf.total("missing") == 0.0
+
+
+def test_double_begin_rejected():
+    tf = Timefile()
+    tf.begin("x", 0.0)
+    with pytest.raises(ValueError, match="already open"):
+        tf.begin("x", 1.0)
+
+
+def test_end_without_begin_rejected():
+    tf = Timefile()
+    with pytest.raises(ValueError, match="not open"):
+        tf.end("x", 1.0)
+
+
+def test_open_phase_has_no_elapsed():
+    tf = Timefile()
+    phase = tf.begin("x", 0.0)
+    with pytest.raises(ValueError, match="still open"):
+        _ = phase.elapsed
+    assert "OPEN" in tf.render()
+
+
+def test_render_and_write(tmp_path):
+    tf = Timefile()
+    tf.begin("create", 0.0, detail="smg98")
+    tf.end("create", 2.59)
+    text = tf.render()
+    assert "create" in text and "2.590000" in text and "smg98" in text
+    path = tmp_path / "timings.txt"
+    tf.write(str(path))
+    assert path.read_text() == text

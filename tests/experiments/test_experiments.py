@@ -1,0 +1,201 @@
+"""Tests for the figure/table harness (reduced sizes for speed)."""
+
+import pytest
+
+from repro.apps import SMG98, SPPM, SWEEP3D, UMT98
+from repro.experiments import (
+    FigureResult,
+    fig7_shape_report,
+    measure_confsync,
+    measure_create_and_instrument,
+    render_table1,
+    render_table2,
+    render_table3,
+    run_fig7,
+    run_fig8a,
+    run_fig8c,
+    run_fig9,
+)
+
+
+# ----------------------------------------------------------- FigureResult
+
+
+def test_figure_result_series_and_render():
+    fig = FigureResult("figX", "Test", "CPUs", "Time (s)", [1, 2, 4])
+    fig.add_series("A", [1.0, 2.0, 3.0])
+    fig.add_series("B", [2.0, None, 6.0])
+    assert fig.get("A").value_at(fig.x, 2) == 2.0
+    assert fig.ratio("B", "A", 1) == 2.0
+    text = fig.render()
+    assert "figX" in text and "A" in text and "-" in text
+    csv = fig.to_csv()
+    assert csv.splitlines()[0] == "CPUs,A,B"
+
+
+def test_figure_result_validation():
+    fig = FigureResult("f", "t", "x", "y", [1, 2])
+    with pytest.raises(ValueError):
+        fig.add_series("bad", [1.0])
+    fig.add_series("ok", [1.0, 2.0])
+    with pytest.raises(KeyError):
+        fig.get("nope")
+
+
+# ----------------------------------------------------------- tables
+
+
+def test_tables_render_paper_content():
+    t1 = render_table1()
+    assert "insert-file" in t1 and "Shortcut" in t1
+    t2 = render_table2()
+    assert "Smg98" in t2 and "199" in t2 and "OMP/F77" in t2
+    t3 = render_table3()
+    assert "Full-Off" in t3 and "configuration file" in t3
+
+
+# ----------------------------------------------------------- figure 7
+
+
+@pytest.mark.slow
+def test_fig7a_shape_claims_hold():
+    fig = run_fig7(SMG98, cpu_counts=(1, 4, 16, 64), scale=0.05, seed=2)
+    report = fig7_shape_report(fig, SMG98)
+    assert report, "no checks ran"
+    assert all(line.startswith("PASS") for line in report), "\n".join(report)
+
+
+def test_fig7c_all_policies_equal_small():
+    fig = run_fig7(SWEEP3D, cpu_counts=(2, 8), scale=0.05, seed=2)
+    report = fig7_shape_report(fig, SWEEP3D)
+    assert all(line.startswith("PASS") for line in report), "\n".join(report)
+    # No Subset series for Sweep3d.
+    with pytest.raises(KeyError):
+        fig.get("Subset")
+
+
+def test_fig7d_umt_shape():
+    fig = run_fig7(UMT98, cpu_counts=(1, 4, 8), scale=0.05, seed=2)
+    report = fig7_shape_report(fig, UMT98)
+    assert all(line.startswith("PASS") for line in report), "\n".join(report)
+
+
+def test_fig7b_sppm_shape():
+    fig = run_fig7(SPPM, cpu_counts=(1, 8, 16), scale=0.05, seed=2)
+    full = fig.get("Full").values
+    none = fig.get("None").values
+    assert all(f > n for f, n in zip(full, none))
+    dyn = fig.get("Dynamic").values
+    assert all(d <= n * 1.05 for d, n in zip(dyn, none))
+
+
+# ----------------------------------------------------------- figure 8
+
+
+def test_confsync_cost_under_paper_bound():
+    # Figure 8(a): under 0.04 s whether or not changes are made.
+    for change in (False, True):
+        t = measure_confsync(16, change=change, reps=4)
+        assert t < 0.04
+
+
+def test_confsync_cost_monotone_in_procs():
+    t2 = measure_confsync(2, reps=4)
+    t32 = measure_confsync(32, reps=4)
+    assert t32 > t2
+
+
+def test_confsync_stats_order_of_magnitude_larger():
+    plain = measure_confsync(8, stats=False, reps=4)
+    stats = measure_confsync(8, stats=True, reps=4)
+    assert stats > 3 * plain
+
+
+def test_fig8a_small():
+    fig = run_fig8a(proc_counts=(2, 8), seed=1)
+    nc = fig.get("No Change").values
+    ch = fig.get("Changes").values
+    assert all(v < 0.04 for v in nc + ch)
+    assert all(c >= n * 0.95 for c, n in zip(ch, nc))
+
+
+def test_fig8c_ia32_small():
+    fig = run_fig8c(proc_counts=(2, 4, 8), seed=1)
+    values = fig.get("No Change").values
+    # Paper: insignificant delay, well under 6 ms on <= 16 procs.
+    assert all(v < 0.006 for v in values)
+
+
+# ----------------------------------------------------------- figure 9
+
+
+def test_fig9_mpi_grows_omp_flat():
+    t_smg_2 = measure_create_and_instrument(SMG98, 2)
+    t_smg_8 = measure_create_and_instrument(SMG98, 8)
+    assert t_smg_8 > t_smg_2 * 1.5
+    t_umt_1 = measure_create_and_instrument(UMT98, 1)
+    t_umt_8 = measure_create_and_instrument(UMT98, 8)
+    assert t_umt_8 == pytest.approx(t_umt_1, rel=0.15)
+
+
+def test_fig9_figure_assembly():
+    fig = run_fig9(cpu_counts=(1, 2), apps=("sweep3d", "umt98"))
+    # Sweep3d has no 1-CPU point (MPI version can't run on one proc).
+    assert fig.get("Sweep3d").values[0] is None
+    assert fig.get("Umt98").values[1] is not None
+
+
+# ----------------------------------------------------------- CLI
+
+
+def test_cli_tables(capsys):
+    from repro.experiments.cli import main
+
+    assert main(["table1", "table2", "table3"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out and "Table 2" in out and "Table 3" in out
+
+
+def test_cli_fig_quick_and_csv(tmp_path, capsys):
+    from repro.experiments.cli import main
+
+    csv_path = tmp_path / "out.csv"
+    assert main(["fig8c", "--quick", "--csv", str(csv_path)]) == 0
+    out = capsys.readouterr().out
+    assert "fig8c" in out
+    assert csv_path.exists()
+    assert "No Change" in csv_path.read_text()
+
+
+def test_cli_rejects_unknown_experiment():
+    from repro.experiments.cli import main
+
+    with pytest.raises(SystemExit):
+        main(["figZZ"])
+
+
+# ----------------------------------------------------------- trace volume
+
+
+def test_tracevol_quantifies_the_motivation():
+    from repro.experiments import render_tracevol, run_tracevol
+
+    rows = run_tracevol(apps=["smg98"], n_cpus=4, scale=0.05, seed=1)
+    by_policy = {r.policy: r for r in rows}
+    assert set(by_policy) == {"Full", "Full-Off", "Subset", "None", "Dynamic"}
+    # Full's data rate is in the "impractical" regime the paper cites...
+    assert by_policy["Full"].rate_mb_s_per_proc > 2.0
+    # ...and Dynamic writes orders of magnitude less while still
+    # collecting the subset's records.
+    assert by_policy["Dynamic"].mbytes < by_policy["Full"].mbytes / 1000
+    assert by_policy["Dynamic"].records > by_policy["None"].records
+    text = render_tracevol(rows)
+    assert "MB/s/proc" in text and "smg98" in text
+
+
+def test_tracevol_cli(capsys):
+    from repro.experiments.cli import main
+
+    assert main(["tracevol", "--quick", "--scale", "0.02"]) == 0
+    out = capsys.readouterr().out
+    assert "Trace volume" in out

@@ -1,0 +1,34 @@
+"""Fixtures for MPI-layer tests: build and run small jobs quickly."""
+
+import pytest
+
+from repro.cluster import Cluster, POWER3_SP
+from repro.jobs import MpiJob
+from repro.program import ExecutableImage
+from repro.simt import Environment
+
+
+@pytest.fixture
+def spec():
+    return POWER3_SP.with_overrides(net_jitter=0.0, os_noise=0.0)
+
+
+def run_mpi(n_procs, program, spec=None, exe=None, link_vt=True, vt_config=None, seed=0):
+    """Run ``program(pctx)`` on n_procs ranks; return (job, results).
+
+    results[rank] is the program's return value on that rank.
+    """
+    env = Environment()
+    cluster = Cluster(
+        env, spec or POWER3_SP.with_overrides(net_jitter=0.0, os_noise=0.0), seed=seed
+    )
+    if exe is None:
+        exe = ExecutableImage("testapp")
+    job = MpiJob(
+        env, cluster, exe, n_procs, program,
+        link_vt=link_vt, vt_config=vt_config,
+    )
+    job.start()
+    env.run(until=job.completion())
+    results = [p.value for p in job.procs]
+    return job, results

@@ -1,0 +1,117 @@
+"""Failure injection: aborted ranks, deadlocks, misuse of the runtime."""
+
+import pytest
+
+from repro.cluster import Cluster, POWER3_SP
+from repro.jobs import MpiJob
+from repro.program import ExecutableImage
+from repro.simt import Environment, SimtError
+
+SPEC = POWER3_SP.with_overrides(net_jitter=0.0)
+
+
+def make_job(program, n=2, strict=True):
+    env = Environment(strict=strict)
+    cluster = Cluster(env, SPEC, seed=1)
+    job = MpiJob(env, cluster, ExecutableImage("failapp"), n, program)
+    return env, job
+
+
+def test_rank_abort_surfaces_in_strict_mode():
+    """A rank raising mid-run aborts the simulation loudly, like a rank
+    segfault killing a poe job — never a silent hang."""
+
+    def program(pctx):
+        yield from pctx.call("MPI_Init")
+        if pctx.mpi.rank == 1:
+            raise RuntimeError("simulated segfault")
+        yield from pctx.compute(1.0)
+        yield from pctx.call("MPI_Finalize")
+
+    env, job = make_job(program)
+    job.start()
+    with pytest.raises(SimtError, match="crashed"):
+        env.run()
+
+
+def test_recv_deadlock_is_detectable():
+    """Mutual recv with no sender: the run drains with ranks blocked,
+    and run(until=completion) reports the deadlock."""
+
+    def program(pctx):
+        yield from pctx.call("MPI_Init")
+        yield from pctx.mpi.comm.recv(source=1 - pctx.mpi.rank, tag=9)
+
+    env, job = make_job(program)
+    job.start()
+    with pytest.raises(SimtError, match="deadlock"):
+        env.run(until=job.completion())
+    # Both ranks are parked in the transport, not crashed.
+    assert all(p.is_alive for p in job.procs)
+
+
+def test_double_mpi_init_rejected():
+    def program(pctx):
+        yield from pctx.call("MPI_Init")
+        try:
+            yield from pctx.call("MPI_Init")
+        except RuntimeError as e:
+            yield from pctx.call("MPI_Finalize")
+            return "twice" in str(e)
+
+    env, job = make_job(program)
+    job.start()
+    env.run(until=job.completion())
+    assert all(p.value is True for p in job.procs)
+
+
+def test_finalize_before_init_rejected():
+    def program(pctx):
+        try:
+            yield from pctx.call("MPI_Finalize")
+        except RuntimeError as e:
+            return "before MPI_Init" in str(e)
+
+    env, job = make_job(program)
+    job.start()
+    env.run(until=job.completion())
+    assert all(p.value is True for p in job.procs)
+
+
+def test_collective_arity_mismatch_deadlocks_not_corrupts():
+    """One rank skips a collective: the others block (detectable), no
+    value corruption ever occurs."""
+
+    def program(pctx):
+        yield from pctx.call("MPI_Init")
+        if pctx.mpi.rank != 0:
+            yield from pctx.mpi.comm.barrier()
+        return "skipped" if pctx.mpi.rank == 0 else "waited"
+
+    env, job = make_job(program, n=4)
+    job.start()
+    with pytest.raises(SimtError, match="deadlock"):
+        env.run(until=job.completion())
+    assert job.procs[0].value == "skipped"  # rank 0 finished fine
+
+
+def test_mismatched_reduce_op_still_deterministic():
+    """Different ops per rank is user error; the sim remains
+    deterministic (same seed, same wrong answer) rather than flaky."""
+    import operator
+
+    def program(pctx):
+        yield from pctx.call("MPI_Init")
+        op = operator.add if pctx.mpi.rank % 2 == 0 else max
+        result = yield from pctx.mpi.comm.allreduce(pctx.mpi.rank + 1, op=op)
+        yield from pctx.call("MPI_Finalize")
+        return result
+
+    def run():
+        env, job = make_job(program, n=4)
+        job.start()
+        env.run(until=job.completion())
+        env.run()
+        return [p.value for p in job.procs]
+
+    assert run() == run()

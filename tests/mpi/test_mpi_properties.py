@@ -1,0 +1,131 @@
+"""Property-based tests (hypothesis) for the MPI layer."""
+
+import operator
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import POWER3_SP
+
+from .conftest import run_mpi
+from .test_pt2pt import mpi_main
+
+# Keep rank counts small: each example builds a full simulated job.
+ranks = st.integers(min_value=1, max_value=9)
+ranks2 = st.integers(min_value=2, max_value=9)
+seeds = st.integers(min_value=0, max_value=2**16)
+
+SETTINGS = dict(max_examples=15, deadline=None)
+
+
+@given(n=ranks, seed=seeds)
+@settings(**SETTINGS)
+def test_allreduce_matches_python_sum(n, seed):
+    def body(pctx, comm):
+        return (yield from comm.allreduce(comm.rank * 3 + 1))
+
+    _job, results = run_mpi(n, mpi_main(body), seed=seed)
+    expected = sum(r * 3 + 1 for r in range(n))
+    assert results == [expected] * n
+
+
+@given(n=ranks, root_frac=st.floats(min_value=0, max_value=0.999), seed=seeds)
+@settings(**SETTINGS)
+def test_bcast_from_any_root(n, root_frac, seed):
+    root = int(root_frac * n)
+
+    def body(pctx, comm):
+        payload = ("data", root) if comm.rank == root else None
+        return (yield from comm.bcast(payload, root=root))
+
+    _job, results = run_mpi(n, mpi_main(body), seed=seed)
+    assert results == [("data", root)] * n
+
+
+@given(n=ranks, seed=seeds)
+@settings(**SETTINGS)
+def test_gather_scatter_roundtrip(n, seed):
+    def body(pctx, comm):
+        gathered = yield from comm.gather(comm.rank**2, root=0)
+        scattered = yield from comm.scatter(gathered, root=0)
+        return scattered
+
+    _job, results = run_mpi(n, mpi_main(body), seed=seed)
+    assert results == [r**2 for r in range(n)]
+
+
+@given(n=ranks2, nmsg=st.integers(min_value=1, max_value=12), seed=seeds)
+@settings(**SETTINGS)
+def test_ring_pipeline_preserves_order(n, nmsg, seed):
+    """Messages forwarded around a ring arrive complete and ordered."""
+
+    def body(pctx, comm):
+        nxt, prv = (comm.rank + 1) % n, (comm.rank - 1) % n
+        got = []
+        for i in range(nmsg):
+            if comm.rank == 0:
+                yield from comm.send((i, "token"), dest=nxt, tag=9)
+                got.append((yield from comm.recv(source=prv, tag=9)))
+            else:
+                item = yield from comm.recv(source=prv, tag=9)
+                got.append(item)
+                yield from comm.send(item, dest=nxt, tag=9)
+        return got
+
+    _job, results = run_mpi(n, mpi_main(body), seed=seed)
+    expected = [(i, "token") for i in range(nmsg)]
+    for got in results:
+        assert got == expected
+
+
+@given(n=ranks2, seed=seeds)
+@settings(**SETTINGS)
+def test_barrier_is_a_true_barrier(n, seed):
+    """No rank's post-barrier clock precedes any rank's pre-barrier clock."""
+
+    def body(pctx, comm):
+        yield from pctx.compute(0.01 * (comm.rank + 1) ** 2)
+        before = pctx.now
+        yield from comm.barrier()
+        return (before, pctx.now)
+
+    _job, results = run_mpi(n, mpi_main(body), seed=seed)
+    latest_before = max(b for b, _a in results)
+    assert all(a >= latest_before for _b, a in results)
+
+
+@given(n=ranks, seed=seeds)
+@settings(**SETTINGS)
+def test_determinism_same_seed_same_times(n, seed):
+    def body(pctx, comm):
+        yield from comm.barrier()
+        yield from comm.allreduce(comm.rank)
+        return pctx.now
+
+    _j1, r1 = run_mpi(n, mpi_main(body), seed=seed)
+    _j2, r2 = run_mpi(n, mpi_main(body), seed=seed)
+    assert r1 == r2
+
+
+@given(n=ranks2, seed=seeds, sizes=st.lists(
+    st.integers(min_value=1, max_value=400_000), min_size=1, max_size=5))
+@settings(**SETTINGS)
+def test_mixed_eager_rendezvous_payloads_arrive_intact(n, seed, sizes):
+    import numpy as np
+
+    def body(pctx, comm):
+        if comm.rank == 0:
+            for k, size in enumerate(sizes):
+                yield from comm.send(np.full(size // 8 + 1, float(k)), dest=1, tag=k)
+            return None
+        if comm.rank == 1:
+            sums = []
+            for k, size in enumerate(sizes):
+                arr = yield from comm.recv(source=0, tag=k)
+                assert (arr == float(k)).all()
+                sums.append(len(arr))
+            return sums
+        return None
+
+    _job, results = run_mpi(n, mpi_main(body), seed=seed)
+    assert results[1] == [s // 8 + 1 for s in sizes]

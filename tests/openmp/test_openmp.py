@@ -1,0 +1,341 @@
+"""OpenMP runtime tests: fork/join, worksharing, sync, tracing."""
+
+import pytest
+
+from repro.cluster import Cluster, POWER3_SP
+from repro.jobs import OmpJob
+from repro.openmp import DynamicSchedule, GuidedSchedule, StaticSchedule
+from repro.program import ExecutableImage
+from repro.simt import Environment
+
+SPEC = POWER3_SP.with_overrides(net_jitter=0.0)
+
+
+def run_omp(n_threads, program, exe=None, link_vt=True, vt_config=None):
+    env = Environment()
+    cluster = Cluster(env, SPEC, seed=4)
+    if exe is None:
+        exe = ExecutableImage("ompapp")
+    job = OmpJob(env, cluster, exe, n_threads, program, link_vt=link_vt, vt_config=vt_config)
+    job.start()
+    env.run(until=job.completion())
+    env.run()
+    return job, job.proc.value
+
+
+def omp_main(body):
+    def program(pctx):
+        yield from pctx.call("VT_init")
+        return (yield from body(pctx))
+
+    return program
+
+
+def test_parallel_runs_body_on_every_thread():
+    def body(pctx):
+        seen = []
+
+        def region(tctx, team):
+            seen.append(tctx.thread_id)
+            return tctx.thread_id * 10
+            yield  # pragma: no cover
+
+        results = yield from pctx.omp.parallel(region)
+        return (sorted(seen), results)
+
+    _job, (seen, results) = run_omp(4, omp_main(body))
+    assert seen == [0, 1, 2, 3]
+    assert results == [0, 10, 20, 30]
+
+
+def test_parallel_speeds_up_compute():
+    """T threads each doing work/T finish in ~work/T wall time."""
+
+    def make(n_threads):
+        def body(pctx):
+            def region(tctx, team):
+                yield from tctx.compute(8.0 / team.size)
+
+            t0 = pctx.now
+            yield from pctx.omp.parallel(region)
+            return pctx.now - t0
+
+        _job, elapsed = run_omp(n_threads, omp_main(body))
+        return elapsed
+
+    t1, t4, t8 = make(1), make(4), make(8)
+    assert t4 == pytest.approx(t1 / 4, rel=0.05)
+    assert t8 == pytest.approx(t1 / 8, rel=0.05)
+
+
+def test_join_waits_for_slowest_thread():
+    def body(pctx):
+        def region(tctx, team):
+            yield from tctx.compute(1.0 * (tctx.thread_id + 1))
+
+        t0 = pctx.now
+        yield from pctx.omp.parallel(region)
+        return pctx.now - t0
+
+    _job, elapsed = run_omp(4, omp_main(body))
+    assert elapsed >= 4.0
+
+
+def test_barrier_synchronizes_team():
+    after = []
+
+    def body(pctx):
+        def region(tctx, team):
+            yield from tctx.compute(0.5 * tctx.thread_id)
+            yield from team.barrier(tctx)
+            after.append(tctx.task.now)
+
+        yield from pctx.omp.parallel(region)
+
+    run_omp(4, omp_main(body))
+    slowest = 1.5
+    assert all(t >= slowest for t in after)
+
+
+def test_static_schedule_partitions_all_iterations():
+    def body(pctx):
+        got = []
+
+        def loop_body(tctx, start, stop):
+            got.extend(range(start, stop))
+            return None
+            yield  # pragma: no cover
+
+        yield from pctx.omp.parallel_for(103, loop_body, schedule=StaticSchedule())
+        return sorted(got)
+
+    _job, got = run_omp(4, omp_main(body))
+    assert got == list(range(103))
+
+
+def test_static_schedule_with_chunks_interleaves():
+    def body(pctx):
+        by_thread = {}
+
+        def loop_body(tctx, start, stop):
+            by_thread.setdefault(tctx.thread_id, []).append((start, stop))
+            return None
+            yield  # pragma: no cover
+
+        yield from pctx.omp.parallel_for(
+            16, loop_body, schedule=StaticSchedule(chunk=2)
+        )
+        return by_thread
+
+    _job, by_thread = run_omp(2, omp_main(body))
+    assert by_thread[0] == [(0, 2), (4, 6), (8, 10), (12, 14)]
+    assert by_thread[1] == [(2, 4), (6, 8), (10, 12), (14, 16)]
+
+
+@pytest.mark.parametrize("schedule", [DynamicSchedule(chunk=3), GuidedSchedule()])
+def test_dynamic_and_guided_schedules_cover_everything(schedule):
+    def body(pctx):
+        got = []
+
+        def loop_body(tctx, start, stop):
+            yield from tctx.compute(0.01 * (stop - start))
+            got.extend(range(start, stop))
+
+        yield from pctx.omp.parallel_for(50, loop_body, schedule=schedule)
+        return sorted(got)
+
+    _job, got = run_omp(4, omp_main(body))
+    assert got == list(range(50))
+
+
+def test_dynamic_schedule_balances_uneven_work():
+    """With wildly uneven iteration costs, dynamic beats static."""
+
+    def make(schedule):
+        def body(pctx):
+            def loop_body(tctx, start, stop):
+                for i in range(start, stop):
+                    # Iterations 0-7 are heavy, the rest near-free.
+                    yield from tctx.compute(1.0 if i < 8 else 0.001)
+
+            t0 = pctx.now
+            yield from pctx.omp.parallel_for(64, loop_body, schedule=schedule)
+            return pctx.now - t0
+
+        _job, elapsed = run_omp(4, omp_main(body))
+        return elapsed
+
+    t_static = make(StaticSchedule())  # thread 0 gets all 8 heavy iters
+    t_dynamic = make(DynamicSchedule(chunk=1))
+    assert t_dynamic < t_static * 0.55
+
+
+def test_critical_section_is_exclusive():
+    def body(pctx):
+        log = []
+
+        def region(tctx, team):
+            yield from team.critical(tctx, "update")
+            log.append(("in", tctx.thread_id))
+            yield from tctx.compute(0.1)
+            log.append(("out", tctx.thread_id))
+            yield from team.end_critical(tctx, "update")
+
+        yield from pctx.omp.parallel(region)
+        return log
+
+    _job, log = run_omp(4, omp_main(body))
+    # Strict nesting: every "in" is immediately followed by its "out".
+    for i in range(0, len(log), 2):
+        assert log[i][0] == "in" and log[i + 1][0] == "out"
+        assert log[i][1] == log[i + 1][1]
+
+
+def test_end_critical_without_critical_raises():
+    def body(pctx):
+        def region(tctx, team):
+            try:
+                yield from team.end_critical(tctx, "x")
+            except RuntimeError:
+                return "caught"
+
+        results = yield from pctx.omp.parallel(region, num_threads=1)
+        return results[0]
+
+    _job, result = run_omp(2, omp_main(body))
+    assert result == "caught"
+
+
+def test_team_reduce():
+    def body(pctx):
+        def region(tctx, team):
+            value = tctx.thread_id + 1
+            total = yield from team.reduce(tctx, value, lambda a, b: a + b)
+            return total
+
+        results = yield from pctx.omp.parallel(region)
+        return results
+
+    _job, results = run_omp(4, omp_main(body))
+    assert results == [10, 10, 10, 10]
+
+
+def test_threads_share_one_image():
+    def body(pctx):
+        images = []
+
+        def region(tctx, team):
+            images.append(id(tctx.image))
+            return None
+            yield  # pragma: no cover
+
+        yield from pctx.omp.parallel(region)
+        return images
+
+    _job, images = run_omp(4, omp_main(body))
+    assert len(set(images)) == 1
+
+
+def test_region_events_logged_per_thread():
+    def body(pctx):
+        def region(tctx, team):
+            yield from tctx.compute(0.1)
+
+        yield from pctx.omp.parallel(region, name="solver_loop")
+
+    job, _ = run_omp(4, omp_main(body))
+    vt = job.vt
+    # One enter+leave pair per thread for the region pseudo-function.
+    buffers = vt.buffers
+    assert len(buffers) == 4
+    for buf in buffers:
+        kinds = [type(r).__name__ for r in buf.records]
+        assert kinds.count("EnterRecord") == 1
+        assert kinds.count("LeaveRecord") == 1
+    names = [vt.registry.name_of(fid) for fid, _ in vt.registry.items()]
+    assert any("solver_loop" in n for n in names)
+
+
+def test_too_many_threads_rejected():
+    env = Environment()
+    cluster = Cluster(env, SPEC, seed=4)
+    exe = ExecutableImage("x")
+    with pytest.raises(ValueError, match="cores"):
+        OmpJob(env, cluster, exe, 9, lambda pctx: iter(()))
+
+
+def test_nested_region_results_and_thread_ids_restored():
+    def body(pctx):
+        def region(tctx, team):
+            return team.size
+            yield  # pragma: no cover
+
+        r1 = yield from pctx.omp.parallel(region, num_threads=2)
+        r2 = yield from pctx.omp.parallel(region, num_threads=4)
+        return (r1, r2, pctx.thread_id)
+
+    _job, (r1, r2, tid) = run_omp(8, omp_main(body))
+    assert r1 == [2, 2]
+    assert r2 == [4, 4, 4, 4]
+    assert tid == 0
+
+
+def test_master_construct():
+    def body(pctx):
+        ran = []
+
+        def region(tctx, team):
+            if team.is_master(tctx):
+                ran.append(tctx.thread_id)
+            yield from team.barrier(tctx)
+
+        yield from pctx.omp.parallel(region)
+        return ran
+
+    _job, ran = run_omp(4, omp_main(body))
+    assert ran == [0]
+
+
+def test_single_construct_runs_exactly_once_per_site():
+    def body(pctx):
+        sites = {0: [], 1: []}
+
+        def region(tctx, team):
+            # Stagger arrivals so the owner is not always thread 0.
+            yield from tctx.compute(0.01 * (team.size - tctx.thread_id))
+            if team.single(tctx):
+                sites[0].append(tctx.thread_id)
+            yield from team.barrier(tctx)
+            if team.single(tctx):
+                sites[1].append(tctx.thread_id)
+            yield from team.barrier(tctx)
+
+        yield from pctx.omp.parallel(region)
+        return sites
+
+    _job, sites = run_omp(4, omp_main(body))
+    assert len(sites[0]) == 1
+    assert len(sites[1]) == 1
+    # The staggered compute makes the last thread arrive first.
+    assert sites[0] == [3]
+
+
+def test_nested_parallel_rejected():
+    def body(pctx):
+        def inner_region(tctx, team):
+            return None
+            yield  # pragma: no cover
+
+        def region(tctx, team):
+            if tctx.thread_id != 0:
+                try:
+                    yield from pctx.omp.parallel(inner_region)
+                except RuntimeError as e:
+                    return "nested" in str(e)
+            return None
+
+        results = yield from pctx.omp.parallel(region)
+        return results
+
+    _job, results = run_omp(4, omp_main(body))
+    assert all(r is True for r in results[1:])

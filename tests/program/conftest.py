@@ -1,0 +1,40 @@
+"""Shared fixtures for program-layer tests."""
+
+import pytest
+
+from repro.cluster import Cluster, POWER3_SP, Task
+from repro.program import ExecutableImage, ProcessImage, ProgramContext
+from repro.simt import Environment
+
+
+@pytest.fixture
+def spec():
+    # No jitter/noise for exact-arithmetic tests.
+    return POWER3_SP.with_overrides(net_jitter=0.0, os_noise=0.0)
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def make_pctx(env, spec):
+    """Factory: a ProgramContext over a fresh image with given symbols."""
+
+    def _make(exe=None, name="proc0"):
+        if exe is None:
+            exe = ExecutableImage("testapp")
+        cluster = Cluster(env, spec, seed=3)
+        node = cluster.node(0)
+        task = Task(env, node, name, spec)
+        image = ProcessImage(env, exe, name)
+        return ProgramContext(env, task, image, spec)
+
+    return _make
+
+
+def run_ctx(env, pctx, gen):
+    """Drive a generator on the context's task and return its value."""
+    proc = pctx.task.start(gen)
+    return env.run(until=proc)

@@ -1,0 +1,224 @@
+"""Tests for the call-tree executor: probe ordering, costs, batching."""
+
+import pytest
+
+from repro.program import (
+    ENTRY,
+    EXIT,
+    CallFunc,
+    Const,
+    ExecutableImage,
+    Sequence,
+)
+
+from .conftest import run_ctx
+
+
+def test_call_plain_body(env, make_pctx):
+    exe = ExecutableImage("app")
+    exe.define("work", body=lambda ctx, x: x * 2)
+    pctx = make_pctx(exe)
+
+    def driver():
+        result = yield from pctx.call("work", 21)
+        return result
+
+    assert run_ctx(env, pctx, driver()) == 42
+    assert pctx.fn("work").call_count == 1
+
+
+def test_call_generator_body_can_block(env, make_pctx):
+    exe = ExecutableImage("app")
+
+    def body(ctx):
+        yield ctx.env.timeout(3.0)
+        return "blocked-ok"
+
+    exe.define("waiter", body=body)
+    pctx = make_pctx(exe)
+
+    def driver():
+        return (yield from pctx.call("waiter"))
+
+    assert run_ctx(env, pctx, driver()) == "blocked-ok"
+    assert env.now == pytest.approx(3.0)
+
+
+def test_nested_calls_count_each_level(env, make_pctx):
+    exe = ExecutableImage("app")
+
+    def outer(ctx):
+        yield from ctx.call("inner")
+        yield from ctx.call("inner")
+
+    exe.define("outer", body=outer)
+    exe.define("inner", body=lambda ctx: None)
+    pctx = make_pctx(exe)
+
+    def driver():
+        yield from pctx.call("outer")
+
+    run_ctx(env, pctx, driver())
+    assert pctx.fn("outer").call_count == 1
+    assert pctx.fn("inner").call_count == 2
+
+
+def test_dynamic_probes_fire_around_body(env, make_pctx):
+    exe = ExecutableImage("app")
+    order = []
+    exe.define("f", body=lambda ctx: order.append("body"))
+    pctx = make_pctx(exe)
+    pctx.image.register_runtime("log_entry", lambda ctx: order.append("entry"))
+    pctx.image.register_runtime("log_exit", lambda ctx: order.append("exit"))
+    pctx.image.install_probe("f", ENTRY, CallFunc("log_entry"))
+    pctx.image.install_probe("f", EXIT, CallFunc("log_exit"))
+
+    def driver():
+        yield from pctx.call("f")
+
+    run_ctx(env, pctx, driver())
+    assert order == ["entry", "body", "exit"]
+
+
+def test_inactive_probe_does_not_run_snippet(env, make_pctx):
+    exe = ExecutableImage("app")
+    hits = []
+    exe.define("f", body=lambda ctx: None)
+    pctx = make_pctx(exe)
+    pctx.image.register_runtime("log", lambda ctx: hits.append(1))
+    h = pctx.image.install_probe("f", ENTRY, CallFunc("log"), activate=False)
+
+    def driver():
+        yield from pctx.call("f")
+
+    run_ctx(env, pctx, driver())
+    assert hits == []
+    # But the base trampoline still costs time (jump + save/restore).
+    assert pctx.task.compute_time == pytest.approx(pctx.spec.tramp_base_cost)
+
+
+def test_trampoline_costs_charged(env, make_pctx, spec):
+    exe = ExecutableImage("app")
+    exe.define("f", body=lambda ctx: None)
+    pctx = make_pctx(exe)
+    pctx.image.register_runtime("noop", lambda ctx: None)
+    snippet = CallFunc("noop")
+    pctx.image.install_probe("f", ENTRY, snippet)
+
+    def driver():
+        yield from pctx.call("f")
+        yield from pctx.flush()
+
+    run_ctx(env, pctx, driver())
+    expected = (
+        spec.tramp_base_cost
+        + spec.tramp_mini_cost
+        + snippet.op_count() * spec.snippet_op_cost
+    )
+    assert env.now == pytest.approx(expected)
+
+
+def test_chained_minis_all_fire_in_insertion_order(env, make_pctx):
+    exe = ExecutableImage("app")
+    order = []
+    exe.define("f", body=lambda ctx: None)
+    pctx = make_pctx(exe)
+    for tag in ("first", "second", "third"):
+        pctx.image.register_runtime(tag, lambda ctx, t=tag: order.append(t))
+        pctx.image.install_probe("f", ENTRY, CallFunc(tag))
+
+    def driver():
+        yield from pctx.call("f")
+
+    run_ctx(env, pctx, driver())
+    assert order == ["first", "second", "third"]
+
+
+def test_call_batch_requires_leaf(env, make_pctx):
+    exe = ExecutableImage("app")
+    exe.define("has_body", body=lambda ctx: None)
+    pctx = make_pctx(exe)
+
+    def driver():
+        yield from pctx.call_batch("has_body", 10, 1e-6)
+
+    with pytest.raises(ValueError, match="leaf"):
+        run_ctx(env, pctx, driver())
+
+
+def test_call_batch_charges_n_times_cost(env, make_pctx):
+    exe = ExecutableImage("app")
+    exe.define("leaf")  # no body: cost-only leaf
+    pctx = make_pctx(exe)
+
+    def driver():
+        yield from pctx.call_batch("leaf", 1000, 2e-6)
+        yield from pctx.flush()
+
+    run_ctx(env, pctx, driver())
+    assert env.now == pytest.approx(1000 * 2e-6)
+    assert pctx.fn("leaf").call_count == 1000
+
+
+def test_call_batch_zero_is_noop(env, make_pctx):
+    exe = ExecutableImage("app")
+    exe.define("leaf")
+    pctx = make_pctx(exe)
+
+    def driver():
+        yield from pctx.call_batch("leaf", 0, 1e-6)
+        try:
+            yield from pctx.call_batch("leaf", -1, 1e-6)
+        except ValueError:
+            return "rejected"
+
+    assert run_ctx(env, pctx, driver()) == "rejected"
+    assert pctx.fn("leaf").call_count == 0
+
+
+def test_call_batch_runs_real_work_once(env, make_pctx):
+    exe = ExecutableImage("app")
+    exe.define("leaf")
+    pctx = make_pctx(exe)
+    ran = []
+
+    def driver():
+        yield from pctx.call_batch("leaf", 50, 1e-6, work=lambda: ran.append(1))
+
+    run_ctx(env, pctx, driver())
+    assert ran == [1]
+
+
+def test_call_batch_falls_back_on_unbatchable_probe(env, make_pctx):
+    """A non-VT snippet forces the per-call loop, same call_count."""
+    exe = ExecutableImage("app")
+    exe.define("leaf")
+    pctx = make_pctx(exe)
+    hits = []
+    pctx.image.register_runtime("custom", lambda ctx: hits.append(1))
+    pctx.image.install_probe("leaf", ENTRY, CallFunc("custom"))
+
+    def driver():
+        yield from pctx.call_batch("leaf", 7, 1e-6)
+
+    run_ctx(env, pctx, driver())
+    assert len(hits) == 7
+    assert pctx.fn("leaf").call_count == 7
+
+
+def test_leaf_batch_cost_equals_loop_cost(env, make_pctx, spec):
+    """Batched and looped execution charge identical time (no probes)."""
+    exe = ExecutableImage("app")
+    exe.define("leafA")
+    exe.define("leafB")
+    pctx = make_pctx(exe)
+
+    def driver():
+        yield from pctx.call_batch("leafA", 500, 3e-6)
+        t_batch = pctx.task.now
+        yield from pctx._call_loop(pctx.fn("leafB"), 500, 3e-6, None)
+        t_loop = pctx.task.now - t_batch
+        return t_batch, t_loop
+
+    t_batch, t_loop = run_ctx(env, pctx, driver())
+    assert t_batch == pytest.approx(t_loop)

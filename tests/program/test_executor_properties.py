@@ -1,0 +1,127 @@
+"""Property tests for the executor: random call trees with random probe
+configurations always produce well-formed traces."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import ProfileView, Timeline
+from repro.cluster import Cluster, POWER3_SP, Task
+from repro.program import ENTRY, EXIT, ExecutableImage, ProcessImage, ProgramContext
+from repro.simt import Environment
+from repro.vt import BEGIN, END, FunctionRegistry, TraceFile, VTProbeSnippet, VTProcessState
+
+SPEC = POWER3_SP.with_overrides(net_jitter=0.0)
+
+N_FUNCS = 5
+
+# A "call tree program" is a list of ops walked depth-first:
+#   (fn_index, [children...]) with bounded depth/size.
+call_node = st.deferred(
+    lambda: st.tuples(
+        st.integers(0, N_FUNCS - 1),
+        st.lists(call_node, max_size=3),
+    )
+)
+programs = st.lists(call_node, min_size=1, max_size=6)
+probe_config = st.lists(
+    st.tuples(st.integers(0, N_FUNCS - 1), st.booleans()),  # (fn, dynamic?)
+    max_size=N_FUNCS,
+)
+
+
+def build(static_instrumented, dynamic_probes):
+    env = Environment()
+    cluster = Cluster(env, SPEC, seed=3)
+    exe = ExecutableImage("prop")
+
+    def make_body(i):
+        def body(pctx, children):
+            pctx.charge(1e-4)
+            for child_idx, grand in children:
+                yield from pctx.call(f"fn{child_idx}", grand)
+            pctx.charge(1e-4)
+
+        return body
+
+    for i in range(N_FUNCS):
+        exe.define(f"fn{i}", body=make_body(i))
+    if static_instrumented:
+        exe.instrument_statically()
+    task = Task(env, cluster.node(0), "p0", SPEC)
+    image = ProcessImage(env, exe, "p0")
+    pctx = ProgramContext(env, task, image, SPEC)
+    vt = VTProcessState(env, SPEC, image, 0, FunctionRegistry())
+    vt.initialize(task)
+    for fn_idx in dynamic_probes:
+        fi = image.func(f"fn{fn_idx}")
+        vt.funcdef(task, fi.name)
+        image.install_probe(fi.name, ENTRY, VTProbeSnippet(fi, BEGIN))
+        image.install_probe(fi.name, EXIT, VTProbeSnippet(fi, END))
+    return env, task, pctx, vt
+
+
+@given(prog=programs, static=st.booleans(), probes=probe_config)
+@settings(max_examples=40, deadline=None)
+def test_any_probe_mix_yields_wellformed_trace(prog, static, probes):
+    dynamic = [fn for fn, dyn in probes if dyn]
+    env, task, pctx, vt = build(static, dynamic)
+
+    def driver():
+        for fn_idx, children in prog:
+            yield from pctx.call(f"fn{fn_idx}", children)
+        yield from pctx.flush()
+
+    proc = task.start(driver())
+    env.run(until=proc)
+    env.run()
+
+    trace = TraceFile("prop")
+    vt.flush_to(trace)
+    timeline = Timeline(trace)
+    # Balanced nesting on every bar.
+    for bar in timeline.bars.values():
+        assert bar.unmatched_enters == 0
+        # Intervals are properly nested: children lie inside parents.
+        for iv in bar.intervals:
+            for other in bar.intervals:
+                if other.depth == iv.depth + 1 and iv.start <= other.start < iv.end:
+                    assert other.end <= iv.end + 1e-12
+
+    def count_calls(nodes):
+        total = 0
+        for fn_idx, children in nodes:
+            total += 1 + count_calls(children)
+        return total
+
+    n_calls = count_calls(prog)
+    if static and not dynamic:
+        # Exactly one enter+leave pair per call.
+        assert trace.raw_record_count == 2 * n_calls
+    if not static and not dynamic:
+        assert trace.raw_record_count == 0
+
+    # Profile inclusive time can never be less than exclusive.
+    pv = ProfileView(trace)
+    for p in pv.table():
+        assert p.inclusive >= p.exclusive - 1e-12
+
+
+@given(prog=programs, probes=probe_config, seed=st.integers(0, 99))
+@settings(max_examples=20, deadline=None)
+def test_executor_deterministic(prog, probes, seed):
+    dynamic = [fn for fn, dyn in probes if dyn]
+
+    def run_once():
+        env, task, pctx, vt = build(True, dynamic)
+
+        def driver():
+            for fn_idx, children in prog:
+                yield from pctx.call(f"fn{fn_idx}", children)
+            yield from pctx.flush()
+
+        proc = task.start(driver())
+        env.run(until=proc)
+        env.run()
+        return env.now, task.compute_time
+
+    assert run_once() == run_once()

@@ -1,0 +1,244 @@
+"""Tests for the snippet AST: evaluation, costs, blocking calls."""
+
+import pytest
+
+from repro.program import (
+    Arith,
+    Assign,
+    CallFunc,
+    Compare,
+    Const,
+    If,
+    Nop,
+    Sequence,
+    SnippetError,
+    SpinWait,
+    VarRef,
+)
+
+from .conftest import run_ctx
+
+
+def execute(env, pctx, snippet):
+    def driver():
+        result = yield from snippet.execute(pctx)
+        yield from pctx.flush()
+        return result
+
+    return run_ctx(env, pctx, driver())
+
+
+def test_const_evaluates_to_value(env, make_pctx):
+    pctx = make_pctx()
+    assert execute(env, pctx, Const(42)) == 42
+
+
+def test_var_read_write(env, make_pctx):
+    pctx = make_pctx()
+    pctx.image.write_variable("flag", 7)
+    assert execute(env, pctx, VarRef("flag")) == 7
+
+
+def test_unset_variable_defaults_to_zero(env, make_pctx):
+    pctx = make_pctx()
+    assert execute(env, pctx, VarRef("nothing")) == 0
+
+
+def test_assign_stores_into_address_space(env, make_pctx):
+    pctx = make_pctx()
+    execute(env, pctx, Assign("x", Arith("+", Const(2), Const(3))))
+    assert pctx.image.read_variable("x") == 5
+
+
+def test_arith_operators(env, make_pctx):
+    pctx = make_pctx()
+    snip = Sequence([
+        Assign("mul", Arith("*", Const(6), Const(7))),
+        Assign("sub", Arith("-", Const(6), Const(7))),
+        Assign("div", Arith("/", Const(8), Const(2))),
+    ])
+    execute(env, pctx, snip)
+    assert pctx.image.read_variable("mul") == 42
+    assert pctx.image.read_variable("sub") == -1
+    assert pctx.image.read_variable("div") == 4
+
+
+def test_unknown_operator_rejected():
+    with pytest.raises(SnippetError):
+        Arith("%", Const(1), Const(2))
+    with pytest.raises(SnippetError):
+        Compare("~", Const(1), Const(2))
+
+
+def test_compare_operators(env, make_pctx):
+    pctx = make_pctx()
+    snip = Sequence([
+        Assign("lt", Compare("<", Const(1), Const(2))),
+        Assign("eq", Compare("==", Const(1), Const(2))),
+    ])
+    execute(env, pctx, snip)
+    assert pctx.image.read_variable("lt") is True
+    assert pctx.image.read_variable("eq") is False
+
+
+def test_if_takes_then_branch(env, make_pctx):
+    pctx = make_pctx()
+    snip = If(Const(True), Assign("y", Const(1)), Assign("y", Const(2)))
+    execute(env, pctx, snip)
+    assert pctx.image.read_variable("y") == 1
+
+
+def test_if_takes_else_branch(env, make_pctx):
+    pctx = make_pctx()
+    snip = If(Const(False), Assign("y", Const(1)), Assign("y", Const(2)))
+    execute(env, pctx, snip)
+    assert pctx.image.read_variable("y") == 2
+
+
+def test_if_without_else_returns_none(env, make_pctx):
+    pctx = make_pctx()
+    assert execute(env, pctx, If(Const(False), Const(1))) is None
+
+
+def test_sequence_runs_in_order_returns_last(env, make_pctx):
+    pctx = make_pctx()
+    snip = Sequence([Assign("a", Const(1)), Assign("b", Const(2)), Const("last")])
+    assert execute(env, pctx, snip) == "last"
+    assert pctx.image.read_variable("a") == 1
+    assert pctx.image.read_variable("b") == 2
+
+
+def test_callfunc_invokes_runtime_registry(env, make_pctx):
+    pctx = make_pctx()
+    calls = []
+    pctx.image.register_runtime("start_timer", lambda ctx, *a: calls.append(a) or "rv")
+    assert execute(env, pctx, CallFunc("start_timer", [Const(5)])) == "rv"
+    assert calls == [(5,)]
+
+
+def test_callfunc_unresolved_raises(env, make_pctx):
+    pctx = make_pctx()
+    with pytest.raises(Exception):
+        execute(env, pctx, CallFunc("missing_fn"))
+
+
+def test_callfunc_blocking_callee(env, make_pctx):
+    """A snippet callee may be a generator that blocks (e.g. MPI_Barrier)."""
+    pctx = make_pctx()
+
+    def blocking(ctx):
+        yield ctx.env.timeout(2.5)
+        return "after-block"
+
+    pctx.image.register_runtime("MPI_Barrier", blocking)
+    assert execute(env, pctx, CallFunc("MPI_Barrier")) == "after-block"
+    assert env.now == pytest.approx(2.5)
+
+
+def test_snippets_charge_op_costs(env, make_pctx, spec):
+    pctx = make_pctx()
+    snip = Sequence([Assign("x", Arith("+", Const(1), Const(2)))])
+    execute(env, pctx, snip)
+    expected_ops = snip.op_count()
+    assert expected_ops == 4  # assign + arith + 2 consts
+    assert env.now == pytest.approx(expected_ops * spec.snippet_op_cost)
+
+
+def test_nop_costs_nothing(env, make_pctx):
+    pctx = make_pctx()
+    assert execute(env, pctx, Nop()) is None
+    assert env.now == 0.0
+    assert Nop().op_count() == 0
+
+
+def test_spinwait_blocks_until_variable_set(env, make_pctx):
+    pctx = make_pctx()
+
+    def flipper(env):
+        yield env.timeout(4.0)
+        pctx.image.write_variable("go", 1)
+
+    env.process(flipper(env))
+    assert execute(env, pctx, SpinWait("go")) == 1
+    assert env.now == pytest.approx(4.0)
+
+
+def test_spinwait_passes_if_already_set(env, make_pctx):
+    pctx = make_pctx()
+    pctx.image.write_variable("go", 1)
+    assert execute(env, pctx, SpinWait("go")) == 1
+    assert env.now < 1e-6
+
+
+def test_describe_is_readable():
+    snip = Sequence([
+        CallFunc("MPI_Barrier"),
+        CallFunc("DPCL_callback", [Const(1)]),
+        SpinWait("dynvt_go"),
+        CallFunc("MPI_Barrier"),
+    ])
+    text = snip.describe()
+    assert "MPI_Barrier()" in text
+    assert "spin_until(dynvt_go)" in text
+
+
+def test_op_count_recursion():
+    inner = Arith("+", Const(1), VarRef("x"))
+    snip = If(Compare(">", VarRef("x"), Const(0)), Assign("y", inner), Nop())
+    # if(1) + cmp(1)+var(1)+const(1) + assign(1)+arith(1)+const(1)+var(1) + nop(0)
+    assert snip.op_count() == 8
+
+
+def test_increment_var_counts(env, make_pctx):
+    from repro.program import IncrementVar
+
+    pctx = make_pctx()
+    snip = IncrementVar("hits")
+    execute(env, pctx, Sequence([snip]))
+    assert pctx.image.read_variable("hits") == 1
+    assert "hits += 1" in snip.describe()
+
+
+def test_increment_var_is_batchable(env, make_pctx):
+    """A counting probe must not break the leaf batching fast path."""
+    from repro.program import ENTRY, ExecutableImage, IncrementVar
+
+    exe = ExecutableImage("app")
+    exe.define("leaf")
+    pctx = make_pctx(exe)
+    pctx.image.install_probe("leaf", ENTRY, IncrementVar("calls"))
+
+    def driver():
+        yield from pctx.call_batch("leaf", 5000, 1e-7)
+        yield from pctx.flush()
+
+    run_ctx(env, pctx, driver())
+    assert pctx.image.read_variable("calls") == 5000
+    # The fast path ran: far fewer engine events than 5000 calls.
+    assert env.events_processed < 200
+
+
+def test_increment_batch_and_loop_charge_identically(env, make_pctx):
+    from repro.program import ENTRY, ExecutableImage, IncrementVar
+
+    exe = ExecutableImage("app")
+    exe.define("a")
+    exe.define("b")
+    pctx = make_pctx(exe)
+    pctx.image.install_probe("a", ENTRY, IncrementVar("ca"))
+    pctx.image.install_probe("b", ENTRY, IncrementVar("cb"))
+    n = 300
+
+    def driver():
+        t0 = pctx.task.now
+        yield from pctx.call_batch("a", n, 1e-6)
+        t_batch = pctx.task.now - t0
+        t1 = pctx.task.now
+        yield from pctx._call_loop(pctx.fn("b"), n, 1e-6, None)
+        t_loop = pctx.task.now - t1
+        return t_batch, t_loop
+
+    t_batch, t_loop = run_ctx(env, pctx, driver())
+    assert t_batch == pytest.approx(t_loop, rel=1e-9)
+    assert pctx.image.read_variable("ca") == n
+    assert pctx.image.read_variable("cb") == n

@@ -1,0 +1,200 @@
+"""Unit tests for the DES engine core: clock, queue, run modes."""
+
+import pytest
+
+from repro.simt import Environment, Event, SimtError, StopSimulation
+
+
+def test_initial_time_defaults_to_zero():
+    assert Environment().now == 0.0
+
+
+def test_initial_time_can_be_set():
+    assert Environment(initial_time=5.0).now == 5.0
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(2.5)
+
+    env.process(proc(env))
+    env.run()
+    assert env.now == 2.5
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.timeout(-1)
+
+
+def test_run_until_time_stops_clock_exactly():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(10.0)
+
+    env.process(proc(env))
+    env.run(until=4.0)
+    assert env.now == 4.0
+
+
+def test_run_until_time_in_past_rejected():
+    env = Environment(initial_time=10.0)
+    with pytest.raises(ValueError):
+        env.run(until=5.0)
+
+
+def test_run_until_event_returns_value():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(1.0)
+        return 42
+
+    p = env.process(proc(env))
+    assert env.run(until=p) == 42
+
+
+def test_run_until_failed_event_raises():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(1.0)
+        raise RuntimeError("boom")
+
+    p = env.process(proc(env))
+    with pytest.raises(RuntimeError, match="boom"):
+        env.run(until=p)
+
+
+def test_run_until_pending_event_is_deadlock():
+    env = Environment()
+    ev = env.event()  # never triggered
+    with pytest.raises(SimtError, match="deadlock"):
+        env.run(until=ev)
+
+
+def test_run_drains_queue_when_until_none():
+    env = Environment()
+    times = []
+
+    def proc(env, delay):
+        yield env.timeout(delay)
+        times.append(env.now)
+
+    env.process(proc(env, 3.0))
+    env.process(proc(env, 1.0))
+    env.run()
+    assert times == [1.0, 3.0]
+
+
+def test_events_at_same_time_fire_in_schedule_order():
+    env = Environment()
+    order = []
+
+    def proc(env, tag):
+        yield env.timeout(1.0)
+        order.append(tag)
+
+    for tag in "abc":
+        env.process(proc(env, tag))
+    env.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_step_on_empty_queue_raises():
+    env = Environment()
+    with pytest.raises(SimtError):
+        env.step()
+
+
+def test_peek_returns_next_event_time():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(7.0)
+
+    env.process(proc(env))
+    env.step()  # consume the Initialize event
+    assert env.peek() == 7.0
+
+
+def test_stop_simulation_exits_run_with_reason():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(1.0)
+        raise StopSimulation("halted")
+
+    env.process(proc(env))
+    assert env.run() == "halted"
+    assert env.now == 1.0
+
+
+def test_unobserved_crash_aborts_in_strict_mode():
+    env = Environment(strict=True)
+
+    def bad(env):
+        yield env.timeout(1.0)
+        raise ValueError("rank aborted")
+
+    env.process(bad(env))
+    with pytest.raises(SimtError, match="crashed"):
+        env.run()
+
+
+def test_observed_crash_does_not_abort():
+    env = Environment(strict=True)
+
+    def bad(env):
+        yield env.timeout(1.0)
+        raise ValueError("rank aborted")
+
+    def watcher(env, p):
+        try:
+            yield p
+        except ValueError:
+            return "caught"
+
+    p = env.process(bad(env))
+    w = env.process(watcher(env, p))
+    assert env.run(until=w) == "caught"
+
+
+def test_events_processed_counter_increases():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(1.0)
+        yield env.timeout(1.0)
+
+    env.process(proc(env))
+    env.run()
+    assert env.events_processed >= 3  # init + 2 timeouts
+
+
+def test_run_until_already_processed_event():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(1.0)
+        return "early"
+
+    p = env.process(proc(env))
+    env.run()
+    # p is long processed; run(until=p) must return immediately.
+    assert env.run(until=p) == "early"
+
+
+def test_yield_non_event_is_type_error():
+    env = Environment(strict=True)
+
+    def bad(env):
+        yield 42
+
+    env.process(bad(env))
+    with pytest.raises((TypeError, SimtError)):
+        env.run()

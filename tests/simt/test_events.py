@@ -1,0 +1,265 @@
+"""Tests for Event/Timeout/Process/AnyOf/AllOf semantics."""
+
+import pytest
+
+from repro.simt import (
+    AllOf,
+    AnyOf,
+    DeadProcessError,
+    Environment,
+    EventRescheduleError,
+    Interrupt,
+)
+
+
+def test_event_lifecycle_flags():
+    env = Environment()
+    ev = env.event()
+    assert not ev.triggered and not ev.processed
+    ev.succeed("v")
+    assert ev.triggered and not ev.processed
+    env.run()
+    assert ev.processed and ev.value == "v" and ev.ok
+
+
+def test_event_value_unavailable_while_pending():
+    env = Environment()
+    ev = env.event()
+    with pytest.raises(AttributeError):
+        _ = ev.value
+
+
+def test_event_cannot_trigger_twice():
+    env = Environment()
+    ev = env.event()
+    ev.succeed(1)
+    with pytest.raises(EventRescheduleError):
+        ev.succeed(2)
+    with pytest.raises(EventRescheduleError):
+        ev.fail(RuntimeError())
+
+
+def test_fail_requires_exception_instance():
+    env = Environment()
+    ev = env.event()
+    with pytest.raises(TypeError):
+        ev.fail("not an exception")
+
+
+def test_process_receives_event_value():
+    env = Environment()
+    ev = env.event()
+    got = []
+
+    def proc(env):
+        got.append((yield ev))
+
+    env.process(proc(env))
+    ev.succeed("payload")
+    env.run()
+    assert got == ["payload"]
+
+
+def test_process_receives_event_failure_as_exception():
+    env = Environment()
+    ev = env.event()
+
+    def proc(env):
+        try:
+            yield ev
+        except KeyError:
+            return "caught"
+
+    p = env.process(proc(env))
+    ev.fail(KeyError("k"))
+    assert env.run(until=p) == "caught"
+
+
+def test_multiple_processes_wait_on_one_event():
+    env = Environment()
+    ev = env.event()
+    got = []
+
+    def proc(env, tag):
+        yield ev
+        got.append(tag)
+
+    for tag in range(3):
+        env.process(proc(env, tag))
+    ev.succeed()
+    env.run()
+    assert got == [0, 1, 2]
+
+
+def test_yield_already_processed_event_resumes_immediately():
+    env = Environment()
+    ev = env.event()
+    ev.succeed("old")
+    env.run()
+    assert ev.processed
+
+    def proc(env):
+        v = yield ev
+        return (v, env.now)
+
+    p = env.process(proc(env))
+    assert env.run(until=p) == ("old", 0.0)
+
+
+def test_process_is_joinable_event():
+    env = Environment()
+
+    def child(env):
+        yield env.timeout(2.0)
+        return "child-done"
+
+    def parent(env):
+        result = yield env.process(child(env))
+        return (result, env.now)
+
+    p = env.process(parent(env))
+    assert env.run(until=p) == ("child-done", 2.0)
+
+
+def test_process_name_from_generator():
+    env = Environment()
+
+    def my_worker(env):
+        yield env.timeout(1)
+
+    p = env.process(my_worker(env))
+    assert "my_worker" in repr(p) or p.name == "my_worker"
+
+
+def test_process_requires_generator():
+    env = Environment()
+    with pytest.raises(TypeError):
+        env.process(lambda: None)
+
+
+def test_interrupt_delivers_cause():
+    env = Environment()
+    seen = []
+
+    def victim(env):
+        try:
+            yield env.timeout(100.0)
+        except Interrupt as intr:
+            seen.append((env.now, intr.cause))
+
+    def attacker(env, v):
+        yield env.timeout(3.0)
+        v.interrupt("suspend-please")
+
+    v = env.process(victim(env))
+    env.process(attacker(env, v))
+    env.run()
+    assert seen == [(3.0, "suspend-please")]
+
+
+def test_interrupted_process_can_rewait_same_event():
+    env = Environment()
+    timeline = []
+
+    def victim(env):
+        t = env.timeout(10.0)
+        try:
+            yield t
+        except Interrupt:
+            timeline.append(("interrupted", env.now))
+            yield t  # keep waiting for the original timeout
+        timeline.append(("done", env.now))
+
+    def attacker(env, v):
+        yield env.timeout(4.0)
+        v.interrupt()
+
+    v = env.process(victim(env))
+    env.process(attacker(env, v))
+    env.run()
+    assert timeline == [("interrupted", 4.0), ("done", 10.0)]
+
+
+def test_interrupt_dead_process_raises():
+    env = Environment()
+
+    def victim(env):
+        yield env.timeout(1.0)
+
+    v = env.process(victim(env))
+    env.run()
+    with pytest.raises(DeadProcessError):
+        v.interrupt()
+
+
+def test_allof_waits_for_all():
+    env = Environment()
+
+    def proc(env, d):
+        yield env.timeout(d)
+        return d
+
+    ps = [env.process(proc(env, d)) for d in (3.0, 1.0, 2.0)]
+
+    def joiner(env):
+        result = yield AllOf(env, ps)
+        return (env.now, sorted(result.values()))
+
+    j = env.process(joiner(env))
+    assert env.run(until=j) == (3.0, [1.0, 2.0, 3.0])
+
+
+def test_anyof_fires_on_first():
+    env = Environment()
+
+    def proc(env, d):
+        yield env.timeout(d)
+        return d
+
+    ps = [env.process(proc(env, d)) for d in (3.0, 1.0, 2.0)]
+
+    def joiner(env):
+        result = yield AnyOf(env, ps)
+        return (env.now, list(result.values()))
+
+    j = env.process(joiner(env))
+    assert env.run(until=j) == (1.0, [1.0])
+
+
+def test_allof_fails_fast_on_failure():
+    env = Environment()
+
+    def good(env):
+        yield env.timeout(5.0)
+
+    def bad(env):
+        yield env.timeout(1.0)
+        raise RuntimeError("dead rank")
+
+    ps = [env.process(good(env)), env.process(bad(env))]
+
+    def joiner(env):
+        try:
+            yield AllOf(env, ps)
+        except RuntimeError:
+            return env.now
+
+    j = env.process(joiner(env))
+    assert env.run(until=j) == 1.0
+
+
+def test_allof_empty_triggers_immediately():
+    env = Environment()
+
+    def joiner(env):
+        yield AllOf(env, [])
+        return env.now
+
+    j = env.process(joiner(env))
+    assert env.run(until=j) == 0.0
+
+
+def test_condition_rejects_foreign_events():
+    env1, env2 = Environment(), Environment()
+    with pytest.raises(ValueError):
+        AllOf(env1, [env2.event()])

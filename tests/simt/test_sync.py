@@ -1,0 +1,311 @@
+"""Tests for Channel, Gate, Resource and Latch."""
+
+import pytest
+
+from repro.simt import Channel, Environment, Gate, Latch, Resource
+
+
+# ---------------------------------------------------------------- Channel
+
+
+def test_channel_put_then_get():
+    env = Environment()
+    ch = Channel(env)
+    ch.put("msg")
+
+    def getter(env):
+        return (yield ch.get())
+
+    p = env.process(getter(env))
+    assert env.run(until=p) == "msg"
+
+
+def test_channel_get_blocks_until_put():
+    env = Environment()
+    ch = Channel(env)
+
+    def getter(env):
+        v = yield ch.get()
+        return (v, env.now)
+
+    def putter(env):
+        yield env.timeout(5.0)
+        ch.put("late")
+
+    p = env.process(getter(env))
+    env.process(putter(env))
+    assert env.run(until=p) == ("late", 5.0)
+
+
+def test_channel_fifo_order_of_items():
+    env = Environment()
+    ch = Channel(env)
+    for i in range(4):
+        ch.put(i)
+    got = []
+
+    def getter(env):
+        for _ in range(4):
+            got.append((yield ch.get()))
+
+    env.process(getter(env))
+    env.run()
+    assert got == [0, 1, 2, 3]
+
+
+def test_channel_fifo_fairness_of_getters():
+    env = Environment()
+    ch = Channel(env)
+    got = []
+
+    def getter(env, tag):
+        v = yield ch.get()
+        got.append((tag, v))
+
+    for tag in "ab":
+        env.process(getter(env, tag))
+
+    def putter(env):
+        yield env.timeout(1.0)
+        ch.put(1)
+        ch.put(2)
+
+    env.process(putter(env))
+    env.run()
+    assert got == [("a", 1), ("b", 2)]
+
+
+def test_channel_try_get_and_len():
+    env = Environment()
+    ch = Channel(env)
+    assert ch.try_get() is None
+    ch.put("x")
+    assert len(ch) == 1
+    assert ch.try_get() == "x"
+    assert len(ch) == 0
+
+
+def test_channel_waiting_count():
+    env = Environment()
+    ch = Channel(env)
+
+    def getter(env):
+        yield ch.get()
+
+    env.process(getter(env))
+    env.run()  # drains: getter is now blocked... run returns (queue empty)
+    assert ch.waiting == 1
+
+
+# ---------------------------------------------------------------- Gate
+
+
+def test_open_gate_does_not_block():
+    env = Environment()
+    gate = Gate(env, open_=True)
+
+    def proc(env):
+        yield gate.wait()
+        return env.now
+
+    p = env.process(proc(env))
+    assert env.run(until=p) == 0.0
+
+
+def test_closed_gate_parks_until_open():
+    env = Environment()
+    gate = Gate(env, open_=False)
+
+    def proc(env):
+        yield gate.wait()
+        return env.now
+
+    def opener(env):
+        yield env.timeout(8.0)
+        gate.open()
+
+    p = env.process(proc(env))
+    env.process(opener(env))
+    assert env.run(until=p) == 8.0
+
+
+def test_gate_releases_all_parked():
+    env = Environment()
+    gate = Gate(env, open_=False)
+    released = []
+
+    def proc(env, tag):
+        yield gate.wait()
+        released.append(tag)
+
+    for tag in range(3):
+        env.process(proc(env, tag))
+
+    def opener(env):
+        yield env.timeout(1.0)
+        assert gate.parked == 3
+        gate.open()
+
+    env.process(opener(env))
+    env.run()
+    assert sorted(released) == [0, 1, 2]
+
+
+def test_gate_when_parked_threshold():
+    env = Environment()
+    gate = Gate(env, open_=False)
+
+    def proc(env, d):
+        yield env.timeout(d)
+        yield gate.wait()
+
+    for d in (1.0, 2.0, 3.0):
+        env.process(proc(env, d))
+
+    def controller(env):
+        yield gate.when_parked(3)
+        t = env.now
+        gate.open()
+        return t
+
+    c = env.process(controller(env))
+    assert env.run(until=c) == 3.0
+
+
+def test_gate_when_parked_already_satisfied():
+    env = Environment()
+    gate = Gate(env, open_=False)
+
+    def proc(env):
+        yield gate.wait()
+
+    env.process(proc(env))
+    env.run()
+
+    def controller(env):
+        yield gate.when_parked(1)
+        gate.open()
+        return env.now
+
+    c = env.process(controller(env))
+    assert env.run(until=c) == 0.0
+
+
+def test_gate_reusable_close_open_cycle():
+    env = Environment()
+    gate = Gate(env, open_=True)
+    history = []
+
+    def proc(env):
+        for _ in range(2):
+            yield gate.wait()
+            history.append(env.now)
+            yield env.timeout(1.0)
+
+    def controller(env):
+        yield env.timeout(0.5)
+        gate.close()
+        yield env.timeout(2.0)
+        gate.open()
+
+    env.process(proc(env))
+    env.process(controller(env))
+    env.run()
+    # First wait passes at t=0 (open); second wait at t=1 parks (closed
+    # at 0.5), releases at 2.5.
+    assert history == [0.0, 2.5]
+
+
+# ---------------------------------------------------------------- Resource
+
+
+def test_resource_grants_up_to_capacity():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    acquired = []
+
+    def proc(env, tag, hold):
+        yield res.request()
+        acquired.append((tag, env.now))
+        yield env.timeout(hold)
+        res.release()
+
+    env.process(proc(env, "a", 5.0))
+    env.process(proc(env, "b", 5.0))
+    env.process(proc(env, "c", 1.0))
+    env.run()
+    assert acquired == [("a", 0.0), ("b", 0.0), ("c", 5.0)]
+
+
+def test_resource_capacity_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Resource(env, capacity=0)
+
+
+def test_resource_release_idle_raises():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    with pytest.raises(RuntimeError):
+        res.release()
+
+
+def test_resource_queue_length():
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def holder(env):
+        yield res.request()
+        yield env.timeout(10.0)
+        res.release()
+
+    def waiter(env):
+        yield res.request()
+        res.release()
+
+    env.process(holder(env))
+    env.process(waiter(env))
+    env.run(until=5.0)
+    assert res.queued == 1 and res.in_use == 1
+
+
+# ---------------------------------------------------------------- Latch
+
+
+def test_latch_releases_after_n():
+    env = Environment()
+    latch = Latch(env, 3)
+
+    def worker(env, d):
+        yield env.timeout(d)
+        latch.count_down()
+
+    for d in (1.0, 2.0, 3.0):
+        env.process(worker(env, d))
+
+    def joiner(env):
+        yield latch.wait()
+        return env.now
+
+    j = env.process(joiner(env))
+    assert env.run(until=j) == 3.0
+
+
+def test_latch_zero_is_immediately_open():
+    env = Environment()
+    latch = Latch(env, 0)
+    assert latch.event.triggered
+
+
+def test_latch_overrelease_raises():
+    env = Environment()
+    latch = Latch(env, 1)
+    latch.count_down()
+    with pytest.raises(RuntimeError):
+        latch.count_down()
+
+
+def test_latch_negative_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Latch(env, -1)

@@ -1,0 +1,177 @@
+"""Tests for the job assembly layer (MpiJob / OmpJob)."""
+
+import pytest
+
+from repro.cluster import Cluster, POWER3_SP
+from repro.jobs import MpiJob, OmpJob
+from repro.program import ExecutableImage
+from repro.simt import Environment
+from repro.vt import VTConfig
+
+SPEC = POWER3_SP.with_overrides(net_jitter=0.0)
+
+
+def simple_mpi_program(pctx):
+    yield from pctx.call("MPI_Init")
+    yield from pctx.compute(0.5)
+    yield from pctx.call("MPI_Finalize")
+    return pctx.mpi.rank
+
+
+def simple_omp_program(pctx):
+    yield from pctx.call("VT_init")
+    yield from pctx.compute(0.5)
+    return "done"
+
+
+def test_mpi_job_builds_per_rank_state():
+    env = Environment()
+    cluster = Cluster(env, SPEC, seed=0)
+    exe = ExecutableImage("app")
+    job = MpiJob(env, cluster, exe, 6, simple_mpi_program)
+    assert job.n_procs == 6
+    assert len(job.images) == 6
+    assert len({id(im) for im in job.images}) == 6  # independent images
+    assert "MPI_Init" in exe  # symbols installed automatically
+    assert all(vt is not None for vt in job.vt_states)
+    assert all(vt.n_cotracers == 6 for vt in job.vt_states)
+    # Shared registry: same names -> same fids across ranks.
+    assert job.vt_states[0].registry is job.vt_states[5].registry
+
+
+def test_mpi_job_run_returns_makespan():
+    env = Environment()
+    cluster = Cluster(env, SPEC, seed=0)
+    exe = ExecutableImage("app")
+    job = MpiJob(env, cluster, exe, 2, simple_mpi_program)
+    makespan = job.run()
+    assert makespan > 0.5
+    assert [p.value for p in job.procs] == [0, 1]
+
+
+def test_mpi_job_without_vt():
+    env = Environment()
+    cluster = Cluster(env, SPEC, seed=0)
+    exe = ExecutableImage("app")
+    job = MpiJob(env, cluster, exe, 2, simple_mpi_program, link_vt=False)
+    job.run()
+    assert job.vt_states == [None, None]
+    assert job.trace.raw_record_count == 0
+
+
+def test_mpi_job_double_start_rejected():
+    env = Environment()
+    cluster = Cluster(env, SPEC, seed=0)
+    exe = ExecutableImage("app")
+    job = MpiJob(env, cluster, exe, 2, simple_mpi_program)
+    job.start()
+    with pytest.raises(RuntimeError, match="already started"):
+        job.start()
+    env.run()
+
+
+def test_mpi_job_completion_before_start_rejected():
+    env = Environment()
+    cluster = Cluster(env, SPEC, seed=0)
+    job = MpiJob(env, cluster, ExecutableImage("app"), 2, simple_mpi_program)
+    with pytest.raises(RuntimeError, match="not started"):
+        job.completion()
+
+
+def test_start_suspended_parks_until_release():
+    env = Environment()
+    cluster = Cluster(env, SPEC, seed=0)
+    exe = ExecutableImage("app")
+    job = MpiJob(env, cluster, exe, 2, simple_mpi_program, start_suspended=True)
+    job.start()
+    env.run(until=5.0)
+    assert all(t.is_parked for t in job.tasks)
+
+    job.resume_all()
+    env.run(until=job.completion())
+    assert all(p.value in (0, 1) for p in job.procs)
+    # resume_all is idempotent.
+    job.resume_all()
+
+
+def test_daemon_host_registration_shared_across_jobs():
+    env = Environment()
+    cluster = Cluster(env, SPEC, seed=0)
+    job1 = MpiJob(env, cluster, ExecutableImage("a"), 2, simple_mpi_program)
+    job2 = MpiJob(env, cluster, ExecutableImage("b"), 2, simple_mpi_program)
+    assert job1.daemon_host is job2.daemon_host
+    assert job1.daemon_host.lookup("a[0]") is not None
+    assert job1.daemon_host.lookup("b[1]") is not None
+
+
+def test_vt_config_applied_per_rank():
+    env = Environment()
+    cluster = Cluster(env, SPEC, seed=0)
+    exe = ExecutableImage("cfg")
+    exe.define("f")
+    exe.instrument_statically()
+    cfg = VTConfig.all_off()
+    job = MpiJob(env, cluster, exe, 2, simple_mpi_program, vt_config=cfg)
+    job.run()
+    for vt in job.vt_states:
+        assert not vt.is_fid_active(job.images[0].func("f").fid)
+
+
+def test_omp_job_lifecycle():
+    env = Environment()
+    cluster = Cluster(env, SPEC, seed=0)
+    exe = ExecutableImage("ompapp")
+    job = OmpJob(env, cluster, exe, 4, simple_omp_program)
+    assert "VT_init" in exe
+    makespan = job.run()
+    assert job.proc.value == "done"
+    assert makespan >= 0.5
+    assert job.vt.initialized  # VT_init ran
+
+
+def test_omp_job_thread_limit():
+    env = Environment()
+    cluster = Cluster(env, SPEC, seed=0)
+    with pytest.raises(ValueError, match="cores"):
+        OmpJob(env, cluster, ExecutableImage("x"), 16, simple_omp_program)
+
+
+def test_omp_job_start_suspended():
+    env = Environment()
+    cluster = Cluster(env, SPEC, seed=0)
+    job = OmpJob(env, cluster, ExecutableImage("x"), 2, simple_omp_program,
+                 start_suspended=True)
+    job.start()
+    env.run(until=2.0)
+    assert job.task.is_parked
+    job.resume_all()
+    env.run(until=job.completion())
+    assert job.proc.value == "done"
+
+
+def test_omp_job_flushes_trace_at_end():
+    env = Environment()
+    cluster = Cluster(env, SPEC, seed=0)
+    exe = ExecutableImage("traced")
+    exe.define("f")
+    exe.instrument_statically()
+
+    def program(pctx):
+        yield from pctx.call("VT_init")
+        yield from pctx.call("f")
+        return None
+
+    job = OmpJob(env, cluster, exe, 2, program)
+    job.run()
+    assert job.trace.raw_record_count == 2  # one enter+leave pair
+
+
+def test_omp_job_tasks_images_accessors():
+    env = Environment()
+    cluster = Cluster(env, SPEC, seed=0)
+    job = OmpJob(env, cluster, ExecutableImage("x"), 2, simple_omp_program)
+    assert job.tasks == [job.task]
+    assert job.images == [job.image]
+    assert job.n_threads == 2
+    with pytest.raises(RuntimeError, match="not started"):
+        job.completion()

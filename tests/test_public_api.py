@@ -1,0 +1,68 @@
+"""Guard the public API surface: exports resolve, docs exist."""
+
+import importlib
+import inspect
+
+import pytest
+
+import repro
+
+SUBPACKAGES = [
+    "repro.simt",
+    "repro.cluster",
+    "repro.program",
+    "repro.mpi",
+    "repro.openmp",
+    "repro.vt",
+    "repro.dpcl",
+    "repro.dynprof",
+    "repro.apps",
+    "repro.analysis",
+    "repro.experiments",
+    "repro.jobs",
+]
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_root_all_resolves():
+    for name in repro.__all__:
+        if name == "__version__":
+            continue
+        assert getattr(repro, name, None) is not None, name
+
+
+@pytest.mark.parametrize("modname", SUBPACKAGES)
+def test_subpackage_all_resolves(modname):
+    mod = importlib.import_module(modname)
+    assert mod.__doc__ and len(mod.__doc__) > 40, f"{modname} needs a docstring"
+    for name in getattr(mod, "__all__", []):
+        assert getattr(mod, name, None) is not None, f"{modname}.{name}"
+
+
+@pytest.mark.parametrize("modname", SUBPACKAGES)
+def test_public_classes_and_functions_documented(modname):
+    """Every public item exported by a subpackage carries a docstring."""
+    mod = importlib.import_module(modname)
+    undocumented = []
+    for name in getattr(mod, "__all__", []):
+        obj = getattr(mod, name)
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            if not (obj.__doc__ and obj.__doc__.strip()):
+                undocumented.append(f"{modname}.{name}")
+    assert not undocumented, f"missing docstrings: {undocumented}"
+
+
+def test_console_entry_points_importable():
+    from repro.dynprof.cli import main as dynprof_main
+    from repro.experiments.cli import main as experiments_main
+
+    assert callable(dynprof_main) and callable(experiments_main)
+
+
+def test_machine_presets_match_paper_testbeds():
+    # The two testbeds of the paper, by name, from the root namespace.
+    assert repro.POWER3_SP.total_cores() == 1152
+    assert repro.IA32_LINUX.n_nodes == 16

@@ -1,0 +1,95 @@
+"""Tests for trace buffers, records and the postmortem trace file."""
+
+import pytest
+
+from repro.vt import (
+    BatchPairRecord,
+    CollectiveRecord,
+    EnterRecord,
+    LeaveRecord,
+    MarkerRecord,
+    MsgRecord,
+    ThreadTraceBuffer,
+    TraceFile,
+)
+
+
+def test_record_counts():
+    assert EnterRecord(1, 0.0).record_count() == 1
+    assert LeaveRecord(1, 0.0).record_count() == 1
+    assert BatchPairRecord(1, 250, 0.0, 1e-6, 5e-7).record_count() == 500
+    assert MsgRecord("send", 1, 0, 10, 0.0).record_count() == 1
+    assert CollectiveRecord("MPI_Barrier", 4, 0.0, 1.0).record_count() == 1
+    assert MarkerRecord("suspended", 0.0, 1.0).record_count() == 1
+
+
+def test_msg_record_validates_kind():
+    with pytest.raises(ValueError):
+        MsgRecord("forward", 1, 0, 10, 0.0)
+
+
+def test_batch_pair_geometry():
+    rec = BatchPairRecord(7, 10, 100.0, 0.5, 0.2)
+    assert rec.time == 100.0
+    assert rec.t_last_leave == pytest.approx(100.0 + 9 * 0.5 + 0.2)
+
+
+def test_marker_defaults_to_point():
+    m = MarkerRecord("tick", 3.0)
+    assert m.t_start == m.t_end == 3.0
+
+
+def test_buffer_raw_count_tracks_appends():
+    buf = ThreadTraceBuffer(0, 0)
+    buf.enter(1, 0.0)
+    buf.leave(1, 1.0)
+    buf.batch_pair(2, 100, 1.0, 1e-6, 5e-7)
+    buf.message("recv", 3, 9, 128, 2.0)
+    buf.collective("MPI_Bcast", 8, 2.0, 2.1)
+    buf.marker("suspended", 3.0, 4.0)
+    assert len(buf) == 6
+    assert buf.raw_record_count == 1 + 1 + 200 + 1 + 1 + 1
+
+
+def test_tracefile_accounting():
+    trace = TraceFile("app", record_bytes=32)
+    b0 = ThreadTraceBuffer(0, 0)
+    b0.enter(1, 0.0)
+    b0.leave(1, 1.0)
+    b1 = ThreadTraceBuffer(1, 0)
+    b1.batch_pair(1, 50, 0.0, 1e-6, 5e-7)
+    trace.add_buffer(b0)
+    trace.add_buffer(b1)
+    assert trace.n_processes == 2
+    assert trace.n_threads == 2
+    assert trace.raw_record_count == 102
+    assert trace.size_bytes == 102 * 32
+    assert len(trace.records_of(0)) == 2
+
+
+def test_tracefile_duplicate_buffer_rejected():
+    trace = TraceFile("app")
+    trace.add_buffer(ThreadTraceBuffer(0, 0))
+    with pytest.raises(ValueError, match="duplicate"):
+        trace.add_buffer(ThreadTraceBuffer(0, 0))
+
+
+def test_tracefile_function_names():
+    trace = TraceFile("app")
+    trace.register_function(1, "solve")
+    trace.register_function(1, "solve")  # idempotent
+    with pytest.raises(ValueError, match="maps to both"):
+        trace.register_function(1, "other")
+    assert trace.function_name(1) == "solve"
+    assert trace.function_name(99) == "fid#99"
+
+
+def test_all_records_iterates_everything():
+    trace = TraceFile("app")
+    for p in range(3):
+        buf = ThreadTraceBuffer(p, 0)
+        buf.enter(1, float(p))
+        trace.add_buffer(buf)
+    seen = list(trace.all_records())
+    assert len(seen) == 3
+    assert {p for p, _t, _r in seen} == {0, 1, 2}

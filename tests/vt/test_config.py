@@ -1,0 +1,92 @@
+"""Tests for the VT configuration file parser and deactivation tables."""
+
+import pytest
+
+from repro.vt import VTConfig, VTConfigError
+
+
+def test_parse_empty_is_all_on():
+    cfg = VTConfig.parse("")
+    assert cfg.is_active("anything")
+    assert cfg.mpi_trace is True
+    assert cfg.stats is False
+
+
+def test_parse_comments_and_blanks():
+    cfg = VTConfig.parse("""
+    # full line comment
+
+    SYMBOL foo OFF   # trailing comment
+    """)
+    assert not cfg.is_active("foo")
+    assert cfg.is_active("bar")
+
+
+def test_last_matching_rule_wins():
+    cfg = VTConfig.parse("SYMBOL * OFF\nSYMBOL hypre_* ON\nSYMBOL hypre_debug OFF\n")
+    assert cfg.is_active("hypre_Solve")
+    assert not cfg.is_active("hypre_debug")
+    assert not cfg.is_active("main")
+
+
+def test_default_directive():
+    cfg = VTConfig.parse("DEFAULT OFF\nSYMBOL important ON\n")
+    assert cfg.is_active("important")
+    assert not cfg.is_active("other")
+
+
+def test_mpi_trace_and_stats_flags():
+    cfg = VTConfig.parse("MPI-TRACE OFF\nSTATS ON\n")
+    assert cfg.mpi_trace is False
+    assert cfg.stats is True
+
+
+def test_case_insensitive_keywords():
+    cfg = VTConfig.parse("symbol Foo off\ndefault on\n")
+    assert not cfg.is_active("Foo")
+    # Globs themselves stay case-sensitive.
+    assert cfg.is_active("foo")
+
+
+def test_parse_errors():
+    with pytest.raises(VTConfigError):
+        VTConfig.parse("SYMBOL foo MAYBE")
+    with pytest.raises(VTConfigError):
+        VTConfig.parse("SYMBOL foo")
+    with pytest.raises(VTConfigError):
+        VTConfig.parse("FROBNICATE ON")
+    with pytest.raises(VTConfigError):
+        VTConfig.parse("DEFAULT")
+
+
+def test_all_off_factory_matches_paper_full_off():
+    cfg = VTConfig.all_off()
+    assert not cfg.is_active("anything")
+
+
+def test_subset_factory_matches_paper_subset():
+    cfg = VTConfig.subset(["solveA", "solveB"])
+    assert cfg.is_active("solveA")
+    assert cfg.is_active("solveB")
+    assert not cfg.is_active("util_copy")
+
+
+def test_deactivation_table():
+    cfg = VTConfig.subset(["keep"])
+    table = cfg.deactivation_table(["keep", "drop1", "drop2"])
+    assert table == {"drop1", "drop2"}
+
+
+def test_dump_roundtrip():
+    cfg = VTConfig.subset(["a", "b"])
+    cfg.stats = True
+    cfg.mpi_trace = False
+    again = VTConfig.parse(cfg.dump())
+    assert again == cfg
+    assert again.payload_bytes() == cfg.payload_bytes()
+
+
+def test_equality_semantics():
+    assert VTConfig.all_on() == VTConfig.all_on()
+    assert VTConfig.all_on() != VTConfig.all_off()
+    assert VTConfig.all_on().__eq__(42) is NotImplemented

@@ -1,0 +1,163 @@
+"""VT_confsync integration tests: the Figure 2 / Section 5 machinery."""
+
+import pytest
+
+from repro.cluster import POWER3_SP
+from repro.program import ExecutableImage
+from repro.vt import VTConfig, vt_confsync
+
+from ..mpi.conftest import run_mpi
+
+SPEC = POWER3_SP.with_overrides(net_jitter=0.0)
+
+
+def build_exe(nfuncs=4):
+    exe = ExecutableImage("capp")
+    for i in range(nfuncs):
+        exe.define(f"fn{i}")
+    exe.instrument_statically()
+    return exe
+
+
+def confsync_program(body):
+    def program(pctx):
+        yield from pctx.call("MPI_Init")
+        result = yield from body(pctx)
+        yield from pctx.call("MPI_Finalize")
+        return result
+
+    return program
+
+
+def test_confsync_no_change_returns_none():
+    def body(pctx):
+        applied = yield from vt_confsync(pctx)
+        return applied
+
+    _job, results = run_mpi(4, confsync_program(body), exe=build_exe(), spec=SPEC)
+    assert results == [None] * 4
+
+
+def test_confsync_is_collective_barrier():
+    def body(pctx):
+        yield from pctx.compute(0.05 * pctx.mpi.rank)
+        yield from vt_confsync(pctx)
+        return pctx.now
+
+    _job, results = run_mpi(4, confsync_program(body), exe=build_exe(), spec=SPEC)
+    # Nobody leaves before the slowest rank arrived.
+    assert min(results) >= 0.15
+
+
+def test_confsync_distributes_new_config_from_rank0():
+    new_cfg = VTConfig.subset(["fn1"])
+
+    def body(pctx):
+        vt = pctx.image.vt
+        if pctx.mpi.rank == 0:
+            vt.break_hook = lambda _pctx: new_cfg
+        applied = yield from vt_confsync(pctx)
+        fid0 = pctx.image.func("fn0").fid
+        fid1 = pctx.image.func("fn1").fid
+        return (applied is not None, vt.is_fid_active(fid0), vt.is_fid_active(fid1), vt.epoch)
+
+    _job, results = run_mpi(4, confsync_program(body), exe=build_exe(), spec=SPEC)
+    # Every rank applied the config broadcast from rank 0's breakpoint.
+    assert all(r == (True, False, True, 1) for r in results)
+
+
+def test_break_hook_only_runs_on_rank0():
+    hits = []
+
+    def body(pctx):
+        vt = pctx.image.vt
+        vt.break_hook = lambda _pctx: hits.append(pctx.mpi.rank)
+        yield from vt_confsync(pctx)
+        return None
+
+    run_mpi(4, confsync_program(body), exe=build_exe(), spec=SPEC)
+    assert hits == [0]
+
+
+def test_blocking_break_hook_halts_all_ranks():
+    """The monitoring tool halts the app at configuration_break; other
+    ranks stall in the broadcast until rank 0 resumes."""
+    HOLD = 3.0
+
+    def body(pctx):
+        vt = pctx.image.vt
+        if pctx.mpi.rank == 0:
+            def hook(p):
+                yield p.env.timeout(HOLD)  # user thinks...
+                return VTConfig.all_off()
+            vt.break_hook = hook
+        t0 = pctx.now
+        yield from vt_confsync(pctx)
+        return pctx.now - t0
+
+    _job, results = run_mpi(4, confsync_program(body), exe=build_exe(), spec=SPEC)
+    assert all(dt >= HOLD for dt in results)
+
+
+def test_confsync_cost_grows_with_ranks():
+    def body(pctx):
+        t0 = pctx.now
+        for _ in range(4):
+            yield from vt_confsync(pctx)
+        return (pctx.now - t0) / 4
+
+    _j, r2 = run_mpi(2, confsync_program(body), exe=build_exe(), spec=SPEC)
+    _j, r16 = run_mpi(16, confsync_program(body), exe=build_exe(), spec=SPEC)
+    assert max(r16) > max(r2)
+    # Paper Figure 8(a): well under 0.04 s even at scale.
+    assert max(r16) < 0.04
+
+
+def test_confsync_with_stats_writes_cost_more():
+    def make_body(stats):
+        def body(pctx):
+            t0 = pctx.now
+            yield from vt_confsync(pctx, write_stats=stats)
+            return pctx.now - t0
+
+        return body
+
+    _j, plain = run_mpi(8, confsync_program(make_body(False)), exe=build_exe(), spec=SPEC)
+    _j, stats = run_mpi(8, confsync_program(make_body(True)), exe=build_exe(), spec=SPEC)
+    assert max(stats) > max(plain)
+
+
+def test_confsync_outside_mpi_raises():
+    from repro.cluster import Cluster, Task
+    from repro.program import ProcessImage, ProgramContext
+    from repro.simt import Environment
+    from repro.vt import FunctionRegistry, VTProcessState
+
+    env = Environment()
+    cluster = Cluster(env, SPEC, seed=0)
+    exe = build_exe()
+    task = Task(env, cluster.node(0), "t", SPEC)
+    image = ProcessImage(env, exe, "t")
+    pctx = ProgramContext(env, task, image, SPEC)
+    VTProcessState(env, SPEC, image, 0, FunctionRegistry())
+
+    def driver():
+        yield from vt_confsync(pctx)
+
+    proc = task.start(driver())
+    with pytest.raises(RuntimeError, match="outside an MPI program"):
+        env.run(until=proc)
+
+
+def test_confsync_without_vt_raises():
+    exe = ExecutableImage("novt")
+
+    def program(pctx):
+        yield from pctx.call("MPI_Init")
+        try:
+            yield from vt_confsync(pctx)
+        except RuntimeError as e:
+            return "no-vt" in str(e) or "VT library" in str(e)
+
+    _job, results = run_mpi(2, program, exe=exe, spec=SPEC, link_vt=False)
+    assert results == [True, True]

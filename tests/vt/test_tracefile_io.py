@@ -1,0 +1,126 @@
+"""Round-trip tests for the on-disk trace format."""
+
+import pytest
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.vt import ThreadTraceBuffer, TraceFile, load_trace, save_trace
+
+
+def build_trace():
+    trace = TraceFile("my app", record_bytes=24)
+    trace.register_function(1, "main")
+    trace.register_function(2, "solve me")  # name with a space
+    b0 = ThreadTraceBuffer(0, 0)
+    b0.enter(1, 0.0)
+    b0.enter(2, 0.5)
+    b0.leave(2, 1.5)
+    b0.batch_pair(2, 100, 2.0, 1e-6, 5e-7)
+    b0.message("send", 1, 7, 2048, 3.0)
+    b0.collective("MPI_All reduce", 4, 3.5, 3.6)
+    b0.marker("suspended", 4.0, 5.0)
+    b0.leave(1, 6.0)
+    trace.add_buffer(b0)
+    b1 = ThreadTraceBuffer(1, 2)
+    b1.enter(1, 0.25)
+    b1.leave(1, 0.75)
+    trace.add_buffer(b1)
+    return trace
+
+
+def assert_traces_equal(a, b):
+    assert a.app_name == b.app_name
+    assert a.record_bytes == b.record_bytes
+    assert a.func_names == b.func_names
+    assert set(a.buffers) == set(b.buffers)
+    for key in a.buffers:
+        ra, rb = a.buffers[key].records, b.buffers[key].records
+        assert [repr(x) for x in ra] == [repr(x) for x in rb]
+        assert a.buffers[key].raw_record_count == b.buffers[key].raw_record_count
+
+
+def test_roundtrip(tmp_path):
+    trace = build_trace()
+    path = tmp_path / "run.vgv"
+    lines = save_trace(trace, str(path))
+    assert lines > 10
+    again = load_trace(str(path))
+    assert_traces_equal(trace, again)
+    assert again.raw_record_count == trace.raw_record_count
+
+
+def test_load_rejects_garbage(tmp_path):
+    path = tmp_path / "bad.vgv"
+    path.write_text("not a trace\n")
+    with pytest.raises(ValueError, match="not a VGVTRACE"):
+        load_trace(str(path))
+
+
+def test_load_rejects_wrong_version(tmp_path):
+    path = tmp_path / "bad.vgv"
+    path.write_text("VGVTRACE 99 app 24\n")
+    with pytest.raises(ValueError, match="version"):
+        load_trace(str(path))
+
+
+def test_load_rejects_record_before_buffer(tmp_path):
+    path = tmp_path / "bad.vgv"
+    path.write_text("VGVTRACE 1 app 24\nE 1 0.0\n")
+    with pytest.raises(ValueError, match="before any buffer"):
+        load_trace(str(path))
+
+
+def test_load_reports_line_numbers(tmp_path):
+    path = tmp_path / "bad.vgv"
+    path.write_text("VGVTRACE 1 app 24\nB 0 0\nZ what\n")
+    with pytest.raises(ValueError, match=":3:"):
+        load_trace(str(path))
+
+
+@given(
+    times=st.lists(
+        st.floats(min_value=0, max_value=1e6, allow_nan=False), min_size=1, max_size=30
+    )
+)
+@settings(max_examples=25, deadline=None)
+def test_roundtrip_preserves_float_exactness(tmp_path_factory, times):
+    trace = TraceFile("prop")
+    trace.register_function(1, "f")
+    buf = ThreadTraceBuffer(0, 0)
+    for t in times:
+        buf.enter(1, t)
+    trace.add_buffer(buf)
+    path = tmp_path_factory.mktemp("io") / "t.vgv"
+    save_trace(trace, str(path))
+    again = load_trace(str(path))
+    loaded = [r.t for r in again.records_of(0)]
+    assert loaded == times  # repr() round-trips floats exactly
+
+
+def test_end_to_end_with_analysis(tmp_path):
+    """Save a real run's trace, load it, analyse the copy."""
+    from repro.analysis import ProfileView
+    from repro.apps import SWEEP3D
+    from repro.dynprof import run_policy
+
+    # A tiny dynamic run produces a real trace on job.trace... use the
+    # policy runner then persist + reload its trace.
+    from repro.cluster import Cluster, POWER3_SP
+    from repro.jobs import MpiJob
+    from repro.simt import Environment
+
+    env = Environment()
+    cluster = Cluster(env, POWER3_SP, seed=2)
+    exe = SWEEP3D.build_exe(True)
+    job = MpiJob(env, cluster, exe, 2, SWEEP3D.make_program(2, 0.05))
+    job.run()
+    env.run()
+
+    path = tmp_path / "sweep3d.vgv"
+    save_trace(job.trace, str(path))
+    again = load_trace(str(path))
+    pv_orig = ProfileView(job.trace)
+    pv_load = ProfileView(again)
+    assert {p.name for p in pv_orig.table()} == {p.name for p in pv_load.table()}
+    assert pv_load.of("sweep").count == pv_orig.of("sweep").count

@@ -1,0 +1,166 @@
+"""Property-based tests for the VT layer: config semantics, trace
+well-formedness, batching equivalence, policy cost ordering."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Cluster, POWER3_SP, Task
+from repro.program import ExecutableImage, ProcessImage, ProgramContext
+from repro.simt import Environment
+from repro.vt import (
+    BatchPairRecord,
+    EnterRecord,
+    FunctionRegistry,
+    LeaveRecord,
+    VTConfig,
+    VTProcessState,
+)
+
+SPEC = POWER3_SP.with_overrides(net_jitter=0.0)
+SETTINGS = dict(max_examples=30, deadline=None)
+
+names = st.sampled_from(["alpha", "beta", "gamma", "delta_x", "util_copy"])
+rule = st.tuples(
+    st.sampled_from(["*", "a*", "alpha", "beta", "util_*", "*_x", "g?mma"]),
+    st.booleans(),
+)
+
+
+# ---------------------------------------------------------------- config
+
+
+@given(rules=st.lists(rule, max_size=8), default=st.booleans(), name=names)
+@settings(**SETTINGS)
+def test_config_last_match_wins_reference(rules, default, name):
+    """is_active must equal a straightforward reference evaluation."""
+    import fnmatch
+
+    cfg = VTConfig(rules=rules, default_on=default)
+    expected = default
+    for glob, active in rules:
+        if fnmatch.fnmatchcase(name, glob):
+            expected = active
+    assert cfg.is_active(name) == expected
+
+
+@given(rules=st.lists(rule, max_size=8), default=st.booleans(),
+       mpi=st.booleans(), stats=st.booleans())
+@settings(**SETTINGS)
+def test_config_dump_parse_roundtrip(rules, default, mpi, stats):
+    cfg = VTConfig(rules=rules, default_on=default, mpi_trace=mpi, stats=stats)
+    assert VTConfig.parse(cfg.dump()) == cfg
+
+
+@given(rules=st.lists(rule, max_size=8))
+@settings(**SETTINGS)
+def test_deactivation_table_complements_active_set(rules):
+    cfg = VTConfig(rules=rules)
+    universe = ["alpha", "beta", "gamma", "delta_x", "util_copy"]
+    table = cfg.deactivation_table(universe)
+    for n in universe:
+        assert (n in table) == (not cfg.is_active(n))
+
+
+# ---------------------------------------------------------------- tracing
+
+
+def _make_state(n_funcs=4, config=None):
+    env = Environment()
+    cluster = Cluster(env, SPEC, seed=1)
+    exe = ExecutableImage("prop")
+    for i in range(n_funcs):
+        exe.define(f"fn{i}")
+    exe.instrument_statically()
+    task = Task(env, cluster.node(0), "p0", SPEC)
+    image = ProcessImage(env, exe, "p0")
+    pctx = ProgramContext(env, task, image, SPEC)
+    vt = VTProcessState(env, SPEC, image, 0, FunctionRegistry(), config)
+    vt.initialize(task)
+    return env, task, pctx, vt
+
+
+@given(calls=st.lists(st.tuples(st.integers(0, 3),
+                                st.floats(1e-7, 1e-3)), min_size=1, max_size=60))
+@settings(**SETTINGS)
+def test_trace_is_well_formed_nested(calls):
+    """Sequential begin/end pairs always yield balanced, time-ordered
+    records and stats whose total equals the charged body time."""
+    env, task, pctx, vt = _make_state()
+    total_body = 0.0
+    for idx, body in calls:
+        fi = pctx.image.func(f"fn{idx}")
+        vt.probe_begin(pctx, fi)
+        task.charge(body)
+        total_body += body
+        vt.probe_end(pctx, fi)
+    buf = vt.buffers[0]
+    # Balanced and alternating.
+    assert len(buf.records) == 2 * len(calls)
+    times = [r.t for r in buf.records]
+    assert times == sorted(times)
+    opens = 0
+    for rec in buf.records:
+        if isinstance(rec, EnterRecord):
+            opens += 1
+        else:
+            opens -= 1
+        assert opens >= 0
+    assert opens == 0
+    stats_total = sum(s.inclusive_time for s in vt.stats.values())
+    # Inclusive time = bodies + the end-event costs inside each pair.
+    expected = total_body + len(calls) * SPEC.vt_active_event_cost
+    assert abs(stats_total - expected) < 1e-9
+    assert sum(s.count for s in vt.stats.values()) == len(calls)
+
+
+@given(n=st.integers(1, 5000), cost=st.floats(1e-8, 1e-5))
+@settings(**SETTINGS)
+def test_batch_records_equal_loop_records(n, cost):
+    """A batch-pair record accounts exactly like n begin/end pairs."""
+    env, task, pctx, vt = _make_state()
+    fi = pctx.image.func("fn0")
+    t0 = task.now
+    vt.record_batch_pair(pctx, fi, n, t0, cost + 1e-7, cost)
+    assert vt.buffers[0].raw_record_count == 2 * n
+    st_ = vt.stats[fi.fid]
+    assert st_.count == n
+    assert abs(st_.inclusive_time - n * cost) < 1e-12
+
+
+@given(active=st.booleans(), calls=st.integers(1, 2000))
+@settings(**SETTINGS)
+def test_active_probes_cost_more_than_inactive(active, calls):
+    config = VTConfig.all_on() if active else VTConfig.all_off()
+    env, task, pctx, vt = _make_state(config=config)
+    fi = pctx.image.func("fn0")
+    before = task.pending
+    for _ in range(calls):
+        vt.probe_begin(pctx, fi)
+        vt.probe_end(pctx, fi)
+    charged = task.pending - before
+    per_pair = charged / calls
+    if active:
+        # Active pairs may also pay amortised buffer-flush time.
+        assert per_pair >= 2 * SPEC.vt_active_event_cost - 1e-12
+    else:
+        assert abs(per_pair - 2 * SPEC.vt_lookup_cost) < 1e-12
+        assert vt.buffers == []
+
+
+@given(seed=st.integers(0, 1000))
+@settings(max_examples=10, deadline=None)
+def test_registry_ids_stable_and_unique(seed):
+    reg = FunctionRegistry()
+    import random
+
+    rng = random.Random(seed)
+    names_pool = [f"f{i}" for i in range(20)]
+    assigned = {}
+    for _ in range(100):
+        name = rng.choice(names_pool)
+        fid = reg.define(name)
+        if name in assigned:
+            assert assigned[name] == fid
+        assigned[name] = fid
+        assert reg.name_of(fid) == name
+    assert len(set(assigned.values())) == len(assigned)
