@@ -1,0 +1,65 @@
+"""Benchmarks for the sweep execution engine: the serial baseline, the
+parallel fan-out, and the fully cached re-run of the same Figure 7
+grid.  The cached re-run is the headline number — regenerating a
+figure whose points are all memoized should cost milliseconds, not the
+wall time of the slowest simulation.
+"""
+
+import pytest
+
+from repro.apps import SMG98
+from repro.experiments import run_fig7
+from repro.runner import SweepRunner
+
+SCALE = 0.05
+SEED = 7
+CPUS = (1, 4, 16)
+
+
+def _grid(runner):
+    return run_fig7(SMG98, cpu_counts=CPUS, scale=SCALE, seed=SEED,
+                    runner=runner)
+
+
+def test_runner_serial_fig7a(benchmark):
+    fig = benchmark.pedantic(
+        lambda: _grid(SweepRunner(jobs=1)), rounds=1, iterations=1
+    )
+    assert len(fig.series) == 5
+    benchmark.extra_info["points"] = len(fig.series) * len(CPUS)
+
+
+def test_runner_parallel_fig7a(benchmark):
+    fig = benchmark.pedantic(
+        lambda: _grid(SweepRunner(jobs=4)), rounds=1, iterations=1
+    )
+    assert fig.to_dict() == _grid(SweepRunner(jobs=1)).to_dict()
+    benchmark.extra_info["jobs"] = 4
+
+
+def test_runner_cached_rerun_fig7a(benchmark, tmp_path):
+    _grid(SweepRunner(jobs=4, cache=tmp_path))  # warm the cache
+
+    def rerun():
+        runner = SweepRunner(jobs=1, cache=tmp_path)
+        fig = _grid(runner)
+        assert runner.telemetry.summary()["hit_rate"] == 1.0
+        return fig
+
+    fig = benchmark.pedantic(rerun, rounds=3, iterations=1)
+    assert len(fig.series) == 5
+    benchmark.extra_info["hit_rate"] = 1.0
+
+
+def test_runner_cache_probe_overhead(benchmark, tmp_path):
+    """Per-point cost of key derivation + a cache hit."""
+    from repro.runner import SweepPoint
+
+    point = SweepPoint.confsync(2, reps=2)
+    SweepRunner(jobs=1, cache=tmp_path).run([point])  # warm
+
+    def probe():
+        return SweepRunner(jobs=1, cache=tmp_path).run([point])[point]
+
+    result = benchmark(probe)
+    assert result.cached

@@ -40,6 +40,15 @@ from .jobs import MpiJob, OmpJob, install_omp_symbols
 from .mpi import ANY_SOURCE, ANY_TAG, Communicator, MpiWorld, install_mpi_symbols
 from .openmp import DynamicSchedule, GuidedSchedule, OpenMPRuntime, StaticSchedule
 from .program import ExecutableImage, ProcessImage, ProgramContext
+from .runner import (
+    PointResult,
+    ResultCache,
+    SweepError,
+    SweepPoint,
+    SweepRunner,
+    SweepTelemetry,
+    point_key,
+)
 from .simt import Environment, RandomStreams
 from .vt import TraceFile, VTConfig, VTProcessState, vt_confsync
 
@@ -90,4 +99,12 @@ __all__ = [
     "MpiJob",
     "OmpJob",
     "install_omp_symbols",
+    # sweep engine
+    "SweepRunner",
+    "SweepPoint",
+    "SweepError",
+    "SweepTelemetry",
+    "PointResult",
+    "ResultCache",
+    "point_key",
 ]

@@ -4,24 +4,39 @@ Usage::
 
     repro-experiments table1 table2 table3      # the paper's tables
     repro-experiments fig7a --scale 0.1         # one Figure 7 panel
-    repro-experiments fig7                      # all four panels
+    repro-experiments fig7 --jobs 8             # all four panels, parallel
     repro-experiments fig8a fig8b fig8c         # confsync costs
     repro-experiments fig9                      # create+instrument time
     repro-experiments all --scale 0.05          # everything
     repro-experiments fig7a --csv out.csv       # machine-readable dump
+    repro-experiments fig7a --json              # JSON document on stdout
+    repro-experiments sweep --apps smg98 --policies Full,None \\
+        --cpus 1,4,16 --jobs 4                  # an ad-hoc grid
 
 Workload ``--scale`` shrinks simulated workloads proportionally (the
 paper-shape ratios are scale-invariant); ``--quick`` caps the largest
 process counts for fast smoke runs.
+
+Every figure's grid executes through :class:`repro.runner.SweepRunner`:
+``--jobs N`` fans the (app x policy x CPUs) points over N worker
+processes (0 = one per CPU), and results are memoized in a
+content-addressed cache (``--cache-dir``, default
+``~/.cache/repro/sweep`` or ``$REPRO_CACHE_DIR``; ``--no-cache``
+disables it) so a re-run with the same configuration is served
+entirely from disk.  ``--progress`` streams JSON-lines telemetry to
+stderr; ``--timeout`` bounds each point's wall-clock time.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import List, Optional, Union
 
-from ..apps import get_app
+from ..apps import ALL_APPS, get_app
+from ..cluster import MACHINES, get_machine
+from ..dynprof import POLICIES
+from ..runner import SweepError, SweepPoint, SweepRunner, default_cache_dir
 from .fig7 import FIG7_PANELS, fig7_shape_report, run_fig7
 from .fig8 import IA32_PROC_COUNTS, IBM_PROC_COUNTS, run_fig8a, run_fig8b, run_fig8c
 from .fig9 import run_fig9
@@ -29,7 +44,7 @@ from .results import FigureResult
 from .tables import render_table1, render_table2, render_table3
 from .tracevol import render_tracevol, run_tracevol
 
-__all__ = ["main", "run_experiment", "EXPERIMENTS"]
+__all__ = ["main", "run_experiment", "EXPERIMENTS", "ExperimentOutput"]
 
 EXPERIMENTS = (
     "table1", "table2", "table3",
@@ -40,14 +55,28 @@ EXPERIMENTS = (
     "all",
 )
 
+#: What one experiment id produces: rendered text blocks and/or figures.
+ExperimentOutput = Union[str, FigureResult]
+
 
 def _quick_counts(counts, cap):
     return tuple(c for c in counts if c <= cap)
 
 
-def run_experiment(name: str, scale: float, seed: int, quick: bool) -> List[object]:
-    """Run one experiment id; returns text blocks / FigureResults."""
-    out: List[object] = []
+def run_experiment(
+    name: str,
+    scale: float,
+    seed: int,
+    quick: bool,
+    runner: Optional[SweepRunner] = None,
+) -> List[ExperimentOutput]:
+    """Run one experiment id; returns text blocks / FigureResults.
+
+    ``runner`` (optional) carries the worker pool, result cache and
+    telemetry every figure grid executes through; None runs serially
+    without caching, exactly like a direct ``run_fig*`` call.
+    """
+    out: List[ExperimentOutput] = []
     if name == "table1":
         out.append(render_table1())
     elif name == "table2":
@@ -57,44 +86,179 @@ def run_experiment(name: str, scale: float, seed: int, quick: bool) -> List[obje
     elif name in FIG7_PANELS:
         app = get_app(FIG7_PANELS[name])
         cpus = _quick_counts(app.cpu_counts, 16) if quick else None
-        fig = run_fig7(app, cpu_counts=cpus, scale=scale, seed=seed)
+        fig = run_fig7(app, cpu_counts=cpus, scale=scale, seed=seed,
+                       runner=runner)
         out.append(fig)
         out.append("\n".join(fig7_shape_report(fig, app)) + "\n")
     elif name == "fig7":
         for panel in ("fig7a", "fig7b", "fig7c", "fig7d"):
-            out.extend(run_experiment(panel, scale, seed, quick))
+            out.extend(run_experiment(panel, scale, seed, quick, runner))
     elif name == "fig8a":
         counts = _quick_counts(IBM_PROC_COUNTS, 32) if quick else IBM_PROC_COUNTS
-        out.append(run_fig8a(counts, seed=seed))
+        out.append(run_fig8a(counts, seed=seed, runner=runner))
     elif name == "fig8b":
         counts = _quick_counts(IBM_PROC_COUNTS, 32) if quick else IBM_PROC_COUNTS
-        out.append(run_fig8b(counts, seed=seed))
+        out.append(run_fig8b(counts, seed=seed, runner=runner))
     elif name == "fig8c":
         counts = _quick_counts(IA32_PROC_COUNTS, 8) if quick else IA32_PROC_COUNTS
-        out.append(run_fig8c(counts, seed=seed))
+        out.append(run_fig8c(counts, seed=seed, runner=runner))
     elif name == "fig8":
         for panel in ("fig8a", "fig8b", "fig8c"):
-            out.extend(run_experiment(panel, scale, seed, quick))
+            out.extend(run_experiment(panel, scale, seed, quick, runner))
     elif name == "fig9":
         cpus = (1, 2, 4, 8) if quick else None
-        out.append(run_fig9(cpu_counts=cpus, seed=seed))
+        out.append(run_fig9(cpu_counts=cpus, seed=seed, runner=runner))
     elif name == "tracevol":
         n = 4 if quick else 16
-        out.append(render_tracevol(run_tracevol(n_cpus=n, scale=scale, seed=seed)))
+        out.append(render_tracevol(
+            run_tracevol(n_cpus=n, scale=scale, seed=seed, runner=runner)
+        ))
     elif name == "all":
         for exp in ("table1", "table2", "table3", "fig7", "fig8", "fig9", "tracevol"):
-            out.extend(run_experiment(exp, scale, seed, quick))
+            out.extend(run_experiment(exp, scale, seed, quick, runner))
     else:
         raise SystemExit(f"unknown experiment {name!r}; known: {EXPERIMENTS}")
     return out
 
 
+# -- runner plumbing ------------------------------------------------------------
+
+
+def _add_runner_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for the sweep grids "
+                             "(default 1 = in-process; 0 = one per CPU)")
+    parser.add_argument("--cache-dir", metavar="DIR", default=None,
+                        help="content-addressed result cache location "
+                             f"(default {default_cache_dir()})")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the on-disk result cache")
+    parser.add_argument("--timeout", type=float, default=None, metavar="SEC",
+                        help="per-point wall-clock budget in seconds")
+    parser.add_argument("--progress", action="store_true",
+                        help="stream JSON-lines sweep telemetry to stderr")
+
+
+def _build_runner(args: argparse.Namespace) -> SweepRunner:
+    cache = None if args.no_cache else (args.cache_dir or default_cache_dir())
+    return SweepRunner(
+        jobs=args.jobs,
+        cache=cache,
+        timeout=args.timeout,
+        telemetry=sys.stderr if args.progress else None,
+    )
+
+
+# -- the `sweep` subcommand -----------------------------------------------------
+
+
+def _int_list(text: str) -> List[int]:
+    return [int(part) for part in text.split(",") if part]
+
+
+def _str_list(text: str) -> List[str]:
+    return [part for part in text.split(",") if part]
+
+
+def sweep_main(argv: List[str]) -> int:
+    """``repro-experiments sweep`` — run an ad-hoc (app x policy x CPUs)
+    grid through the runner and print one row per point."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments sweep",
+        description="Run an arbitrary (app x policy x CPU-count) grid "
+                    "through the parallel sweep runner.",
+    )
+    parser.add_argument("--apps", type=_str_list, default=list(ALL_APPS),
+                        metavar="A,B", help=f"applications (default: all of {','.join(ALL_APPS)})")
+    parser.add_argument("--policies", type=_str_list, default=list(POLICIES),
+                        metavar="P,Q", help=f"policies (default: all of {','.join(POLICIES)})")
+    parser.add_argument("--cpus", type=_int_list, default=None, metavar="1,4,16",
+                        help="CPU counts (default: each app's own counts)")
+    parser.add_argument("--scale", type=float, default=0.1,
+                        help="workload scale factor (default 0.1)")
+    parser.add_argument("--seed", type=int, default=0, help="simulation seed")
+    parser.add_argument("--machine", choices=sorted(MACHINES), default="power3-sp",
+                        help="machine preset (default power3-sp)")
+    parser.add_argument("--json", action="store_true",
+                        help="print results as a JSON document")
+    _add_runner_args(parser)
+    args = parser.parse_args(argv)
+    if args.jobs < 0:
+        parser.error("--jobs must be >= 0")
+
+    machine = get_machine(args.machine)
+    points: List[SweepPoint] = []
+    for name in args.apps:
+        try:
+            app = get_app(name)
+        except KeyError as exc:
+            parser.error(str(exc))
+        cpus = args.cpus if args.cpus is not None else list(app.cpu_counts)
+        for policy in args.policies:
+            if policy == "Subset" and not app.has_subset_policy:
+                continue
+            for n in cpus:
+                if n > max(app.cpu_counts):
+                    continue
+                points.append(SweepPoint.policy_cell(
+                    app.name, policy, n,
+                    scale=args.scale, machine=machine, seed=args.seed,
+                ))
+    if not points:
+        print("sweep: empty grid", file=sys.stderr)
+        return 2
+
+    runner = _build_runner(args)
+    results = runner.run(points)
+    ordered = [results[p] for p in points]
+
+    if args.json:
+        import json as _json
+
+        doc = {
+            "sweep": [
+                {
+                    "app": r.point.app,
+                    "policy": r.point.policy,
+                    "cpus": r.point.procs,
+                    "status": r.status,
+                    "cached": r.cached,
+                    "payload": r.payload,
+                }
+                for r in ordered
+            ],
+            "telemetry": runner.telemetry.summary(),
+        }
+        print(_json.dumps(doc, indent=2))
+    else:
+        print(f"{'app':<9s} {'policy':<9s} {'cpus':>4s} {'status':>8s} "
+              f"{'cached':>6s} {'time(s)':>10s}")
+        print("-" * 52)
+        for r in ordered:
+            t = "-" if r.sim_time is None else f"{r.sim_time:.3f}"
+            print(f"{r.point.app:<9s} {r.point.policy:<9s} "
+                  f"{r.point.procs:>4d} {r.status:>8s} "
+                  f"{str(r.cached).lower():>6s} {t:>10s}")
+        s = runner.telemetry.summary()
+        print(f"({s['ok']}/{s['total']} ok, {s['cached']} cached, "
+              f"{s['failed']} failed, hit rate {s['hit_rate']:.0%})")
+    return 0 if all(r.ok for r in ordered) else 1
+
+
+# -- entry point ----------------------------------------------------------------
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "sweep":
+        return sweep_main(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the tables and figures of 'Dynamic "
                     "Instrumentation of Large-Scale MPI and OpenMP "
-                    "Applications' (IPPS 2003).",
+                    "Applications' (IPPS 2003).  Use the `sweep` "
+                    "subcommand for ad-hoc grids.",
     )
     parser.add_argument("experiments", nargs="+", choices=EXPERIMENTS,
                         help="which tables/figures to regenerate")
@@ -106,16 +270,43 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="cap process counts for a fast smoke run")
     parser.add_argument("--csv", metavar="FILE",
                         help="also dump figure data as CSV to FILE")
+    parser.add_argument("--json", action="store_true",
+                        help="print results as one JSON document on stdout "
+                             "instead of rendered text")
+    _add_runner_args(parser)
     args = parser.parse_args(argv)
+    if args.jobs < 0:
+        parser.error("--jobs must be >= 0")
 
+    runner = _build_runner(args)
+    json_items: List[dict] = []
     csv_chunks: List[str] = []
     for name in args.experiments:
-        for item in run_experiment(name, args.scale, args.seed, args.quick):
+        try:
+            items = run_experiment(name, args.scale, args.seed, args.quick,
+                                   runner=runner)
+        except SweepError as exc:
+            print(f"repro-experiments: {name}: {exc}", file=sys.stderr)
+            return 1
+        for item in items:
             if isinstance(item, FigureResult):
-                print(item.render())
                 csv_chunks.append(item.to_csv())
+                if args.json:
+                    json_items.append({"type": "figure", **item.to_dict()})
+                else:
+                    print(item.render())
             else:
-                print(item)
+                if args.json:
+                    json_items.append({"type": "text", "text": item})
+                else:
+                    print(item)
+    if args.json:
+        import json as _json
+
+        print(_json.dumps(
+            {"results": json_items, "telemetry": runner.telemetry.summary()},
+            indent=2,
+        ))
     if args.csv and csv_chunks:
         with open(args.csv, "w", encoding="utf-8") as fh:
             fh.write("\n".join(csv_chunks))

@@ -12,7 +12,8 @@ from typing import Dict, List, Optional, Sequence
 
 from ..apps import AppSpec, get_app
 from ..cluster import MachineSpec, POWER3_SP
-from ..dynprof import POLICIES, PolicyResult, run_policy
+from ..dynprof import POLICIES, PolicyResult
+from ..runner import SweepPoint, SweepRunner
 from .results import FigureResult
 
 __all__ = ["run_fig7", "fig7_shape_report", "FIG7_PANELS"]
@@ -33,12 +34,20 @@ def run_fig7(
     machine: MachineSpec = POWER3_SP,
     seed: int = 0,
     collect: Optional[Dict[str, List[PolicyResult]]] = None,
+    runner: Optional[SweepRunner] = None,
+    jobs: int = 1,
 ) -> FigureResult:
     """Reproduce one Figure 7 panel.
 
     ``scale`` shrinks the workload (fewer cycles/steps); overhead ratios
     are scale-invariant because probe cost and compute are both
     per-call.  ``collect`` (optional) receives the raw PolicyResults.
+
+    The (policy x CPU-count) grid executes through a
+    :class:`~repro.runner.SweepRunner` — pass ``runner`` to share a
+    worker pool/cache across figures, or just ``jobs`` to parallelize
+    this panel; the simulation is deterministic, so the result is
+    identical whichever path ran it.
     """
     app = get_app(app) if isinstance(app, str) else app
     cpus = list(cpu_counts) if cpu_counts is not None else list(app.cpu_counts)
@@ -58,12 +67,21 @@ def run_fig7(
             "(paper, Section 4.3)"
         )
 
-    for policy in POLICIES:
-        if policy == "Subset" and not app.has_subset_policy:
-            continue
+    policies = [p for p in POLICIES
+                if p != "Subset" or app.has_subset_policy]
+    points = [
+        SweepPoint.policy_cell(app.name, policy, n,
+                               scale=scale, machine=machine, seed=seed)
+        for policy in policies
+        for n in cpus
+    ]
+    if runner is None:
+        runner = SweepRunner(jobs=jobs)
+    payloads = iter(runner.run_grid(points))
+    for policy in policies:
         values: List[Optional[float]] = []
-        for n in cpus:
-            result = run_policy(app, policy, n, scale=scale, machine=machine, seed=seed)
+        for _n in cpus:
+            result = PolicyResult(**next(payloads))
             values.append(result.time)
             if collect is not None:
                 collect.setdefault(policy, []).append(result)

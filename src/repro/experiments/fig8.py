@@ -13,11 +13,12 @@ Three experiments, each data point the average over 16 calls:
 
 from __future__ import annotations
 
-from typing import Generator, Sequence
+from typing import Generator, List, Optional, Sequence
 
 from ..cluster import Cluster, IA32_LINUX, MachineSpec, POWER3_SP
 from ..jobs import MpiJob
 from ..program import ExecutableImage
+from ..runner import SweepPoint, SweepRunner
 from ..simt import Environment
 from ..vt import VTConfig, vt_confsync
 from .results import FigureResult
@@ -95,8 +96,35 @@ def measure_confsync(
     return max(p.value for p in job.procs)
 
 
+def _confsync_series(
+    proc_counts: Sequence[int],
+    machine: MachineSpec,
+    seed: int,
+    runner: Optional[SweepRunner],
+    jobs: int,
+    *variants: dict,
+) -> List[List[float]]:
+    """Run one confsync grid (one sweep point per (variant, procs) cell)
+    through a SweepRunner; returns one value list per variant."""
+    points = [
+        SweepPoint.confsync(p, machine=machine, seed=seed, reps=REPS, **variant)
+        for variant in variants
+        for p in proc_counts
+    ]
+    if runner is None:
+        runner = SweepRunner(jobs=jobs)
+    payloads = iter(runner.run_grid(points))
+    return [
+        [next(payloads)["time"] for _p in proc_counts]
+        for _variant in variants
+    ]
+
+
 def run_fig8a(
-    proc_counts: Sequence[int] = IBM_PROC_COUNTS, seed: int = 0
+    proc_counts: Sequence[int] = IBM_PROC_COUNTS,
+    seed: int = 0,
+    runner: Optional[SweepRunner] = None,
+    jobs: int = 1,
 ) -> FigureResult:
     """Time for VT_confsync on the IBM system, no-change vs. changes."""
     fig = FigureResult(
@@ -107,19 +135,20 @@ def run_fig8a(
         list(proc_counts),
     )
     fig.notes.append(f"each point averages {REPS} calls (as in the paper)")
-    fig.add_series(
-        "No Change",
-        [measure_confsync(p, POWER3_SP, change=False, seed=seed) for p in proc_counts],
+    no_change, changes = _confsync_series(
+        proc_counts, POWER3_SP, seed, runner, jobs,
+        {"change": False}, {"change": True},
     )
-    fig.add_series(
-        "Changes",
-        [measure_confsync(p, POWER3_SP, change=True, seed=seed) for p in proc_counts],
-    )
+    fig.add_series("No Change", no_change)
+    fig.add_series("Changes", changes)
     return fig
 
 
 def run_fig8b(
-    proc_counts: Sequence[int] = IBM_PROC_COUNTS, seed: int = 0
+    proc_counts: Sequence[int] = IBM_PROC_COUNTS,
+    seed: int = 0,
+    runner: Optional[SweepRunner] = None,
+    jobs: int = 1,
 ) -> FigureResult:
     """Time to write statistics within VT_confsync on the IBM system."""
     fig = FigureResult(
@@ -130,15 +159,18 @@ def run_fig8b(
         list(proc_counts),
     )
     fig.notes.append(f"each point averages {REPS} calls (as in the paper)")
-    fig.add_series(
-        "Statistics",
-        [measure_confsync(p, POWER3_SP, stats=True, seed=seed) for p in proc_counts],
+    (stats,) = _confsync_series(
+        proc_counts, POWER3_SP, seed, runner, jobs, {"stats": True},
     )
+    fig.add_series("Statistics", stats)
     return fig
 
 
 def run_fig8c(
-    proc_counts: Sequence[int] = IA32_PROC_COUNTS, seed: int = 0
+    proc_counts: Sequence[int] = IA32_PROC_COUNTS,
+    seed: int = 0,
+    runner: Optional[SweepRunner] = None,
+    jobs: int = 1,
 ) -> FigureResult:
     """Time for VT_confsync on the IA32 Linux cluster (no change)."""
     fig = FigureResult(
@@ -149,8 +181,8 @@ def run_fig8c(
         list(proc_counts),
     )
     fig.notes.append(f"each point averages {REPS} calls (as in the paper)")
-    fig.add_series(
-        "No Change",
-        [measure_confsync(p, IA32_LINUX, change=False, seed=seed) for p in proc_counts],
+    (no_change,) = _confsync_series(
+        proc_counts, IA32_LINUX, seed, runner, jobs, {"change": False},
     )
+    fig.add_series("No Change", no_change)
     return fig

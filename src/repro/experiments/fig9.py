@@ -20,6 +20,7 @@ from ..apps import ALL_APPS, AppSpec, get_app
 from ..cluster import Cluster, MachineSpec, POWER3_SP
 from ..dynprof import DynProf
 from ..jobs import MpiJob, OmpJob
+from ..runner import SweepPoint, SweepRunner
 from ..simt import Environment
 from .results import FigureResult
 
@@ -61,11 +62,21 @@ def measure_create_and_instrument(
     return tool.create_and_instrument_time
 
 
+def _fig9_cell_runs(app: AppSpec, n: int) -> bool:
+    """Whether Figure 9 has a data point for (app, n CPUs)."""
+    if not (n in app.cpu_counts
+            or min(app.cpu_counts) <= n <= max(app.cpu_counts)):
+        return False
+    return not (app.kind == "omp" and n > max(app.cpu_counts))
+
+
 def run_fig9(
     cpu_counts: Optional[Sequence[int]] = None,
     machine: MachineSpec = POWER3_SP,
     seed: int = 0,
     apps: Optional[Sequence[str]] = None,
+    runner: Optional[SweepRunner] = None,
+    jobs: int = 1,
 ) -> FigureResult:
     """Reproduce Figure 9: one series per application."""
     app_names = list(apps) if apps is not None else list(ALL_APPS)
@@ -82,19 +93,21 @@ def run_fig9(
         "Time (s)",
         x,
     )
+    points = [
+        SweepPoint.instrument(get_app(name).name, n, machine=machine, seed=seed)
+        for name in app_names
+        for n in x
+        if _fig9_cell_runs(get_app(name), n)
+    ]
+    if runner is None:
+        runner = SweepRunner(jobs=jobs)
+    payloads = iter(runner.run_grid(points))
     for name in app_names:
         app = get_app(name)
-        values: List[Optional[float]] = []
-        for n in x:
-            if n in app.cpu_counts or (min(app.cpu_counts) <= n <= max(app.cpu_counts)):
-                if app.kind == "omp" and n > max(app.cpu_counts):
-                    values.append(None)
-                else:
-                    values.append(
-                        measure_create_and_instrument(app, n, machine, seed=seed)
-                    )
-            else:
-                values.append(None)
+        values: List[Optional[float]] = [
+            next(payloads)["time"] if _fig9_cell_runs(app, n) else None
+            for n in x
+        ]
         fig.add_series(app.title, values)
     fig.notes.append(
         "Umt98's curve is flat: a single shared OpenMP image to instrument"

@@ -7,8 +7,9 @@ same rows/series the paper plots.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 __all__ = ["Series", "FigureResult"]
 
@@ -25,6 +26,22 @@ class Series:
             return self.values[list(x_axis).index(x)]
         except ValueError:
             return None
+
+    # -- serialization ----------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"label": self.label, "values": list(self.values)}
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "Series":
+        return cls(label=str(doc["label"]), values=list(doc["values"]))
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Series":
+        return cls.from_dict(json.loads(text))
 
 
 @dataclass
@@ -62,6 +79,43 @@ class FigureResult:
         if num is None or den is None or den == 0:
             raise ValueError(f"cannot form ratio at x={x}")
         return num / den
+
+    # -- serialization ----------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Lossless JSON-safe form (floats survive the round trip exactly)."""
+        return {
+            "figure_id": self.figure_id,
+            "title": self.title,
+            "xlabel": self.xlabel,
+            "ylabel": self.ylabel,
+            "x": list(self.x),
+            "series": [s.to_dict() for s in self.series],
+            "notes": list(self.notes),
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "FigureResult":
+        fig = cls(
+            figure_id=str(doc["figure_id"]),
+            title=str(doc["title"]),
+            xlabel=str(doc["xlabel"]),
+            ylabel=str(doc["ylabel"]),
+            x=[int(v) for v in doc["x"]],
+            notes=[str(n) for n in doc.get("notes", [])],
+        )
+        for sdoc in doc.get("series", []):
+            s = Series.from_dict(sdoc)
+            # add_series re-validates the length invariant on the way in.
+            fig.add_series(s.label, s.values)
+        return fig
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FigureResult":
+        return cls.from_dict(json.loads(text))
 
     # -- rendering --------------------------------------------------------------
 

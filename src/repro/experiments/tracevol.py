@@ -17,9 +17,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
-from ..apps import ALL_APPS, AppSpec, get_app
+from ..apps import ALL_APPS, get_app
 from ..cluster import MachineSpec, POWER3_SP
-from ..dynprof import POLICIES, run_policy
+from ..dynprof import POLICIES, PolicyResult
+from ..runner import SweepPoint, SweepRunner
 
 __all__ = ["TraceVolumeRow", "run_tracevol", "render_tracevol"]
 
@@ -42,9 +43,15 @@ def run_tracevol(
     scale: float = 0.1,
     machine: MachineSpec = POWER3_SP,
     seed: int = 0,
+    runner: Optional[SweepRunner] = None,
+    jobs: int = 1,
 ) -> List[TraceVolumeRow]:
-    """Measure trace volume per (app, policy) at one CPU count."""
-    rows: List[TraceVolumeRow] = []
+    """Measure trace volume per (app, policy) at one CPU count.
+
+    The cells are the same ``policy`` sweep points Figure 7 runs, so a
+    shared cache serves both experiments from one set of simulations.
+    """
+    cells = []
     for name in (apps if apps is not None else list(ALL_APPS)):
         app = get_app(name)
         cpus = min(n_cpus, max(app.cpu_counts))
@@ -53,15 +60,22 @@ def run_tracevol(
         for policy in POLICIES:
             if policy == "Subset" and not app.has_subset_policy:
                 continue
-            result = run_policy(app, policy, cpus, scale=scale,
-                                machine=machine, seed=seed)
-            mb = result.trace_bytes / 1e6
-            rate = mb / result.time / cpus if result.time > 0 else 0.0
-            rows.append(TraceVolumeRow(
-                app=app.name, policy=policy, n_cpus=cpus,
-                time=result.time, records=result.trace_records,
-                mbytes=mb, rate_mb_s_per_proc=rate,
+            cells.append(SweepPoint.policy_cell(
+                app.name, policy, cpus,
+                scale=scale, machine=machine, seed=seed,
             ))
+    if runner is None:
+        runner = SweepRunner(jobs=jobs)
+    rows: List[TraceVolumeRow] = []
+    for payload in runner.run_grid(cells):
+        result = PolicyResult(**payload)
+        mb = result.trace_bytes / 1e6
+        rate = (mb / result.time / result.n_cpus) if result.time > 0 else 0.0
+        rows.append(TraceVolumeRow(
+            app=result.app, policy=result.policy, n_cpus=result.n_cpus,
+            time=result.time, records=result.trace_records,
+            mbytes=mb, rate_mb_s_per_proc=rate,
+        ))
     return rows
 
 

@@ -1,0 +1,158 @@
+"""Declarative sweep points — the unit of work of :class:`SweepRunner`.
+
+A :class:`SweepPoint` names one cell of an experiment grid — which
+simulation to run (``kind``), on which application/policy, at which
+process count, on which machine, with which seed and workload scale —
+without running anything.  Points are frozen, hashable and picklable,
+so they travel to worker processes unchanged, and they canonicalize to
+a stable JSON document that (together with the machine's cost-model
+constants and the package version) forms the content-addressed cache
+key (see :mod:`repro.runner.cache`).
+
+Three kinds map onto the paper's experiments:
+
+``policy``
+    One Figure 7 / trace-volume cell: ``run_policy(app, policy, procs)``.
+``confsync``
+    One Figure 8 cell: ``measure_confsync(procs, change=, stats=, reps=)``.
+``instrument``
+    One Figure 9 cell: ``measure_create_and_instrument(app, procs)``.
+
+A fourth kind, ``selftest``, exercises the worker machinery itself
+(echo / sleep / raise / crash) and exists for the runner's own tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from ..cluster import POWER3_SP, MachineSpec
+
+__all__ = ["SweepPoint", "POINT_KINDS"]
+
+#: Recognised point kinds (``selftest`` is internal to the runner tests).
+POINT_KINDS = ("policy", "confsync", "instrument", "selftest")
+
+#: Parameter value types that canonicalize losslessly to JSON.
+_PARAM_TYPES = (bool, int, float, str, type(None))
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One cell of an experiment grid, described but not yet run."""
+
+    kind: str
+    procs: int
+    app: Optional[str] = None
+    policy: Optional[str] = None
+    machine: MachineSpec = POWER3_SP
+    seed: int = 0
+    scale: float = 1.0
+    #: Extra kind-specific parameters, kept sorted so two points built
+    #: with the same parameters in any order compare (and hash) equal.
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in POINT_KINDS:
+            raise ValueError(f"unknown point kind {self.kind!r}; known: {POINT_KINDS}")
+        if self.procs < 1:
+            raise ValueError("procs must be >= 1")
+        for name, value in self.params:
+            if not isinstance(value, _PARAM_TYPES):
+                raise TypeError(
+                    f"param {name!r} has non-canonicalizable type {type(value).__name__}"
+                )
+        object.__setattr__(self, "params", tuple(sorted(self.params)))
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def policy_cell(
+        cls,
+        app: str,
+        policy: str,
+        procs: int,
+        *,
+        scale: float = 1.0,
+        machine: MachineSpec = POWER3_SP,
+        seed: int = 0,
+    ) -> "SweepPoint":
+        """One (app, policy, CPU-count) cell of Figure 7 / trace volume."""
+        return cls("policy", procs, app=app, policy=policy,
+                   machine=machine, seed=seed, scale=scale)
+
+    @classmethod
+    def confsync(
+        cls,
+        procs: int,
+        *,
+        change: bool = False,
+        stats: bool = False,
+        reps: int = 16,
+        machine: MachineSpec = POWER3_SP,
+        seed: int = 0,
+    ) -> "SweepPoint":
+        """One Figure 8 cell: average VT_confsync cost."""
+        return cls("confsync", procs, machine=machine, seed=seed,
+                   params=(("change", change), ("reps", reps), ("stats", stats)))
+
+    @classmethod
+    def instrument(
+        cls,
+        app: str,
+        procs: int,
+        *,
+        scale: float = 0.02,
+        machine: MachineSpec = POWER3_SP,
+        seed: int = 0,
+    ) -> "SweepPoint":
+        """One Figure 9 cell: dynprof's create+instrument wall time."""
+        return cls("instrument", procs, app=app,
+                   machine=machine, seed=seed, scale=scale)
+
+    @classmethod
+    def selftest(cls, mode: str = "echo", **params: Any) -> "SweepPoint":
+        """Internal: a point exercising the worker machinery itself."""
+        items = tuple({"mode": mode, **params}.items())
+        return cls("selftest", 1, params=items)
+
+    # -- accessors ------------------------------------------------------------
+
+    def param(self, name: str, default: Any = None) -> Any:
+        for key, value in self.params:
+            if key == name:
+                return value
+        return default
+
+    @property
+    def label(self) -> str:
+        """Short human-readable identity, used in telemetry events."""
+        parts = [self.kind]
+        if self.app:
+            parts.append(self.app)
+        if self.policy:
+            parts.append(self.policy)
+        flags = ",".join(f"{k}={v}" for k, v in self.params)
+        tail = f"@{self.procs}"
+        if flags:
+            tail += f"[{flags}]"
+        return ":".join(parts) + tail
+
+    def canonical(self) -> Dict[str, Any]:
+        """Stable, JSON-safe description of the point.
+
+        Includes every cost-model constant of the machine, so a point
+        run against an ablated :class:`MachineSpec` never aliases the
+        stock one in the cache.
+        """
+        return {
+            "kind": self.kind,
+            "app": self.app,
+            "policy": self.policy,
+            "procs": self.procs,
+            "seed": self.seed,
+            "scale": self.scale,
+            "params": dict(self.params),
+            "machine": asdict(self.machine),
+        }

@@ -1,0 +1,281 @@
+"""The sweep execution engine.
+
+:class:`SweepRunner` takes a grid of :class:`SweepPoint`s and produces
+one :class:`PointResult` per distinct point:
+
+1. **Cache probe** — every point is first looked up in the
+   content-addressed :class:`~repro.runner.cache.ResultCache` (if one
+   is configured); hits never touch a worker.
+2. **Fan-out** — misses run on a ``ProcessPoolExecutor`` with
+   ``jobs`` workers (``jobs=1`` runs in-process, no pool, no pickling).
+   The simulations are deterministic, so the parallel path returns
+   bit-identical floats to the serial one — that equivalence is the
+   acceptance test of the whole subsystem.
+3. **Failure containment** — a point that raises or exceeds the
+   per-point ``timeout`` becomes a failed :class:`PointResult`; a point
+   whose *worker process dies* (``BrokenProcessPool``) is retried once
+   on a fresh pool before being reported as ``crashed``.  One bad point
+   never takes down the sweep.
+4. **Telemetry** — progress is emitted as JSON lines through
+   :class:`~repro.runner.telemetry.SweepTelemetry` (points done /
+   cached / failed, per-point sim time, final cache hit rate).
+
+:meth:`SweepRunner.run_grid` is the strict variant the figure harness
+uses: it raises :class:`SweepError` unless every point succeeded, and
+returns payloads aligned with the input order (duplicates allowed —
+they are computed once).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO, Any, Dict, List, Optional, Sequence, Union
+
+from .cache import ResultCache, point_key
+from .point import SweepPoint
+from .telemetry import SweepTelemetry
+from .worker import execute_point
+
+__all__ = ["SweepRunner", "PointResult", "SweepError", "default_jobs"]
+
+
+def default_jobs() -> int:
+    """A worker count matched to the machine (for ``--jobs 0``)."""
+    return max(1, os.cpu_count() or 1)
+
+
+@dataclass
+class PointResult:
+    """Outcome of one sweep point."""
+
+    point: SweepPoint
+    #: "ok" | "error" | "timeout" | "crashed"
+    status: str
+    payload: Optional[Dict[str, Any]] = None
+    cached: bool = False
+    wall_time: float = 0.0
+    attempts: int = 1
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    @property
+    def sim_time(self) -> Optional[float]:
+        """Simulated seconds the point reported (``payload["time"]``)."""
+        if self.payload is None:
+            return None
+        value = self.payload.get("time")
+        return float(value) if isinstance(value, (int, float)) else None
+
+
+class SweepError(RuntimeError):
+    """A strict sweep had failing points."""
+
+    def __init__(self, failures: List[PointResult]) -> None:
+        self.failures = failures
+        heads = "; ".join(
+            f"{r.point.label} [{r.status}]" for r in failures[:3]
+        )
+        more = f" (+{len(failures) - 3} more)" if len(failures) > 3 else ""
+        detail = ""
+        if failures and failures[0].error:
+            first = failures[0].error.strip().splitlines()[-1]
+            detail = f"\nfirst error: {first}"
+        super().__init__(
+            f"{len(failures)} sweep point(s) failed: {heads}{more}{detail}"
+        )
+
+
+class SweepRunner:
+    """Parallel, cached executor for experiment grids.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes; ``1`` (the default) executes in-process and
+        ``0`` means one worker per CPU.
+    cache:
+        A :class:`ResultCache`, a directory path to open one at, or
+        None to disable caching.
+    timeout:
+        Per-point wall-clock budget in seconds (None = unlimited).
+    retries:
+        How many times a point is re-submitted after its worker
+        process crashes (the paper-prescribed default is one retry).
+    telemetry:
+        A :class:`SweepTelemetry`, or a text stream to emit JSON lines
+        to, or None for counters-only telemetry.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: Union[ResultCache, str, Path, None] = None,
+        timeout: Optional[float] = None,
+        retries: int = 1,
+        telemetry: Union[SweepTelemetry, IO[str], None] = None,
+    ) -> None:
+        if jobs < 0:
+            raise ValueError("jobs must be >= 0")
+        self.jobs = jobs if jobs > 0 else default_jobs()
+        if cache is not None and not isinstance(cache, ResultCache):
+            cache = ResultCache(cache)
+        self.cache = cache
+        self.timeout = timeout
+        self.retries = max(0, retries)
+        if telemetry is None or isinstance(telemetry, SweepTelemetry):
+            self.telemetry = telemetry or SweepTelemetry()
+        else:
+            self.telemetry = SweepTelemetry(stream=telemetry)
+
+    # -- public API -----------------------------------------------------------
+
+    def run(self, points: Sequence[SweepPoint]) -> Dict[SweepPoint, PointResult]:
+        """Execute a grid; returns one result per *distinct* point."""
+        unique = list(dict.fromkeys(points))
+        results: Dict[SweepPoint, PointResult] = {}
+
+        cached: List[PointResult] = []
+        if self.cache is not None:
+            for p in unique:
+                entry = self.cache.get(point_key(p))
+                if entry is not None:
+                    r = PointResult(p, "ok", payload=entry["payload"],
+                                    cached=True, attempts=0)
+                    results[p] = r
+                    cached.append(r)
+
+        self.telemetry.sweep_start(
+            total=len(unique), cached=len(cached), jobs=self.jobs
+        )
+        for r in cached:
+            self._report(r)
+
+        missing = [p for p in unique if p not in results]
+        if missing:
+            if self.jobs == 1:
+                self._run_serial(missing, results)
+            else:
+                self._run_parallel(missing, results)
+        self.telemetry.sweep_end()
+        return results
+
+    def run_grid(self, points: Sequence[SweepPoint]) -> List[Dict[str, Any]]:
+        """Strict run: every point must succeed.
+
+        Returns payloads aligned with ``points`` (duplicates share one
+        execution); raises :class:`SweepError` listing the failures
+        otherwise.
+        """
+        results = self.run(points)
+        failures = [r for r in results.values() if not r.ok]
+        if failures:
+            raise SweepError(failures)
+        return [results[p].payload for p in points]  # type: ignore[misc]
+
+    # -- execution paths ------------------------------------------------------
+
+    def _run_serial(
+        self,
+        points: List[SweepPoint],
+        results: Dict[SweepPoint, PointResult],
+    ) -> None:
+        for p in points:
+            envelope = execute_point(p, timeout=self.timeout)
+            self._finish(p, envelope, attempts=1, results=results)
+
+    def _run_parallel(
+        self,
+        points: List[SweepPoint],
+        results: Dict[SweepPoint, PointResult],
+    ) -> None:
+        # attempt number each pending point is on; a BrokenProcessPool
+        # wave increments every point it swept away (the culprit is not
+        # identifiable from the parent) and the whole wave is re-run on
+        # a fresh pool until the retry budget is spent.
+        pending: Dict[SweepPoint, int] = {p: 1 for p in points}
+        while pending:
+            batch = list(pending)
+            crashed: List[SweepPoint] = []
+            with ProcessPoolExecutor(
+                max_workers=min(self.jobs, len(batch))
+            ) as pool:
+                futures = {
+                    pool.submit(execute_point, p, self.timeout): p
+                    for p in batch
+                }
+                for fut in as_completed(futures):
+                    p = futures[fut]
+                    try:
+                        envelope = fut.result()
+                    except BrokenProcessPool:
+                        crashed.append(p)
+                        continue
+                    except Exception as exc:  # transport-level failure
+                        envelope = {
+                            "status": "error",
+                            "error": f"{type(exc).__name__}: {exc}",
+                            "wall_time": 0.0,
+                        }
+                    self._finish(p, envelope, attempts=pending[p],
+                                 results=results)
+                    del pending[p]
+            for p in crashed:
+                if pending[p] > self.retries:
+                    envelope = {
+                        "status": "crashed",
+                        "error": (
+                            f"{p.label}: worker process died "
+                            f"({pending[p]} attempt(s))"
+                        ),
+                        "wall_time": 0.0,
+                    }
+                    self._finish(p, envelope, attempts=pending[p],
+                                 results=results)
+                    del pending[p]
+                else:
+                    pending[p] += 1
+
+    # -- bookkeeping ----------------------------------------------------------
+
+    def _finish(
+        self,
+        point: SweepPoint,
+        envelope: Dict[str, Any],
+        attempts: int,
+        results: Dict[SweepPoint, PointResult],
+    ) -> None:
+        status = envelope.get("status", "error")
+        result = PointResult(
+            point=point,
+            status=status,
+            payload=envelope.get("payload"),
+            cached=False,
+            wall_time=float(envelope.get("wall_time", 0.0)),
+            attempts=attempts,
+            error=envelope.get("error"),
+        )
+        if result.ok and self.cache is not None:
+            self.cache.put(
+                point_key(point), point, result.payload,
+                meta={"wall_time": result.wall_time},
+            )
+        results[point] = result
+        self._report(result)
+
+    def _report(self, result: PointResult) -> None:
+        self.telemetry.point_finished(
+            label=result.point.label,
+            key=point_key(result.point),
+            status=result.status,
+            cached=result.cached,
+            wall_time=result.wall_time,
+            sim_time=result.sim_time,
+            attempts=result.attempts,
+        )

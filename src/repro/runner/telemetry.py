@@ -1,0 +1,113 @@
+"""Structured sweep telemetry — JSON lines plus running counters.
+
+One :class:`SweepTelemetry` instance accompanies one
+:meth:`SweepRunner.run <repro.runner.runner.SweepRunner.run>` call.
+Every event is a single JSON object on its own line, written to the
+given stream (e.g. stderr for ``--progress``) and retained in
+``.events`` for tests and programmatic inspection:
+
+``{"event": "sweep_start", "total": 25, "cached": 20, "jobs": 4}``
+``{"event": "point", "label": ..., "key": ..., "status": "ok",
+  "cached": false, "sim_time": 12.81, "wall_time": 0.42, "attempts": 1,
+  "done": 3, "of": 25}``
+``{"event": "sweep_end", "total": 25, "ok": 25, "cached": 20,
+  "failed": 0, "hit_rate": 0.8, "wall_time": 2.1}``
+
+``hit_rate`` is cached-points over total points — the acceptance
+telemetry for "a re-run with the same config completes with 100% cache
+hits".
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import IO, Any, Dict, List, Optional
+
+__all__ = ["SweepTelemetry"]
+
+
+class SweepTelemetry:
+    """Counters + JSON-lines emitter for one sweep."""
+
+    def __init__(self, stream: Optional[IO[str]] = None) -> None:
+        self.stream = stream
+        self.events: List[Dict[str, Any]] = []
+        self.total = 0
+        self.done = 0
+        self.cached = 0
+        self.failed = 0
+        self._t0: Optional[float] = None
+
+    # -- emission -------------------------------------------------------------
+
+    def emit(self, event: str, **fields: Any) -> Dict[str, Any]:
+        record = {"event": event, **fields}
+        self.events.append(record)
+        if self.stream is not None:
+            self.stream.write(json.dumps(record) + "\n")
+            self.stream.flush()
+        return record
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def sweep_start(self, total: int, cached: int, jobs: int) -> None:
+        self._t0 = time.perf_counter()
+        self.total = total
+        self.emit("sweep_start", total=total, cached=cached, jobs=jobs)
+
+    def point_finished(
+        self,
+        label: str,
+        key: str,
+        status: str,
+        cached: bool,
+        wall_time: float,
+        sim_time: Optional[float],
+        attempts: int,
+    ) -> None:
+        self.done += 1
+        if cached:
+            self.cached += 1
+        if status != "ok":
+            self.failed += 1
+        self.emit(
+            "point",
+            label=label,
+            key=key[:12],
+            status=status,
+            cached=cached,
+            sim_time=sim_time,
+            wall_time=round(wall_time, 6),
+            attempts=attempts,
+            done=self.done,
+            of=self.total,
+        )
+
+    def sweep_end(self) -> Dict[str, Any]:
+        wall = time.perf_counter() - self._t0 if self._t0 is not None else 0.0
+        return self.emit(
+            "sweep_end",
+            total=self.total,
+            ok=self.done - self.failed,
+            cached=self.cached,
+            failed=self.failed,
+            hit_rate=self.hit_rate,
+            wall_time=round(wall, 6),
+        )
+
+    # -- summary --------------------------------------------------------------
+
+    @property
+    def hit_rate(self) -> float:
+        """Cached points over total points (0.0 when the sweep is empty)."""
+        return self.cached / self.total if self.total else 0.0
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "total": self.total,
+            "ok": self.done - self.failed,
+            "cached": self.cached,
+            "failed": self.failed,
+            "hit_rate": self.hit_rate,
+        }

@@ -1,0 +1,146 @@
+"""Worker-side execution of sweep points.
+
+:func:`execute_point` is the function the runner submits to its
+:class:`~concurrent.futures.ProcessPoolExecutor`; it must stay a
+module-level callable so it pickles by reference.  It never raises:
+every outcome — success, application error, per-point timeout — comes
+back as a JSON-safe *envelope* dict so the parent can cache, report and
+aggregate uniformly.  The only thing that escapes an envelope is a
+worker-process death (``os._exit``, OOM-kill, segfault analog), which
+surfaces in the parent as ``BrokenProcessPool`` and drives the
+retry-once semantics in :mod:`repro.runner.runner`.
+
+Per-point timeouts use ``SIGALRM``: the pool's fork-started workers run
+tasks on their main thread, so the alarm interrupts even a
+simulation-bound point.  Off the main thread (e.g. a threaded caller
+using the serial path) the timeout is skipped rather than mis-armed.
+
+The experiment imports are intentionally lazy: ``repro.experiments``
+imports this package for its ``runner=`` plumbing, so module-level
+imports the other way would be circular.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+import traceback
+from dataclasses import asdict
+from typing import Any, Dict, Optional
+
+from .point import SweepPoint
+
+__all__ = ["execute_point", "PointTimeout"]
+
+
+class PointTimeout(Exception):
+    """Raised inside a worker when a point exceeds its time budget."""
+
+
+def _dispatch(point: SweepPoint) -> Dict[str, Any]:
+    """Run the simulation a point describes; returns the raw payload."""
+    if point.kind == "policy":
+        from ..apps import get_app
+        from ..dynprof import run_policy
+
+        result = run_policy(
+            get_app(point.app), point.policy, point.procs,
+            scale=point.scale, machine=point.machine, seed=point.seed,
+        )
+        return asdict(result)
+    if point.kind == "confsync":
+        from ..experiments.fig8 import measure_confsync
+
+        elapsed = measure_confsync(
+            point.procs, machine=point.machine,
+            change=bool(point.param("change", False)),
+            stats=bool(point.param("stats", False)),
+            reps=int(point.param("reps", 16)),
+            seed=point.seed,
+        )
+        return {"time": elapsed}
+    if point.kind == "instrument":
+        from ..experiments.fig9 import measure_create_and_instrument
+
+        elapsed = measure_create_and_instrument(
+            point.app, point.procs, point.machine,
+            scale=point.scale, seed=point.seed,
+        )
+        return {"time": elapsed}
+    if point.kind == "selftest":
+        return _selftest(point)
+    raise ValueError(f"unknown point kind {point.kind!r}")
+
+
+def _selftest(point: SweepPoint) -> Dict[str, Any]:
+    """Worker behaviours the runner's own tests need to provoke."""
+    mode = point.param("mode", "echo")
+    if mode == "echo":
+        return {"time": 0.0, "echo": point.param("value")}
+    if mode == "sleep":
+        time.sleep(float(point.param("seconds", 60.0)))
+        return {"time": 0.0}
+    if mode == "raise":
+        raise RuntimeError("selftest: deliberate failure")
+    if mode == "crash":
+        os._exit(17)
+    if mode == "crash_once":
+        # Dies on the first attempt, succeeds on the retry: the marker
+        # file records that the crash already happened.
+        marker = str(point.param("marker"))
+        if os.path.exists(marker):
+            return {"time": 0.0, "retried": True}
+        with open(marker, "w", encoding="utf-8"):
+            pass
+        os._exit(17)
+    raise ValueError(f"unknown selftest mode {mode!r}")
+
+
+def execute_point(
+    point: SweepPoint, timeout: Optional[float] = None
+) -> Dict[str, Any]:
+    """Run one point under an optional wall-clock budget.
+
+    Returns an envelope: ``{"status": "ok", "payload": ..., "wall_time"}``
+    on success, or ``{"status": "timeout"|"error", "error": ...,
+    "wall_time"}`` otherwise.
+    """
+    start = time.perf_counter()
+    use_alarm = (
+        timeout is not None
+        and timeout > 0
+        and threading.current_thread() is threading.main_thread()
+    )
+    previous_handler: Any = None
+    try:
+        if use_alarm:
+            def _on_alarm(signum: int, frame: Any) -> None:
+                raise PointTimeout
+
+            previous_handler = signal.signal(signal.SIGALRM, _on_alarm)
+            signal.setitimer(signal.ITIMER_REAL, timeout)
+        try:
+            payload = _dispatch(point)
+            return {
+                "status": "ok",
+                "payload": payload,
+                "wall_time": time.perf_counter() - start,
+            }
+        except PointTimeout:
+            return {
+                "status": "timeout",
+                "error": f"{point.label}: exceeded {timeout:g}s budget",
+                "wall_time": time.perf_counter() - start,
+            }
+        except Exception:
+            return {
+                "status": "error",
+                "error": traceback.format_exc(limit=20),
+                "wall_time": time.perf_counter() - start,
+            }
+    finally:
+        if use_alarm:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous_handler)

@@ -1,0 +1,58 @@
+"""Lossless JSON round-trip of Series / FigureResult (runner transport)."""
+
+import json
+import math
+
+import pytest
+
+from repro.experiments import FigureResult, Series
+
+
+def _sample_figure():
+    fig = FigureResult("fig7a", "The execution time", "CPUs", "Time (s)",
+                       [1, 2, 4, 8])
+    fig.add_series("Full", [1.0, 2.5, 0.1 + 0.2, 12.812345678901234])
+    fig.add_series("None", [0.5, None, 1.25, 2.0])
+    fig.notes.append("workload scale=0.1")
+    fig.notes.append("machine=power3-sp, seed=0")
+    return fig
+
+
+def test_series_round_trip():
+    s = Series("Full", [1.0, None, 0.1 + 0.2])
+    assert Series.from_json(s.to_json()) == s
+
+
+def test_figure_round_trip_is_lossless():
+    fig = _sample_figure()
+    back = FigureResult.from_json(fig.to_json())
+    assert back == fig  # dataclass equality covers x, series, notes
+    # Floats survive exactly (repr round-trip), not approximately.
+    assert back.series[0].values[3] == 12.812345678901234
+    assert back.series[0].values[2] == 0.1 + 0.2
+    assert back.series[1].values[1] is None
+    # The rendered forms are byte-identical too.
+    assert back.render() == fig.render()
+    assert back.to_csv() == fig.to_csv()
+
+
+def test_figure_to_json_is_plain_json():
+    doc = json.loads(_sample_figure().to_json(indent=2))
+    assert doc["figure_id"] == "fig7a"
+    assert doc["x"] == [1, 2, 4, 8]
+    assert [s["label"] for s in doc["series"]] == ["Full", "None"]
+
+
+def test_from_dict_revalidates_series_length():
+    doc = _sample_figure().to_dict()
+    doc["series"][0]["values"] = [1.0]  # wrong length for 4 x-points
+    with pytest.raises(ValueError):
+        FigureResult.from_dict(doc)
+
+
+def test_round_trip_handles_extreme_floats():
+    fig = FigureResult("f", "t", "x", "y", [1, 2])
+    fig.add_series("s", [5e-324, 1.7976931348623157e308])
+    back = FigureResult.from_json(fig.to_json())
+    assert back.series[0].values == [5e-324, 1.7976931348623157e308]
+    assert not any(math.isinf(v) for v in back.series[0].values)

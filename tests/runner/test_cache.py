@@ -1,0 +1,142 @@
+"""Cache-key stability and on-disk cache robustness."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.cluster import IA32_LINUX, POWER3_SP
+from repro.runner import ResultCache, SweepPoint, SweepRunner, point_key
+
+
+def _cell(**overrides):
+    kw = dict(app="smg98", policy="Full", procs=4, scale=0.05, seed=3)
+    kw.update(overrides)
+    return SweepPoint.policy_cell(
+        kw["app"], kw["policy"], kw["procs"],
+        scale=kw["scale"], seed=kw["seed"],
+        machine=kw.get("machine", POWER3_SP),
+    )
+
+
+# ----------------------------------------------------------- key stability
+
+
+def test_key_stable_for_equal_points():
+    assert point_key(_cell()) == point_key(_cell())
+    assert _cell() == _cell() and hash(_cell()) == hash(_cell())
+
+
+def test_key_stable_across_processes():
+    code = (
+        "from repro.runner import SweepPoint, point_key;"
+        "p = SweepPoint.policy_cell('smg98', 'Full', 4, scale=0.05, seed=3);"
+        "print(point_key(p))"
+    )
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get("PYTHONPATH", "")
+    out = subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True, text=True, check=True, env=env,
+    )
+    assert out.stdout.strip() == point_key(_cell())
+
+
+@pytest.mark.parametrize("change", [
+    {"seed": 4},
+    {"scale": 0.1},
+    {"procs": 8},
+    {"policy": "None"},
+    {"app": "sweep3d"},
+    {"machine": IA32_LINUX},
+])
+def test_key_changes_with_any_config_input(change):
+    assert point_key(_cell(**change)) != point_key(_cell())
+
+
+def test_key_changes_with_cost_model_override():
+    ablated = POWER3_SP.with_overrides(vt_active_event_cost=3.2e-6)
+    assert point_key(_cell(machine=ablated)) != point_key(_cell())
+
+
+def test_key_changes_with_package_version():
+    p = _cell()
+    assert point_key(p, version="1.0.0") != point_key(p, version="9.9.9")
+
+
+def test_confsync_params_are_order_canonical():
+    a = SweepPoint("confsync", 8,
+                   params=(("stats", True), ("change", False), ("reps", 4)))
+    b = SweepPoint("confsync", 8,
+                   params=(("reps", 4), ("change", False), ("stats", True)))
+    assert a == b and point_key(a) == point_key(b)
+
+
+def test_key_distinguishes_confsync_params():
+    a = SweepPoint.confsync(8, change=False, reps=4)
+    b = SweepPoint.confsync(8, change=True, reps=4)
+    c = SweepPoint.confsync(8, change=False, reps=8)
+    assert len({point_key(p) for p in (a, b, c)}) == 3
+
+
+# ----------------------------------------------------------- the store
+
+
+def test_cache_round_trip(tmp_path):
+    cache = ResultCache(tmp_path)
+    p = _cell()
+    key = point_key(p)
+    assert cache.get(key) is None
+    cache.put(key, p, {"time": 1.25, "trace_records": 7})
+    entry = cache.get(key)
+    assert entry["payload"] == {"time": 1.25, "trace_records": 7}
+    assert entry["point"]["app"] == "smg98"
+    assert key in cache and len(cache) == 1
+    assert cache.clear() == 1 and len(cache) == 0
+
+
+def test_corrupted_entry_is_a_miss_and_discarded(tmp_path):
+    cache = ResultCache(tmp_path)
+    p = _cell()
+    key = point_key(p)
+    cache.put(key, p, {"time": 1.0})
+    path = cache._path(key)
+    path.write_text("{ not json !!", encoding="utf-8")
+    assert cache.get(key) is None
+    assert not path.exists()
+
+
+def test_entry_with_mismatched_key_is_discarded(tmp_path):
+    cache = ResultCache(tmp_path)
+    p = _cell()
+    key = point_key(p)
+    cache.put(key, p, {"time": 1.0})
+    path = cache._path(key)
+    entry = json.loads(path.read_text(encoding="utf-8"))
+    entry["key"] = "0" * 64
+    path.write_text(json.dumps(entry), encoding="utf-8")
+    assert cache.get(key) is None
+    assert not path.exists()
+
+
+def test_runner_recovers_from_corrupted_entry(tmp_path):
+    """A damaged cache degrades to recomputation, not to a crash."""
+    point = SweepPoint.confsync(2, reps=2)
+    first = SweepRunner(cache=tmp_path).run([point])[point]
+    assert first.ok and not first.cached
+
+    path = ResultCache(tmp_path)._path(point_key(point))
+    assert path.exists()
+    path.write_bytes(b"\x00\xffgarbage")
+
+    again = SweepRunner(cache=tmp_path).run([point])[point]
+    assert again.ok and not again.cached
+    assert again.payload == first.payload
+
+    # ...and the recomputed entry is cached cleanly once more.
+    third = SweepRunner(cache=tmp_path).run([point])[point]
+    assert third.ok and third.cached
+    assert third.payload == first.payload

@@ -1,0 +1,127 @@
+"""SweepRunner mechanics: fan-out, dedup, failures, retry, telemetry."""
+
+import io
+import json
+
+import pytest
+
+from repro.runner import (
+    SweepError,
+    SweepPoint,
+    SweepRunner,
+    SweepTelemetry,
+    default_jobs,
+)
+
+
+# ----------------------------------------------------------- basic execution
+
+
+@pytest.mark.parametrize("jobs", [1, 3])
+def test_selftest_echo_round_trip(jobs):
+    points = [SweepPoint.selftest("echo", value=i) for i in range(5)]
+    payloads = SweepRunner(jobs=jobs).run_grid(points)
+    assert [p["echo"] for p in payloads] == list(range(5))
+
+
+def test_duplicate_points_computed_once():
+    p = SweepPoint.selftest("echo", value=42)
+    telemetry = SweepTelemetry()
+    runner = SweepRunner(jobs=1, telemetry=telemetry)
+    payloads = runner.run_grid([p, p, p])
+    assert len(payloads) == 3 and all(x["echo"] == 42 for x in payloads)
+    assert telemetry.total == 1  # one distinct point, one execution
+
+
+def test_jobs_zero_means_machine_sized_pool():
+    assert SweepRunner(jobs=0).jobs == default_jobs() >= 1
+    with pytest.raises(ValueError):
+        SweepRunner(jobs=-1)
+
+
+# ----------------------------------------------------------- failure semantics
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_point_error_is_contained_and_reported(jobs):
+    good = SweepPoint.selftest("echo", value=1)
+    bad = SweepPoint.selftest("raise")
+    results = SweepRunner(jobs=jobs).run([good, bad])
+    assert results[good].ok
+    assert results[bad].status == "error"
+    assert "deliberate failure" in results[bad].error
+    with pytest.raises(SweepError) as exc:
+        SweepRunner(jobs=jobs).run_grid([good, bad])
+    assert "1 sweep point(s) failed" in str(exc.value)
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_per_point_timeout(jobs):
+    slow = SweepPoint.selftest("sleep", seconds=30.0)
+    result = SweepRunner(jobs=jobs, timeout=0.3).run([slow])[slow]
+    assert result.status == "timeout"
+    assert "budget" in result.error
+
+
+def test_worker_crash_is_retried_once_then_succeeds(tmp_path):
+    marker = tmp_path / "crashed-once"
+    point = SweepPoint.selftest("crash_once", marker=str(marker))
+    result = SweepRunner(jobs=2).run([point])[point]
+    assert result.ok
+    assert result.payload["retried"] is True
+    assert result.attempts == 2
+    assert marker.exists()
+
+
+def test_persistent_worker_crash_fails_after_retry_budget():
+    point = SweepPoint.selftest("crash")
+    result = SweepRunner(jobs=2).run([point])[point]
+    assert result.status == "crashed"
+    assert result.attempts == 2  # initial run + one retry
+
+
+def test_crash_does_not_sink_innocent_points(tmp_path):
+    marker = tmp_path / "m"
+    crasher = SweepPoint.selftest("crash_once", marker=str(marker))
+    bystanders = [SweepPoint.selftest("echo", value=i) for i in range(4)]
+    results = SweepRunner(jobs=2).run([crasher] + bystanders)
+    assert all(results[p].ok for p in bystanders)
+    assert results[crasher].ok
+
+
+# ----------------------------------------------------------- telemetry
+
+
+def test_telemetry_json_lines_and_hit_rate(tmp_path):
+    points = [SweepPoint.confsync(n, reps=2) for n in (2, 3)]
+
+    out1 = io.StringIO()
+    SweepRunner(jobs=1, cache=tmp_path, telemetry=out1).run_grid(points)
+    events1 = [json.loads(line) for line in out1.getvalue().splitlines()]
+    assert events1[0]["event"] == "sweep_start"
+    assert events1[0] == {"event": "sweep_start", "total": 2, "cached": 0,
+                          "jobs": 1}
+    point_events = [e for e in events1 if e["event"] == "point"]
+    assert len(point_events) == 2
+    assert all(e["status"] == "ok" and e["cached"] is False
+               and e["sim_time"] > 0 for e in point_events)
+    assert events1[-1]["event"] == "sweep_end"
+    assert events1[-1]["hit_rate"] == 0.0
+
+    # Acceptance: a second invocation with the same config is served
+    # entirely from the cache, and the telemetry proves it.
+    out2 = io.StringIO()
+    runner = SweepRunner(jobs=1, cache=tmp_path, telemetry=out2)
+    runner.run_grid(points)
+    events2 = [json.loads(line) for line in out2.getvalue().splitlines()]
+    assert events2[-1]["cached"] == 2
+    assert events2[-1]["hit_rate"] == 1.0
+    assert all(e["cached"] is True for e in events2 if e["event"] == "point")
+    assert runner.telemetry.summary()["hit_rate"] == 1.0
+
+
+def test_cached_payloads_equal_computed_payloads(tmp_path):
+    points = [SweepPoint.confsync(n, reps=2) for n in (2, 4)]
+    fresh = SweepRunner(jobs=1, cache=tmp_path).run_grid(points)
+    cached = SweepRunner(jobs=1, cache=tmp_path).run_grid(points)
+    assert fresh == cached
