@@ -12,7 +12,6 @@ claimed mechanism and not by an accident of calibration:
   to the instrumented subset's call count (and stays far from Full).
 """
 
-import pytest
 
 from repro.apps import SMG98
 from repro.cluster import POWER3_SP

@@ -7,7 +7,6 @@ verifies the paper's qualitative claims, and attaches the headline
 numbers as extra_info.
 """
 
-import pytest
 
 from repro.apps import SMG98, SPPM, SWEEP3D, UMT98
 from repro.experiments import fig7_shape_report, run_fig7

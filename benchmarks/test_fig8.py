@@ -1,6 +1,5 @@
 """Benchmarks regenerating Figure 8 (a-c): the cost of VT_confsync."""
 
-import pytest
 
 from repro.experiments import run_fig8a, run_fig8b, run_fig8c
 

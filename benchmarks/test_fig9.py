@@ -1,6 +1,5 @@
 """Benchmark regenerating Figure 9: time to create and instrument."""
 
-import pytest
 
 from repro.experiments import run_fig9
 

@@ -6,7 +6,6 @@ regressions in the infrastructure are visible independently of the
 experiment harness.
 """
 
-import pytest
 
 from repro.cluster import Cluster, POWER3_SP, Task
 from repro.program import ExecutableImage, ProcessImage, ProgramContext

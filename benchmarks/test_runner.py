@@ -5,7 +5,6 @@ figure whose points are all memoized should cost milliseconds, not the
 wall time of the slowest simulation.
 """
 
-import pytest
 
 from repro.apps import SMG98
 from repro.experiments import run_fig7

@@ -36,8 +36,10 @@ from .dynprof import (
     PolicyResult,
     run_policy,
 )
+from . import obs
 from .jobs import MpiJob, OmpJob, install_omp_symbols
 from .mpi import ANY_SOURCE, ANY_TAG, Communicator, MpiWorld, install_mpi_symbols
+from .obs import MetricsRegistry
 from .openmp import DynamicSchedule, GuidedSchedule, OpenMPRuntime, StaticSchedule
 from .program import ExecutableImage, ProcessImage, ProgramContext
 from .runner import (
@@ -99,6 +101,9 @@ __all__ = [
     "MpiJob",
     "OmpJob",
     "install_omp_symbols",
+    # observability
+    "obs",
+    "MetricsRegistry",
     # sweep engine
     "SweepRunner",
     "SweepPoint",

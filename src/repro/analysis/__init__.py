@@ -8,7 +8,12 @@ suspension periods, Section 5.1), and trace-volume reports.
 
 from .msgstats import MessageStats, render_message_matrix
 from .profileview import FunctionProfile, ProfileView
-from .report import render_profile, render_timeline, render_trace_report
+from .report import (
+    render_obs_report,
+    render_profile,
+    render_timeline,
+    render_trace_report,
+)
 from .svg_export import save_timeline_html, timeline_to_svg
 from .timeline import (
     InactivityPeriod,
@@ -29,6 +34,7 @@ __all__ = [
     "render_timeline",
     "render_profile",
     "render_trace_report",
+    "render_obs_report",
     "MessageStats",
     "render_message_matrix",
     "timeline_to_svg",

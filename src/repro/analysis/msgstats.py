@@ -8,7 +8,7 @@ queryable objects plus a text rendering.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from ..vt import MsgRecord, TraceFile

@@ -9,13 +9,18 @@ the shortest programs").
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Dict, Optional
 
 from ..vt import TraceFile
 from .profileview import ProfileView
 from .timeline import Timeline
 
-__all__ = ["render_timeline", "render_profile", "render_trace_report"]
+__all__ = [
+    "render_timeline",
+    "render_profile",
+    "render_trace_report",
+    "render_obs_report",
+]
 
 
 def render_timeline(timeline: Timeline, width: int = 100) -> str:
@@ -82,5 +87,52 @@ def render_trace_report(trace: TraceFile, wall_time: Optional[float] = None) -> 
         lines.append(
             f"  data rate   : {rate:.2f} MB/s per process over {wall_time:.1f}s "
             f"(the paper cites ~2 MB/s as already impractical)"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def _fmt_number(value: float) -> str:
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:,.6g}"
+    return f"{int(value):,}"
+
+
+def render_obs_report(snapshot: Dict[str, Any]) -> str:
+    """Metrics section for a :meth:`repro.obs.MetricsRegistry.snapshot`.
+
+    Counters and gauges become aligned name/value rows; spans show
+    count / total / mean / max of their simulated durations; histograms
+    collapse to count / total plus the occupied buckets.
+    """
+    lines = ["simulator metrics (repro.obs)"]
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    spans = snapshot.get("spans", {})
+    histograms = snapshot.get("histograms", {})
+    if not (counters or gauges or spans or histograms):
+        lines.append("  (no metrics collected)")
+        return "\n".join(lines) + "\n"
+    for name in sorted(counters):
+        lines.append(f"  {name:<28s} {_fmt_number(counters[name]):>14s}")
+    for name in sorted(gauges):
+        lines.append(f"  {name:<28s} {_fmt_number(gauges[name]):>14s}  (high water)")
+    for name in sorted(spans):
+        s = spans[name]
+        mean = s["total"] / s["count"] if s["count"] else 0.0
+        lines.append(
+            f"  {name:<28s} {s['count']:>10,d} spans  "
+            f"total {s['total']:.6f}s  mean {mean:.9f}s  max {s['max']:.9f}s"
+        )
+    for name in sorted(histograms):
+        h = histograms[name]
+        edges = h["edges"]
+        occupied = [
+            f"<={_fmt_number(edges[i])}: {c:,}" if i < len(edges) else f">{_fmt_number(edges[-1])}: {c:,}"
+            for i, c in enumerate(h["counts"])
+            if c
+        ]
+        lines.append(
+            f"  {name:<28s} {h['count']:>10,d} samples  "
+            f"[{', '.join(occupied) if occupied else 'empty'}]"
         )
     return "\n".join(lines) + "\n"

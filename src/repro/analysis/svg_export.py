@@ -13,7 +13,7 @@ import hashlib
 import html
 from typing import Dict, List, Optional, Tuple
 
-from .timeline import Timeline, TimelineBar
+from .timeline import Timeline
 
 __all__ = ["timeline_to_svg", "save_timeline_html"]
 

@@ -11,7 +11,6 @@ switch; DESIGN.md records this simplification.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from ..simt import Channel, Environment, RandomStreams
 from .machine import MachineSpec

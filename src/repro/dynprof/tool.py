@@ -30,6 +30,7 @@ from typing import Dict, Generator, List, Optional, Sequence, Tuple, Union
 from ..cluster import Cluster, Node, Task
 from ..dpcl import DpclClient
 from ..jobs import MpiJob, OmpJob
+from ..obs import get as _obs_get
 from ..program import ENTRY, EXIT, ProbeHandle
 from ..simt import Environment, Process
 from ..vt import BEGIN, END, VTProbeSnippet
@@ -103,6 +104,7 @@ class DynProf:
         self._handles: Dict[Tuple[str, str], List[ProbeHandle]] = {}
         self.state = "created"
         self._file_contents = dict(file_contents or {})
+        self._obs = _obs_get()
         #: Seconds from session start until the app entered main
         #: computation (Figure 9's "time to create and instrument").
         self.create_and_instrument_time: Optional[float] = None
@@ -279,7 +281,8 @@ class DynProf:
         vt0.break_hook = None
         tf.end("safe-point-wait", self._now())
 
-        tf.begin("safe-point-patch", self._now(),
+        t_patch0 = self._now()
+        tf.begin("safe-point-patch", t_patch0,
                  detail=f"+{len(insert)} -{len(remove)} globs")
         # Rank 0 is parked in the hook; the other ranks are blocked in
         # (or running toward) the confsync broadcast.  The blocking
@@ -298,11 +301,16 @@ class DynProf:
                             handles.extend(self._handles.pop((pname, fi.name), []))
                 if handles:
                     n = yield from self.client.remove_probes(handles)
+                    if self._obs.enabled:
+                        self._obs.inc("dynprof.probe_removes", n)
                     self._emit(f"removed {n} probes")
         finally:
             yield from self.client.resume()
             done.succeed()
         tf.end("safe-point-patch", self._now())
+        if self._obs.enabled:
+            self._obs.inc("dynprof.safe_point_patches")
+            self._obs.span("dynprof.patch", self._now() - t_patch0)
         self._emit(f"patched at safe point t={t_hit:.3f}s")
         return t_hit
 
@@ -432,6 +440,8 @@ class DynProf:
         )
         for (pname, fname, _where, _snippet), handle in zip(probes, handles):
             self._handles.setdefault((pname, fname), []).append(handle)
+        if self._obs.enabled:
+            self._obs.inc("dynprof.probe_inserts", len(handles))
         self._emit(f"installed {len(handles)} probes")
 
     def _suspend_patch_resume(self, install: Sequence[str], remove: Sequence[str]) -> Generator:
@@ -445,7 +455,8 @@ class DynProf:
         if self.state != "running":
             raise DynProfError(f"mid-run patch in state {self.state}")
         tf = self.timefile
-        tf.begin("suspend", self._now())
+        t_patch0 = self._now()
+        tf.begin("suspend", t_patch0)
         yield from self.client.suspend(blocking=True)
         tf.end("suspend", self._now())
         try:
@@ -463,12 +474,17 @@ class DynProf:
                             handles.extend(self._handles.pop((pname, fi.name), []))
                 if handles:
                     n = yield from self.client.remove_probes(handles)
+                    if self._obs.enabled:
+                        self._obs.inc("dynprof.probe_removes", n)
                     self._emit(f"removed {n} probes")
                 tf.end("remove", self._now())
         finally:
             tf.begin("resume", self._now())
             yield from self.client.resume()
             tf.end("resume", self._now())
+            if self._obs.enabled:
+                self._obs.inc("dynprof.suspend_patches")
+                self._obs.span("dynprof.patch", self._now() - t_patch0)
 
     # -- introspection --------------------------------------------------------------------
 

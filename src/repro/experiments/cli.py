@@ -24,7 +24,10 @@ content-addressed cache (``--cache-dir``, default
 ``~/.cache/repro/sweep`` or ``$REPRO_CACHE_DIR``; ``--no-cache``
 disables it) so a re-run with the same configuration is served
 entirely from disk.  ``--progress`` streams JSON-lines telemetry to
-stderr; ``--timeout`` bounds each point's wall-clock time.
+stderr; ``--timeout`` bounds each point's wall-clock time; ``--obs
+FILE`` additionally collects :mod:`repro.obs` simulator metrics for
+every computed point and writes one merged JSON document (figure
+outputs stay bit-identical with or without it).
 """
 
 from __future__ import annotations
@@ -137,6 +140,11 @@ def _add_runner_args(parser: argparse.ArgumentParser) -> None:
                         help="per-point wall-clock budget in seconds")
     parser.add_argument("--progress", action="store_true",
                         help="stream JSON-lines sweep telemetry to stderr")
+    parser.add_argument("--obs", metavar="FILE", default=None,
+                        help="collect simulator metrics (events, messages, "
+                             "trace records, probe patches) per computed "
+                             "point and write one merged JSON document to "
+                             "FILE; figure outputs are unaffected")
 
 
 def _build_runner(args: argparse.Namespace) -> SweepRunner:
@@ -146,7 +154,27 @@ def _build_runner(args: argparse.Namespace) -> SweepRunner:
         cache=cache,
         timeout=args.timeout,
         telemetry=sys.stderr if args.progress else None,
+        collect_obs=bool(args.obs),
     )
+
+
+def _write_obs_document(args: argparse.Namespace, runner: SweepRunner) -> None:
+    """Emit the single-run metrics document ``--obs FILE`` asked for."""
+    if not args.obs:
+        return
+    import json as _json
+
+    from .. import __version__
+
+    doc = {
+        "version": __version__,
+        "obs": runner.obs.snapshot(),
+        "telemetry": runner.telemetry.summary(),
+    }
+    with open(args.obs, "w", encoding="utf-8") as fh:
+        _json.dump(doc, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote obs metrics to {args.obs}", file=sys.stderr)
 
 
 # -- the `sweep` subcommand -----------------------------------------------------
@@ -242,6 +270,7 @@ def sweep_main(argv: List[str]) -> int:
         s = runner.telemetry.summary()
         print(f"({s['ok']}/{s['total']} ok, {s['cached']} cached, "
               f"{s['failed']} failed, hit rate {s['hit_rate']:.0%})")
+    _write_obs_document(args, runner)
     return 0 if all(r.ok for r in ordered) else 1
 
 
@@ -311,6 +340,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         with open(args.csv, "w", encoding="utf-8") as fh:
             fh.write("\n".join(csv_chunks))
         print(f"wrote CSV to {args.csv}", file=sys.stderr)
+    _write_obs_document(args, runner)
     return 0
 
 

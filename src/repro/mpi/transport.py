@@ -18,10 +18,14 @@ from collections import deque
 from typing import Deque, Dict, List, Optional, Tuple
 
 from ..cluster import Cluster, Node
+from ..obs import get as _obs_get
 from ..simt import Environment, Event
 from .messages import Envelope
 
 __all__ = ["Mailbox", "Transport"]
+
+#: Histogram bucket upper bounds for on-wire message sizes (bytes).
+MSG_SIZE_EDGES = (64, 256, 1024, 4096, 16384, 65536, 262144, 1048576, 4194304)
 
 
 class _PostedRecv:
@@ -44,6 +48,7 @@ class Mailbox:
         self.rank = rank
         self._unexpected: Deque[Envelope] = deque()
         self._posted: Deque[_PostedRecv] = deque()
+        self._obs = _obs_get()
 
     @property
     def unexpected_count(self) -> int:
@@ -56,8 +61,12 @@ class Mailbox:
             if envelope.matches(posted.source, posted.tag, posted.context):
                 self._posted.remove(posted)
                 posted.event.succeed(envelope)
+                if self._obs.enabled:
+                    self._obs.inc("mpi.matched_posted")
                 return
         self._unexpected.append(envelope)
+        if self._obs.enabled:
+            self._obs.gauge_max("mpi.unexpected_hwm", len(self._unexpected))
 
     def post_recv(self, source: int, tag: int, context: str) -> Event:
         """Post a receive; the event triggers with the matched envelope."""
@@ -66,6 +75,8 @@ class Mailbox:
             if envelope.matches(source, tag, context):
                 self._unexpected.remove(envelope)
                 event.succeed(envelope)
+                if self._obs.enabled:
+                    self._obs.inc("mpi.matched_unexpected")
                 return event
         self._posted.append(_PostedRecv(source, tag, context, event))
         return event
@@ -92,6 +103,7 @@ class Transport:
         #: Diagnostics.
         self.eager_sends = 0
         self.rendezvous_sends = 0
+        self._obs = _obs_get()
 
     def n_ranks(self) -> int:
         return len(self.rank_nodes)
@@ -108,23 +120,34 @@ class Transport:
         prev = self._last_arrival.get(key, 0.0)
         if t < prev:
             t = prev
+            if self._obs.enabled:
+                self._obs.inc("mpi.clamp_activations")
         self._last_arrival[key] = t
         return t
 
     def _schedule_delivery(self, envelope: Envelope, at: float) -> None:
+        # Always route through the event queue, even at zero wire time: a
+        # synchronous deliver() here would let this envelope match ahead
+        # of same-timestamp events that are already queued, breaking the
+        # FIFO ordering the queue's sequence counter exists to guarantee.
         delay = at - self.env.now
+        if delay < 0.0:  # pragma: no cover - _arrival never goes backwards
+            delay = 0.0
         mailbox = self.mailboxes[envelope.dst]
-        if delay <= 0.0:
-            mailbox.deliver(envelope)
-        else:
-            timeout = self.env.timeout(delay)
-            timeout.callbacks.append(lambda _ev: mailbox.deliver(envelope))
+        if self._obs.enabled:
+            self._obs.span("mpi.wire", delay)
+        timeout = self.env.timeout(delay)
+        timeout.callbacks.append(lambda _ev: mailbox.deliver(envelope))
 
     # -- send paths --------------------------------------------------------------
 
     def send_eager(self, src: int, dst: int, tag: int, context: str, payload: object, size: int) -> None:
         """Fire-and-forget small-message send; the sender does not block."""
         self.eager_sends += 1
+        if self._obs.enabled:
+            self._obs.inc("mpi.eager_sends")
+            self._obs.inc("mpi.wire_bytes", size)
+            self._obs.observe("mpi.msg_bytes", size, MSG_SIZE_EDGES)
         envelope = Envelope(src, dst, tag, context, payload, size, self.env.now)
         arrival = self._arrival(src, dst, context, self._wire_time(src, dst, size))
         self._schedule_delivery(envelope, arrival)
@@ -139,6 +162,12 @@ class Transport:
         the payload transfer time to complete the send.
         """
         self.rendezvous_sends += 1
+        if self._obs.enabled:
+            # 64 B of RTS control traffic now; the payload bytes are
+            # committed to the wire as part of the same send.
+            self._obs.inc("mpi.rendezvous_sends")
+            self._obs.inc("mpi.wire_bytes", 64 + size)
+            self._obs.observe("mpi.msg_bytes", size, MSG_SIZE_EDGES)
         handshake = Event(self.env)
         envelope = Envelope(
             src, dst, tag, context, payload, size, self.env.now,

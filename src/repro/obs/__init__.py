@@ -1,0 +1,55 @@
+"""repro.obs — metrics and span tracing for the simulator itself.
+
+The paper's thesis is that observing a running parallel program must be
+cheap and toggleable at runtime; the same constraint applies to
+observing this simulator.  ``repro.obs`` is a process-local metrics
+registry (counters, gauges, fixed-bucket histograms) plus lightweight
+span tracing of simulator phases (MPI wire time, VT buffer flushes,
+dynprof patch windows), with a null backend so that when observation is
+disabled — the default — every instrumented hot path pays exactly one
+attribute check.
+
+Enabling is explicit and capture-at-construction::
+
+    from repro import obs
+
+    registry = obs.enable()          # or obs.collecting() as a context
+    env = Environment()              # built under the live registry
+    ... run a simulation ...
+    doc = registry.snapshot()        # JSON-safe metrics document
+    obs.disable()
+
+The sweep runner exposes the same mechanism per point
+(``SweepRunner(collect_obs=True)``), and the CLI as
+``repro-experiments ... --obs metrics.json``.  Observation never
+perturbs the simulation: no costs, no RNG draws, no events — figure
+outputs are bit-identical with it on or off (pinned by tests).
+
+See ``docs/observability.md`` for the metric name catalogue.
+"""
+
+from .registry import (
+    NULL,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    collecting,
+    disable,
+    enable,
+    get,
+    is_enabled,
+    merge_snapshots,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "NullRegistry",
+    "Histogram",
+    "NULL",
+    "get",
+    "enable",
+    "disable",
+    "is_enabled",
+    "collecting",
+    "merge_snapshots",
+]

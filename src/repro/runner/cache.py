@@ -132,20 +132,34 @@ class ResultCache:
     def _iter_paths(self) -> Iterator[Path]:
         if not self.root.is_dir():
             return
-        yield from self.root.glob("??/*.json")
+        # Interrupted writes can leave ".<key>-*.tmp" droppings next to
+        # the entries; anything dot-prefixed is not an entry.
+        for path in self.root.glob("??/*.json"):
+            if not path.name.startswith("."):
+                yield path
 
     def __len__(self) -> int:
         return sum(1 for _ in self._iter_paths())
 
     def __contains__(self, key: str) -> bool:
-        return self._path(key).is_file()
+        """True only if :meth:`get` would hit.
+
+        A bare ``is_file()`` check would report a corrupted entry as
+        present while ``get`` discards it and returns None; containment
+        therefore validates (and, like ``get``, discards) the entry.
+        """
+        return self.get(key) is not None
 
     def clear(self) -> int:
-        """Remove every entry; returns how many were removed."""
+        """Remove every entry (and stale temp files); returns how many
+        entries were removed."""
         n = 0
         for path in list(self._iter_paths()):
             self._discard(path)
             n += 1
+        if self.root.is_dir():
+            for tmp in self.root.glob("??/.*.tmp"):
+                self._discard(tmp)
         return n
 
     @staticmethod

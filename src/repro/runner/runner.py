@@ -31,10 +31,11 @@ from __future__ import annotations
 import os
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 from typing import IO, Any, Dict, List, Optional, Sequence, Union
 
+from ..obs import MetricsRegistry
 from .cache import ResultCache, point_key
 from .point import SweepPoint
 from .telemetry import SweepTelemetry
@@ -111,6 +112,12 @@ class SweepRunner:
     telemetry:
         A :class:`SweepTelemetry`, or a text stream to emit JSON lines
         to, or None for counters-only telemetry.
+    collect_obs:
+        When True each computed point runs under a fresh
+        :mod:`repro.obs` registry; its snapshot rides the telemetry
+        ``point`` event and is merged into :attr:`obs`.  Cached points
+        contribute nothing (no simulation ran).  Payloads — and thus
+        cache entries and figures — are unaffected.
     """
 
     def __init__(
@@ -120,6 +127,7 @@ class SweepRunner:
         timeout: Optional[float] = None,
         retries: int = 1,
         telemetry: Union[SweepTelemetry, IO[str], None] = None,
+        collect_obs: bool = False,
     ) -> None:
         if jobs < 0:
             raise ValueError("jobs must be >= 0")
@@ -133,6 +141,9 @@ class SweepRunner:
             self.telemetry = telemetry or SweepTelemetry()
         else:
             self.telemetry = SweepTelemetry(stream=telemetry)
+        self.collect_obs = collect_obs
+        #: Simulator metrics merged across every computed point.
+        self.obs = MetricsRegistry()
 
     # -- public API -----------------------------------------------------------
 
@@ -187,7 +198,8 @@ class SweepRunner:
         results: Dict[SweepPoint, PointResult],
     ) -> None:
         for p in points:
-            envelope = execute_point(p, timeout=self.timeout)
+            envelope = execute_point(p, timeout=self.timeout,
+                                     collect_obs=self.collect_obs)
             self._finish(p, envelope, attempts=1, results=results)
 
     def _run_parallel(
@@ -207,7 +219,8 @@ class SweepRunner:
                 max_workers=min(self.jobs, len(batch))
             ) as pool:
                 futures = {
-                    pool.submit(execute_point, p, self.timeout): p
+                    pool.submit(execute_point, p, self.timeout,
+                                self.collect_obs): p
                     for p in batch
                 }
                 for fut in as_completed(futures):
@@ -267,9 +280,16 @@ class SweepRunner:
                 meta={"wall_time": result.wall_time},
             )
         results[point] = result
-        self._report(result)
+        obs_snapshot = envelope.get("obs")
+        if obs_snapshot:
+            self.obs.merge_snapshot(obs_snapshot)
+        self._report(result, obs_snapshot=obs_snapshot)
 
-    def _report(self, result: PointResult) -> None:
+    def _report(
+        self,
+        result: PointResult,
+        obs_snapshot: Optional[Dict[str, Any]] = None,
+    ) -> None:
         self.telemetry.point_finished(
             label=result.point.label,
             key=point_key(result.point),
@@ -278,4 +298,5 @@ class SweepRunner:
             wall_time=result.wall_time,
             sim_time=result.sim_time,
             attempts=result.attempts,
+            obs=obs_snapshot,
         )

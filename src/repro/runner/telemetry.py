@@ -65,14 +65,14 @@ class SweepTelemetry:
         wall_time: float,
         sim_time: Optional[float],
         attempts: int,
+        obs: Optional[Dict[str, Any]] = None,
     ) -> None:
         self.done += 1
         if cached:
             self.cached += 1
         if status != "ok":
             self.failed += 1
-        self.emit(
-            "point",
+        fields: Dict[str, Any] = dict(
             label=label,
             key=key[:12],
             status=status,
@@ -83,6 +83,10 @@ class SweepTelemetry:
             done=self.done,
             of=self.total,
         )
+        if obs is not None:
+            # The point's simulator-metrics snapshot (collect_obs runs).
+            fields["obs"] = obs
+        self.emit("point", **fields)
 
     def sweep_end(self) -> Dict[str, Any]:
         wall = time.perf_counter() - self._t0 if self._t0 is not None else 0.0

@@ -30,6 +30,7 @@ import traceback
 from dataclasses import asdict
 from typing import Any, Dict, Optional
 
+from .. import obs
 from .point import SweepPoint
 
 __all__ = ["execute_point", "PointTimeout"]
@@ -99,13 +100,17 @@ def _selftest(point: SweepPoint) -> Dict[str, Any]:
 
 
 def execute_point(
-    point: SweepPoint, timeout: Optional[float] = None
+    point: SweepPoint, timeout: Optional[float] = None, collect_obs: bool = False
 ) -> Dict[str, Any]:
     """Run one point under an optional wall-clock budget.
 
     Returns an envelope: ``{"status": "ok", "payload": ..., "wall_time"}``
     on success, or ``{"status": "timeout"|"error", "error": ...,
-    "wall_time"}`` otherwise.
+    "wall_time"}`` otherwise.  With ``collect_obs`` the point runs under
+    a fresh :mod:`repro.obs` registry and the envelope carries its
+    snapshot under ``"obs"`` (partial on timeout/error) — outside the
+    cached payload, so cache entries stay identical with or without
+    observation.
     """
     start = time.perf_counter()
     use_alarm = (
@@ -121,25 +126,33 @@ def execute_point(
 
             previous_handler = signal.signal(signal.SIGALRM, _on_alarm)
             signal.setitimer(signal.ITIMER_REAL, timeout)
+        registry: Optional[obs.MetricsRegistry] = None
         try:
-            payload = _dispatch(point)
-            return {
+            if collect_obs:
+                with obs.collecting() as registry:
+                    payload = _dispatch(point)
+            else:
+                payload = _dispatch(point)
+            envelope = {
                 "status": "ok",
                 "payload": payload,
                 "wall_time": time.perf_counter() - start,
             }
         except PointTimeout:
-            return {
+            envelope = {
                 "status": "timeout",
                 "error": f"{point.label}: exceeded {timeout:g}s budget",
                 "wall_time": time.perf_counter() - start,
             }
         except Exception:
-            return {
+            envelope = {
                 "status": "error",
                 "error": traceback.format_exc(limit=20),
                 "wall_time": time.perf_counter() - start,
             }
+        if registry is not None:
+            envelope["obs"] = registry.snapshot()
+        return envelope
     finally:
         if use_alarm:
             signal.setitimer(signal.ITIMER_REAL, 0.0)

@@ -9,9 +9,11 @@ deterministic, which the test suite and the experiment harness rely on.
 from __future__ import annotations
 
 import heapq
+import math
 from itertools import count
 from typing import Any, List, Optional, Tuple
 
+from ..obs import get as _obs_get
 from .errors import SimtError, StopSimulation
 from .events import NORMAL, PENDING, Event, Process, ProcessGenerator, Timeout
 
@@ -56,6 +58,7 @@ class Environment:
         self._crash: Optional[Tuple[Process, BaseException]] = None
         #: Total number of events processed (exposed for perf diagnostics).
         self.events_processed = 0
+        self._obs = _obs_get()
 
     # -- clock ------------------------------------------------------------
 
@@ -99,6 +102,11 @@ class Environment:
         """Process exactly one event (advancing the clock to it)."""
         if not self._queue:
             raise SimtError("step() on an empty event queue")
+        if self._obs.enabled:
+            # The queue only ever shrinks inside step(), so its length at
+            # the top of a step is exactly the running high-water mark.
+            self._obs.inc("simt.events")
+            self._obs.gauge_max("simt.queue_depth_hwm", len(self._queue))
         when, _prio, _seq, event = heapq.heappop(self._queue)
         if when < self._now:  # pragma: no cover - guarded by schedule()
             raise SimtError("event scheduled in the past")
@@ -159,7 +167,10 @@ class Environment:
                     break
                 self.step()
             else:
-                if stop_time is not Infinity and stop_time > self._now:
+                # An identity test against the Infinity alias would let a
+                # caller's own float("inf")/math.inf object through and
+                # corrupt the clock to now == inf once the queue drains.
+                if not math.isinf(stop_time) and stop_time > self._now:
                     self._now = stop_time
         except StopSimulation as stop:
             return stop.reason

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Generator, Optional
 
+from ..obs import get as _obs_get
 from .config import VTConfig
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -84,6 +85,11 @@ def vt_confsync(pctx: "ProgramContext", write_stats: Optional[bool] = None) -> G
 
     # Close the epoch: no rank proceeds until all have the new table.
     yield from rank.comm.barrier()
+    obs = _obs_get()
+    if obs.enabled:
+        obs.inc("vt.confsync_epochs")
+        if do_stats:
+            obs.inc("vt.confsync_stats_writes")
     return applied
 
 

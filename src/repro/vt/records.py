@@ -10,7 +10,6 @@ megabytes per second per processor.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional
 
 __all__ = [

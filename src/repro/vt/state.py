@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set, Tuple
 
 from ..cluster import MachineSpec, Task
+from ..obs import get as _obs_get
 from ..simt import Environment
 from .buffer import ThreadTraceBuffer, TraceFile
 from .config import VTConfig
@@ -120,6 +121,7 @@ class VTProcessState:
         # Cache cost constants as attributes (hot path).
         self._active_cost = spec.vt_active_event_cost
         self._lookup_cost = spec.vt_lookup_cost
+        self._obs = _obs_get()
 
         image.vt = self
         # Expose the library to dynamically inserted snippets.
@@ -177,6 +179,8 @@ class VTProcessState:
         self.config = config
         self._rebuild_table()
         self.epoch += 1
+        if self._obs.enabled:
+            self._obs.inc("vt.reconfigurations")
         if task is not None:
             task.charge(self.spec.confsync_apply_cost)
 
@@ -193,6 +197,8 @@ class VTProcessState:
         trace filesystem's bandwidth, so flush time scales with the
         number of tracing processes."""
         self._unflushed_records += k
+        if self._obs.enabled:
+            self._obs.inc("vt.records", k)
         if self._unflushed_records >= self.spec.vt_flush_threshold_records:
             n = self._unflushed_records
             self._unflushed_records = 0
@@ -202,6 +208,10 @@ class VTProcessState:
             )
             task.charge(dt)
             self.flush_time_total += dt
+            if self._obs.enabled:
+                self._obs.inc("vt.flushes")
+                self._obs.inc("vt.flush_bytes", n * self.spec.trace_record_bytes)
+                self._obs.span("vt.flush", dt)
 
     # -- buffers -----------------------------------------------------------------
 

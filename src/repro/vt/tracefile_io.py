@@ -21,7 +21,6 @@ line) that round-trips exactly and is trivially greppable:
 
 from __future__ import annotations
 
-from typing import TextIO
 
 from .buffer import ThreadTraceBuffer, TraceFile
 from .records import (

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cluster import IA32_LINUX, POWER3_SP, MachineSpec, get_machine
+from repro.cluster import IA32_LINUX, POWER3_SP, get_machine
 
 
 def test_power3_matches_paper_testbed():

@@ -1,7 +1,6 @@
 """DPCL edge cases: activation toggles, detach persistence, re-attach,
 multiple users, error paths."""
 
-import pytest
 
 from repro.cluster import Cluster, POWER3_SP
 from repro.dpcl import DpclClient, DpclError

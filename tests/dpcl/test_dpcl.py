@@ -1,13 +1,11 @@
 """DPCL system tests: daemons, client ops, asynchrony, callbacks."""
 
-import pytest
 
 from repro.cluster import Cluster, POWER3_SP
 from repro.dpcl import DpclClient, DpclError
 from repro.jobs import MpiJob
-from repro.program import ENTRY, EXIT, CallFunc, Const
+from repro.program import ENTRY, CallFunc, Const
 from repro.simt import Environment
-from repro.vt import BEGIN, END, VTProbeSnippet
 
 SPEC = POWER3_SP.with_overrides(net_jitter=0.0)
 

@@ -2,12 +2,12 @@
 
 import pytest
 
-from repro.apps import SMG98, SWEEP3D, UMT98
+from repro.apps import SWEEP3D, UMT98
 from repro.cluster import Cluster, POWER3_SP
 from repro.dynprof import DynProf, DynProfError
 from repro.jobs import MpiJob, OmpJob
 from repro.simt import Environment
-from repro.vt import EnterRecord, LeaveRecord
+from repro.vt import EnterRecord
 
 SPEC = POWER3_SP.with_overrides(net_jitter=0.02)
 SCALE = 0.05

@@ -6,7 +6,6 @@ import operator
 import numpy as np
 import pytest
 
-from repro.cluster import POWER3_SP
 from .conftest import run_mpi
 from .test_pt2pt import mpi_main
 

@@ -1,11 +1,9 @@
 """Property-based tests (hypothesis) for the MPI layer."""
 
-import operator
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.cluster import POWER3_SP
 
 from .conftest import run_mpi
 from .test_pt2pt import mpi_main

@@ -221,3 +221,44 @@ def test_wait_all_completes_in_order():
 
     _job, results = run_mpi(2, mpi_main(body))
     assert results[1] == [0, 11, 22, 33]
+
+
+def test_zero_wire_time_delivery_goes_through_event_queue():
+    """Regression: ``_schedule_delivery`` used to call ``deliver()``
+    synchronously when the wire time was zero, letting the envelope jump
+    ahead of same-timestamp events already on the queue."""
+    from repro.cluster import Cluster, POWER3_SP
+    from repro.mpi.messages import P2P
+    from repro.mpi.transport import Transport
+    from repro.simt import Environment
+    from repro.mpi import Envelope
+
+    env = Environment()
+    cluster = Cluster(env, POWER3_SP.with_overrides(net_jitter=0.0, os_noise=0.0))
+    node = cluster.node(0)
+    transport = Transport(env, cluster, [node, node])
+
+    order = []
+    before = env.timeout(0.0)
+    before.callbacks.append(lambda _ev: order.append("before"))
+
+    mailbox = transport.mailboxes[1]
+    real_deliver = mailbox.deliver
+
+    def recording_deliver(envelope):
+        order.append("deliver")
+        real_deliver(envelope)
+
+    mailbox.deliver = recording_deliver
+    envelope = Envelope(0, 1, 0, P2P, b"x", 0, env.now)
+    transport._schedule_delivery(envelope, at=env.now)  # zero delay
+
+    after = env.timeout(0.0)
+    after.callbacks.append(lambda _ev: order.append("after"))
+
+    # Nothing may happen synchronously at schedule time...
+    assert order == [] and mailbox.unexpected_count == 0
+    env.run()
+    # ...and at run time the delivery respects queue (FIFO) order.
+    assert order == ["before", "deliver", "after"]
+    assert mailbox.unexpected_count == 1

@@ -143,7 +143,9 @@ def test_variable_cells_notify_watchers():
 def test_runtime_registry():
     env = Environment()
     pim = ProcessImage(env, build_exe(), "app[0]")
-    fn = lambda ctx: None
+    def fn(ctx):
+        return None
+
     pim.register_runtime("VT_begin", fn)
     assert pim.resolve_runtime("VT_begin") is fn
     assert pim.resolve_runtime("VT_end") is None

@@ -122,6 +122,43 @@ def test_entry_with_mismatched_key_is_discarded(tmp_path):
     assert not path.exists()
 
 
+def test_contains_is_consistent_with_get_on_corruption(tmp_path):
+    """Regression: ``key in cache`` only checked ``is_file()``, so a
+    corrupted entry read as present while ``get`` treated it as a miss."""
+    cache = ResultCache(tmp_path)
+    p = _cell()
+    key = point_key(p)
+    cache.put(key, p, {"time": 1.0})
+    assert key in cache
+    path = cache._path(key)
+    path.write_text("{ not json !!", encoding="utf-8")
+    assert key not in cache
+    # Containment validates like get: the corrupt file has been discarded.
+    assert not path.exists()
+    assert cache.get(key) is None
+
+
+def test_tmp_droppings_are_not_entries(tmp_path):
+    """Regression: interrupted-write ``.tmp`` files (and any dotfile)
+    under a bucket directory must not count as entries."""
+    cache = ResultCache(tmp_path)
+    p = _cell()
+    key = point_key(p)
+    cache.put(key, p, {"time": 1.0})
+    bucket = cache._path(key).parent
+    orphan_tmp = bucket / f".{key[:8]}-orphan.tmp"
+    orphan_tmp.write_text("partial write", encoding="utf-8")
+    hidden_json = bucket / ".hidden.json"
+    hidden_json.write_text("{}", encoding="utf-8")
+
+    assert len(cache) == 1
+    assert key in cache
+    assert cache.clear() == 1
+    assert len(cache) == 0
+    # clear() also sweeps the stale temp files.
+    assert not orphan_tmp.exists()
+
+
 def test_runner_recovers_from_corrupted_entry(tmp_path):
     """A damaged cache degrades to recomputation, not to a crash."""
     point = SweepPoint.confsync(2, reps=2)

@@ -1,8 +1,10 @@
 """Unit tests for the DES engine core: clock, queue, run modes."""
 
+import math
+
 import pytest
 
-from repro.simt import Environment, Event, SimtError, StopSimulation
+from repro.simt import Environment, SimtError, StopSimulation
 
 
 def test_initial_time_defaults_to_zero():
@@ -187,6 +189,53 @@ def test_run_until_already_processed_event():
     env.run()
     # p is long processed; run(until=p) must return immediately.
     assert env.run(until=p) == "early"
+
+
+@pytest.mark.parametrize("until", [math.inf, float("inf")])
+def test_run_until_any_infinity_drains_without_corrupting_clock(until):
+    """Regression: ``until`` was compared to the Infinity alias by
+    identity, so a caller's own inf object corrupted the clock to inf
+    once the queue drained."""
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(3.0)
+
+    env.process(proc(env))
+    env.run(until=until)
+    assert env.now == 3.0
+
+    # The clock must still be usable: a finite run(until=t) would have
+    # raised "until is in the past" against a clock stuck at inf.
+    env.process(proc(env))
+    env.run(until=10.0)
+    assert env.now == 10.0
+
+
+def test_run_until_already_failed_event_reraises():
+    """An already-processed failed event re-raises on every run(until=...)."""
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(1.0)
+        raise RuntimeError("boom")
+
+    p = env.process(proc(env))
+    with pytest.raises(RuntimeError, match="boom"):
+        env.run(until=p)
+    assert p.processed and not p.ok
+    with pytest.raises(RuntimeError, match="boom"):
+        env.run(until=p)
+
+
+def test_run_until_already_failed_bare_event_reraises():
+    env = Environment()
+    ev = env.event()
+    ev.fail(KeyError("lost"))
+    env.run()  # processes the failure; nothing is waiting on it
+    assert ev.processed and not ev.ok
+    with pytest.raises(KeyError, match="lost"):
+        env.run(until=ev)
 
 
 def test_yield_non_event_is_type_error():

@@ -8,6 +8,7 @@ import pytest
 import repro
 
 SUBPACKAGES = [
+    "repro.obs",
     "repro.simt",
     "repro.cluster",
     "repro.program",

@@ -102,7 +102,6 @@ def test_end_to_end_with_analysis(tmp_path):
     """Save a real run's trace, load it, analyse the copy."""
     from repro.analysis import ProfileView
     from repro.apps import SWEEP3D
-    from repro.dynprof import run_policy
 
     # A tiny dynamic run produces a real trace on job.trace... use the
     # policy runner then persist + reload its trace.
