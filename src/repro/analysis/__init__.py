@@ -9,6 +9,7 @@ suspension periods, Section 5.1), and trace-volume reports.
 from .msgstats import MessageStats, render_message_matrix
 from .profileview import FunctionProfile, ProfileView
 from .report import (
+    render_causal_trace_report,
     render_obs_report,
     render_profile,
     render_timeline,
@@ -35,6 +36,7 @@ __all__ = [
     "render_profile",
     "render_trace_report",
     "render_obs_report",
+    "render_causal_trace_report",
     "MessageStats",
     "render_message_matrix",
     "timeline_to_svg",

@@ -31,6 +31,7 @@ from ..cluster import Cluster, Node, Task
 from ..dpcl import DpclClient
 from ..jobs import MpiJob, OmpJob
 from ..obs import get as _obs_get
+from ..obs.trace import TOOL_PID, get as _trace_get
 from ..program import ENTRY, EXIT, ProbeHandle
 from ..simt import Environment, Process
 from ..vt import BEGIN, END, VTProbeSnippet
@@ -105,6 +106,9 @@ class DynProf:
         self.state = "created"
         self._file_contents = dict(file_contents or {})
         self._obs = _obs_get()
+        self._trace = _trace_get()
+        if self._trace.enabled:
+            self._trace.track(TOOL_PID, 0, "dynprof")
         #: Seconds from session start until the app entered main
         #: computation (Figure 9's "time to create and instrument").
         self.create_and_instrument_time: Optional[float] = None
@@ -303,6 +307,11 @@ class DynProf:
                     n = yield from self.client.remove_probes(handles)
                     if self._obs.enabled:
                         self._obs.inc("dynprof.probe_removes", n)
+                    if self._trace.enabled:
+                        self._trace.instant(
+                            TOOL_PID, 0, "probe.remove", "dynprof",
+                            self._now(), args={"probes": n},
+                        )
                     self._emit(f"removed {n} probes")
         finally:
             yield from self.client.resume()
@@ -311,6 +320,13 @@ class DynProf:
         if self._obs.enabled:
             self._obs.inc("dynprof.safe_point_patches")
             self._obs.span("dynprof.patch", self._now() - t_patch0)
+        if self._trace.enabled:
+            self._trace.complete(
+                TOOL_PID, 0, "safe-point patch", "dynprof.patch",
+                t_patch0, self._now(),
+                args={"insert": len(insert), "remove": len(remove),
+                      "safe_point": t_hit},
+            )
         self._emit(f"patched at safe point t={t_hit:.3f}s")
         return t_hit
 
@@ -435,6 +451,7 @@ class DynProf:
         probes, registrations = self._build_probe_requests(names)
         if not probes:
             return
+        t_install0 = self._now()
         handles = yield from self.client.install_probes(
             probes, register_names=registrations
         )
@@ -442,6 +459,27 @@ class DynProf:
             self._handles.setdefault((pname, fname), []).append(handle)
         if self._obs.enabled:
             self._obs.inc("dynprof.probe_inserts", len(handles))
+        if self._trace.enabled:
+            # One fan-out flow: the tool's install action is the cause of
+            # the patched code appearing in every target process.
+            per_proc: Dict[str, int] = {}
+            for pname, _fname, _where, _snippet in probes:
+                per_proc[pname] = per_proc.get(pname, 0) + 1
+            flow = self._trace.new_flow()
+            self._trace.flow_start(
+                TOOL_PID, 0, flow, "probe.insert", "dynprof", t_install0,
+                args={"probes": len(handles), "globs": list(names)},
+            )
+            for index, pname in enumerate(self.process_names):
+                if pname in per_proc:
+                    self._trace.flow_end(
+                        index, 0, flow, "probe.patched", "dynprof",
+                        self._now(), args={"probes": per_proc[pname]},
+                    )
+            self._trace.instant(
+                TOOL_PID, 0, "probe.insert", "dynprof", self._now(),
+                args={"probes": len(handles)},
+            )
         self._emit(f"installed {len(handles)} probes")
 
     def _suspend_patch_resume(self, install: Sequence[str], remove: Sequence[str]) -> Generator:
@@ -476,6 +514,11 @@ class DynProf:
                     n = yield from self.client.remove_probes(handles)
                     if self._obs.enabled:
                         self._obs.inc("dynprof.probe_removes", n)
+                    if self._trace.enabled:
+                        self._trace.instant(
+                            TOOL_PID, 0, "probe.remove", "dynprof",
+                            self._now(), args={"probes": n},
+                        )
                     self._emit(f"removed {n} probes")
                 tf.end("remove", self._now())
         finally:
@@ -485,6 +528,12 @@ class DynProf:
             if self._obs.enabled:
                 self._obs.inc("dynprof.suspend_patches")
                 self._obs.span("dynprof.patch", self._now() - t_patch0)
+            if self._trace.enabled:
+                self._trace.complete(
+                    TOOL_PID, 0, "suspend-patch-resume", "dynprof.patch",
+                    t_patch0, self._now(),
+                    args={"insert": len(install), "remove": len(remove)},
+                )
 
     # -- introspection --------------------------------------------------------------------
 

@@ -26,8 +26,15 @@ disables it) so a re-run with the same configuration is served
 entirely from disk.  ``--progress`` streams JSON-lines telemetry to
 stderr; ``--timeout`` bounds each point's wall-clock time; ``--obs
 FILE`` additionally collects :mod:`repro.obs` simulator metrics for
-every computed point and writes one merged JSON document (figure
-outputs stay bit-identical with or without it).
+every computed point and writes one merged JSON document; ``--trace
+DIR`` collects a :mod:`repro.obs.trace` causal trace per computed
+point and writes one ``<label>.trace.json`` each (figure outputs stay
+bit-identical with or without either).
+
+The ``trace`` subcommand runs a single (app, policy, CPUs) point with
+tracing on and prints the critical-path / perturbation summary —
+optionally exporting Chrome-trace JSON (``--chrome``, loadable in
+Perfetto) and an SVG timeline (``--svg``).
 """
 
 from __future__ import annotations
@@ -145,23 +152,49 @@ def _add_runner_args(parser: argparse.ArgumentParser) -> None:
                              "trace records, probe patches) per computed "
                              "point and write one merged JSON document to "
                              "FILE; figure outputs are unaffected")
+    parser.add_argument("--trace", metavar="DIR", default=None,
+                        help="collect a causal trace per computed point and "
+                             "write one <label>.trace.json each into DIR; "
+                             "figure outputs are unaffected")
+    parser.add_argument("--trace-detail", choices=("fine", "coarse"),
+                        default="fine",
+                        help="trace detail: 'fine' includes per-function "
+                             "spans, 'coarse' subsystem events only")
+    parser.add_argument("--trace-capacity", type=int, default=None,
+                        metavar="N",
+                        help="per-track trace ring-buffer bound in events "
+                             "(default 65536; evictions are counted, not "
+                             "silent)")
 
 
 def _build_runner(args: argparse.Namespace) -> SweepRunner:
     cache = None if args.no_cache else (args.cache_dir or default_cache_dir())
+    kwargs = {}
+    if args.trace_capacity is not None:
+        kwargs["trace_capacity"] = args.trace_capacity
     return SweepRunner(
         jobs=args.jobs,
         cache=cache,
         timeout=args.timeout,
         telemetry=sys.stderr if args.progress else None,
         collect_obs=bool(args.obs),
+        collect_trace=bool(args.trace),
+        trace_detail=args.trace_detail,
+        **kwargs,
     )
 
 
-def _write_obs_document(args: argparse.Namespace, runner: SweepRunner) -> None:
-    """Emit the single-run metrics document ``--obs FILE`` asked for."""
+def _write_obs_document(
+    args: argparse.Namespace, runner: SweepRunner, quiet: bool = False
+) -> Optional[str]:
+    """Emit the single-run metrics document ``--obs FILE`` asked for.
+
+    Returns the path written (for the JSON document's output map);
+    ``quiet`` suppresses the stderr note so ``--json`` runs emit
+    nothing but the document itself.
+    """
     if not args.obs:
-        return
+        return None
     import json as _json
 
     from .. import __version__
@@ -174,7 +207,39 @@ def _write_obs_document(args: argparse.Namespace, runner: SweepRunner) -> None:
     with open(args.obs, "w", encoding="utf-8") as fh:
         _json.dump(doc, fh, indent=2)
         fh.write("\n")
-    print(f"wrote obs metrics to {args.obs}", file=sys.stderr)
+    if not quiet:
+        print(f"wrote obs metrics to {args.obs}", file=sys.stderr)
+    return args.obs
+
+
+def _safe_label(label: str) -> str:
+    """A point label flattened into a filesystem-safe file stem."""
+    import re as _re
+
+    return _re.sub(r"[^A-Za-z0-9._=-]+", "_", label)
+
+
+def _write_trace_documents(
+    args: argparse.Namespace, runner: SweepRunner, quiet: bool = False
+) -> List[str]:
+    """Write one ``<label>.trace.json`` per computed point into
+    ``--trace DIR``; returns the paths written."""
+    if not args.trace:
+        return []
+    import json as _json
+    import os as _os
+
+    _os.makedirs(args.trace, exist_ok=True)
+    paths: List[str] = []
+    for label in sorted(runner.traces):
+        path = _os.path.join(args.trace, f"{_safe_label(label)}.trace.json")
+        with open(path, "w", encoding="utf-8") as fh:
+            _json.dump(runner.traces[label], fh, indent=1)
+            fh.write("\n")
+        paths.append(path)
+    if not quiet:
+        print(f"wrote {len(paths)} trace(s) to {args.trace}", file=sys.stderr)
+    return paths
 
 
 # -- the `sweep` subcommand -----------------------------------------------------
@@ -240,6 +305,9 @@ def sweep_main(argv: List[str]) -> int:
     results = runner.run(points)
     ordered = [results[p] for p in points]
 
+    obs_path = _write_obs_document(args, runner, quiet=args.json)
+    trace_paths = _write_trace_documents(args, runner, quiet=args.json)
+
     if args.json:
         import json as _json
 
@@ -257,6 +325,13 @@ def sweep_main(argv: List[str]) -> int:
             ],
             "telemetry": runner.telemetry.summary(),
         }
+        outputs = {}
+        if obs_path:
+            outputs["obs"] = obs_path
+        if trace_paths:
+            outputs["traces"] = trace_paths
+        if outputs:
+            doc["outputs"] = outputs
         print(_json.dumps(doc, indent=2))
     else:
         print(f"{'app':<9s} {'policy':<9s} {'cpus':>4s} {'status':>8s} "
@@ -270,8 +345,98 @@ def sweep_main(argv: List[str]) -> int:
         s = runner.telemetry.summary()
         print(f"({s['ok']}/{s['total']} ok, {s['cached']} cached, "
               f"{s['failed']} failed, hit rate {s['hit_rate']:.0%})")
-    _write_obs_document(args, runner)
     return 0 if all(r.ok for r in ordered) else 1
+
+
+# -- the `trace` subcommand -----------------------------------------------------
+
+
+def trace_main(argv: List[str]) -> int:
+    """``repro-experiments trace`` — run one (app, policy, CPUs) point
+    with causal tracing on and print its critical-path / perturbation
+    summary."""
+    from ..obs.analysis import render_trace_summary
+    from ..obs.export import save_trace_svg, write_chrome_trace
+    from ..obs.trace import DEFAULT_CAPACITY
+    from ..runner.worker import execute_point
+
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments trace",
+        description="Trace one simulated run: per-track utilization, the "
+                    "critical path through spans and causal flow edges, "
+                    "and the instrumentation-perturbation breakdown.",
+    )
+    parser.add_argument("--app", default="smg98",
+                        help=f"application (one of {','.join(ALL_APPS)}; "
+                             "default smg98)")
+    parser.add_argument("--policy", default="Dynamic",
+                        help=f"instrumentation policy (one of "
+                             f"{','.join(POLICIES)}; default Dynamic)")
+    parser.add_argument("--cpus", type=int, default=4,
+                        help="process count (default 4)")
+    parser.add_argument("--scale", type=float, default=0.1,
+                        help="workload scale factor (default 0.1)")
+    parser.add_argument("--seed", type=int, default=0, help="simulation seed")
+    parser.add_argument("--machine", choices=sorted(MACHINES),
+                        default="power3-sp",
+                        help="machine preset (default power3-sp)")
+    parser.add_argument("--detail", choices=("fine", "coarse"),
+                        default="fine", help="trace detail level")
+    parser.add_argument("--capacity", type=int, default=DEFAULT_CAPACITY,
+                        metavar="N", help="per-track ring-buffer bound "
+                                          f"(default {DEFAULT_CAPACITY})")
+    parser.add_argument("--out", metavar="FILE", default=None,
+                        help="also write the raw trace document (JSON)")
+    parser.add_argument("--chrome", metavar="FILE", default=None,
+                        help="also export Chrome trace-event JSON "
+                             "(chrome://tracing / Perfetto)")
+    parser.add_argument("--svg", metavar="FILE", default=None,
+                        help="also render a static SVG timeline")
+    args = parser.parse_args(argv)
+
+    try:
+        get_app(args.app)
+    except KeyError as exc:
+        parser.error(str(exc))
+    if args.policy not in POLICIES:
+        parser.error(f"unknown policy {args.policy!r}; known: "
+                     f"{','.join(POLICIES)}")
+
+    point = SweepPoint.policy_cell(
+        args.app, args.policy, args.cpus,
+        scale=args.scale, machine=get_machine(args.machine), seed=args.seed,
+    )
+    envelope = execute_point(point, collect_trace=True,
+                             trace_detail=args.detail,
+                             trace_capacity=args.capacity)
+    if envelope["status"] != "ok":
+        print(f"repro-experiments trace: {point.label}: "
+              f"{envelope.get('error', envelope['status'])}",
+              file=sys.stderr)
+        return 1
+    doc = envelope["trace"]
+    elapsed = envelope["payload"].get("time")
+
+    if args.out:
+        import json as _json
+
+        with open(args.out, "w", encoding="utf-8") as fh:
+            _json.dump(doc, fh, indent=1)
+            fh.write("\n")
+        print(f"wrote trace document to {args.out}", file=sys.stderr)
+    if args.chrome:
+        write_chrome_trace(doc, args.chrome)
+        print(f"wrote Chrome trace to {args.chrome}", file=sys.stderr)
+    if args.svg:
+        save_trace_svg(doc, args.svg,
+                       title=f"{args.app} {args.policy} @{args.cpus}")
+        print(f"wrote SVG timeline to {args.svg}", file=sys.stderr)
+
+    print(f"trace: {point.label} (detail={args.detail}, "
+          f"dropped={doc['dropped_events']})")
+    print()
+    print(render_trace_summary(doc, elapsed=elapsed))
+    return 0
 
 
 # -- entry point ----------------------------------------------------------------
@@ -281,6 +446,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "sweep":
         return sweep_main(argv[1:])
+    if argv and argv[0] == "trace":
+        return trace_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
@@ -329,18 +496,26 @@ def main(argv: Optional[List[str]] = None) -> int:
                     json_items.append({"type": "text", "text": item})
                 else:
                     print(item)
+    obs_path = _write_obs_document(args, runner, quiet=args.json)
+    trace_paths = _write_trace_documents(args, runner, quiet=args.json)
     if args.json:
         import json as _json
 
-        print(_json.dumps(
-            {"results": json_items, "telemetry": runner.telemetry.summary()},
-            indent=2,
-        ))
+        doc = {"results": json_items,
+               "telemetry": runner.telemetry.summary()}
+        outputs = {}
+        if obs_path:
+            outputs["obs"] = obs_path
+        if trace_paths:
+            outputs["traces"] = trace_paths
+        if outputs:
+            doc["outputs"] = outputs
+        print(_json.dumps(doc, indent=2))
     if args.csv and csv_chunks:
         with open(args.csv, "w", encoding="utf-8") as fh:
             fh.write("\n".join(csv_chunks))
-        print(f"wrote CSV to {args.csv}", file=sys.stderr)
-    _write_obs_document(args, runner)
+        if not args.json:
+            print(f"wrote CSV to {args.csv}", file=sys.stderr)
     return 0
 
 

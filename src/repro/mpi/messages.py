@@ -34,6 +34,7 @@ class Envelope:
         "arrived_at",
         "rendezvous",
         "handshake",
+        "flow",
     )
 
     def __init__(
@@ -61,6 +62,9 @@ class Envelope:
         #: is triggered when the matching receive is posted.
         self.rendezvous = rendezvous
         self.handshake = handshake
+        #: Trace flow id linking this send to its delivery (None when
+        #: causal tracing is disabled).
+        self.flow: Optional[int] = None
 
     def matches(self, source: int, tag: int, context: str) -> bool:
         if context != self.context:

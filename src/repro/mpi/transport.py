@@ -19,6 +19,7 @@ from typing import Deque, Dict, List, Optional, Tuple
 
 from ..cluster import Cluster, Node
 from ..obs import get as _obs_get
+from ..obs.trace import get as _trace_get
 from ..simt import Environment, Event
 from .messages import Envelope
 
@@ -49,6 +50,7 @@ class Mailbox:
         self._unexpected: Deque[Envelope] = deque()
         self._posted: Deque[_PostedRecv] = deque()
         self._obs = _obs_get()
+        self._trace = _trace_get()
 
     @property
     def unexpected_count(self) -> int:
@@ -57,6 +59,15 @@ class Mailbox:
     def deliver(self, envelope: Envelope) -> None:
         """An envelope has arrived on the wire."""
         envelope.arrived_at = self.env.now
+        if envelope.flow is not None and self._trace.enabled:
+            # Close the causal edge the sender opened: this delivery
+            # could not have happened before that send.
+            self._trace.flow_end(
+                self.rank, 0, envelope.flow, "mpi.deliver", "mpi",
+                self.env.now,
+                args={"src": envelope.src, "tag": envelope.tag,
+                      "bytes": envelope.size},
+            )
         for posted in self._posted:
             if envelope.matches(posted.source, posted.tag, posted.context):
                 self._posted.remove(posted)
@@ -104,6 +115,7 @@ class Transport:
         self.eager_sends = 0
         self.rendezvous_sends = 0
         self._obs = _obs_get()
+        self._trace = _trace_get()
 
     def n_ranks(self) -> int:
         return len(self.rank_nodes)
@@ -149,6 +161,13 @@ class Transport:
             self._obs.inc("mpi.wire_bytes", size)
             self._obs.observe("mpi.msg_bytes", size, MSG_SIZE_EDGES)
         envelope = Envelope(src, dst, tag, context, payload, size, self.env.now)
+        if self._trace.enabled:
+            envelope.flow = self._trace.new_flow()
+            self._trace.flow_start(
+                src, 0, envelope.flow, "mpi.send", "mpi", self.env.now,
+                args={"dst": dst, "tag": tag, "bytes": size,
+                      "proto": "eager", "ctx": context},
+            )
         arrival = self._arrival(src, dst, context, self._wire_time(src, dst, size))
         self._schedule_delivery(envelope, arrival)
 
@@ -173,6 +192,13 @@ class Transport:
             src, dst, tag, context, payload, size, self.env.now,
             rendezvous=True, handshake=handshake,
         )
+        if self._trace.enabled:
+            envelope.flow = self._trace.new_flow()
+            self._trace.flow_start(
+                src, 0, envelope.flow, "mpi.send", "mpi", self.env.now,
+                args={"dst": dst, "tag": tag, "bytes": size,
+                      "proto": "rendezvous", "ctx": context},
+            )
         # The RTS control message is small.
         arrival = self._arrival(src, dst, context, self._wire_time(src, dst, 64))
         self._schedule_delivery(envelope, arrival)

@@ -25,9 +25,21 @@ The sweep runner exposes the same mechanism per point
 perturbs the simulation: no costs, no RNG draws, no events — figure
 outputs are bit-identical with it on or off (pinned by tests).
 
-See ``docs/observability.md`` for the metric name catalogue.
+:mod:`repro.obs.trace` is the causal sibling of the metrics registry:
+per-(rank, thread) event tracks with spans, instants and flow edges in
+bounded ring buffers, behind the same enable/NULL-backend discipline
+(``trace.tracing()`` / ``SweepRunner(collect_trace=True)`` / the CLI's
+``--trace DIR``).  :mod:`repro.obs.export` turns a trace document into
+Chrome trace-event JSON (Perfetto-loadable) or a static SVG timeline;
+:mod:`repro.obs.analysis` extracts per-track utilization, the critical
+path over the span + flow-edge DAG, and the perturbation-attribution
+report.
+
+See ``docs/observability.md`` for the metric name catalogue and
+``docs/tracing.md`` for the trace event model.
 """
 
+from . import trace
 from .registry import (
     NULL,
     Histogram,
@@ -52,4 +64,5 @@ __all__ = [
     "is_enabled",
     "collecting",
     "merge_snapshots",
+    "trace",
 ]

@@ -160,6 +160,14 @@ class MetricsRegistry:
                     f"histogram {name!r}: cannot merge edges {h['edges']} "
                     f"into {list(hist.edges)}"
                 )
+            if len(h["counts"]) != len(hist.counts):
+                # zip() would silently truncate a malformed bucket array,
+                # under-reporting the very coverage this layer measures.
+                raise ValueError(
+                    f"histogram {name!r}: snapshot has "
+                    f"{len(h['counts'])} bucket counts, expected "
+                    f"{len(hist.counts)}"
+                )
             hist.counts = [a + b for a, b in zip(hist.counts, h["counts"])]
             hist.count += h["count"]
             hist.total += h["total"]

@@ -1,0 +1,438 @@
+"""Causal event tracing of the simulator — the *what happened when* layer.
+
+:mod:`repro.obs.registry` answers "how much"; this module answers
+"when, on which rank, caused by what".  One :class:`Tracer` records,
+per (pid, tid) **track**:
+
+* **spans** — named intervals in simulated seconds (a VT buffer flush,
+  a confsync epoch, a dynprof patch window, a traced function body);
+* **instant events** — point-in-time marks (a probe installed, a
+  configuration epoch applied);
+* **flow edges** — directed links between causally related events on
+  different tracks: an ``MPI_Send`` and the delivery of its envelope,
+  a dynprof patch and the processes it landed in.
+
+Every track stores its events in a **bounded ring buffer**: once
+``capacity`` events have accumulated the oldest are evicted and the
+track's ``dropped`` counter ticks — trace volume is a first-class,
+measured quantity, exactly the constraint the paper's trace formats
+live under.  Aggregates that must survive eviction (per-category span
+totals, raw-record counts for the trace-volume model) are kept in
+drop-immune side tables (:attr:`Tracer.totals`, :attr:`Tracer.counts`).
+
+The lifecycle discipline is identical to the metrics registry: the
+module-level tracer is the :data:`NULL_TRACER` singleton until someone
+calls :func:`enable` (or enters :func:`tracing`); instrumented
+components capture the tracer **once at construction** and guard every
+emission behind the single ``tracer.enabled`` attribute check, so with
+tracing off the whole layer costs one attribute load per hot-path
+visit and the simulation itself is never perturbed — no costs, no RNG
+draws, no events; figure outputs are bit-identical either way.
+
+The ``detail`` knob selects between ``"fine"`` (everything, including
+per-function spans from the VT probe path) and ``"coarse"``
+(subsystem-level spans and flows only) — the same volume/visibility
+trade the paper's deactivation tables implement for real traces.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from contextlib import contextmanager
+from typing import Any, Deque, Dict, Iterator, List, Optional, Tuple, Union
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "TraceEvent",
+    "TrackBuffer",
+    "NULL_TRACER",
+    "TOOL_PID",
+    "DEFAULT_CAPACITY",
+    "get",
+    "enable",
+    "disable",
+    "is_enabled",
+    "tracing",
+]
+
+#: Default per-track ring-buffer capacity (events).
+DEFAULT_CAPACITY = 65536
+
+#: Reserved pid for the monitoring tool's own track (dynprof sessions);
+#: rank tracks use their MPI rank / process index as pid.
+TOOL_PID = 1_000_000
+
+#: Event phases stored in the ring (mnemonic, JSON-stable):
+#: "span" complete span, "inst" instant, "fs" flow start, "ff" flow end.
+SPAN = "span"
+INSTANT = "inst"
+FLOW_START = "fs"
+FLOW_END = "ff"
+
+
+class TraceEvent:
+    """One recorded event on one track."""
+
+    __slots__ = ("ph", "name", "cat", "ts", "dur", "args", "flow")
+
+    def __init__(
+        self,
+        ph: str,
+        name: str,
+        cat: str,
+        ts: float,
+        dur: float = 0.0,
+        args: Optional[Dict[str, Any]] = None,
+        flow: Optional[int] = None,
+    ) -> None:
+        self.ph = ph
+        self.name = name
+        self.cat = cat
+        self.ts = ts
+        self.dur = dur
+        self.args = args
+        self.flow = flow
+
+    @property
+    def end(self) -> float:
+        return self.ts + self.dur
+
+    def to_dict(self) -> Dict[str, Any]:
+        d: Dict[str, Any] = {"ph": self.ph, "name": self.name,
+                             "cat": self.cat, "ts": self.ts}
+        if self.ph == SPAN:
+            d["dur"] = self.dur
+        if self.flow is not None:
+            d["id"] = self.flow
+        if self.args:
+            d["args"] = self.args
+        return d
+
+    def __repr__(self) -> str:
+        return f"<TraceEvent {self.ph} {self.name!r} t={self.ts:.6f}>"
+
+
+class TrackBuffer:
+    """The bounded event ring of one (pid, tid) track."""
+
+    __slots__ = ("pid", "tid", "name", "capacity", "events", "dropped", "_stack")
+
+    def __init__(self, pid: int, tid: int, name: str, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"track capacity must be >= 1, got {capacity}")
+        self.pid = pid
+        self.tid = tid
+        self.name = name
+        self.capacity = capacity
+        self.events: Deque[TraceEvent] = deque(maxlen=capacity)
+        #: Events evicted from the ring (the paper's lost-data honesty).
+        self.dropped = 0
+        #: Open begin() marks awaiting their end() (name, cat, ts, args).
+        self._stack: List[Tuple[str, str, float, Optional[Dict[str, Any]]]] = []
+
+    def append(self, event: TraceEvent) -> None:
+        if len(self.events) == self.capacity:
+            self.dropped += 1
+        self.events.append(event)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "pid": self.pid,
+            "tid": self.tid,
+            "name": self.name,
+            "dropped": self.dropped,
+            "open_spans": len(self._stack),
+            "events": [e.to_dict() for e in self.events],
+        }
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:
+        return (
+            f"<TrackBuffer {self.name!r} {len(self.events)} events, "
+            f"{self.dropped} dropped>"
+        )
+
+
+class Tracer:
+    """Process-local causal tracer (the live backend)."""
+
+    __slots__ = ("enabled", "detail", "fine", "capacity", "tracks",
+                 "totals", "counts", "_next_flow")
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY,
+                 detail: str = "fine") -> None:
+        if detail not in ("fine", "coarse"):
+            raise ValueError(f"detail must be 'fine' or 'coarse': {detail!r}")
+        if capacity < 1:
+            raise ValueError(f"tracer capacity must be >= 1, got {capacity}")
+        #: Hot paths test exactly this attribute before emitting.
+        self.enabled = True
+        self.detail = detail
+        #: Pre-resolved detail flag so per-function sites pay one load.
+        self.fine = detail == "fine"
+        self.capacity = capacity
+        self.tracks: Dict[Tuple[int, int], TrackBuffer] = {}
+        #: category -> [span_count, total_duration]; immune to ring drops.
+        self.totals: Dict[str, List[float]] = {}
+        #: named counters immune to ring drops (trace-volume model inputs).
+        self.counts: Dict[str, Union[int, float]] = {}
+        self._next_flow = 0
+
+    # -- tracks ---------------------------------------------------------------
+
+    def track(self, pid: int, tid: int = 0,
+              name: Optional[str] = None) -> TrackBuffer:
+        """The (pid, tid) track, created (and optionally named) on first use."""
+        key = (pid, tid)
+        buf = self.tracks.get(key)
+        if buf is None:
+            if name is None:
+                name = f"rank {pid}" if tid == 0 else f"rank {pid}.t{tid}"
+            buf = self.tracks[key] = TrackBuffer(pid, tid, name, self.capacity)
+        elif name is not None:
+            buf.name = name
+        return buf
+
+    # -- emission -------------------------------------------------------------
+
+    def begin(self, pid: int, tid: int, name: str, cat: str, ts: float,
+              args: Optional[Dict[str, Any]] = None) -> None:
+        """Open a span on a track; closed (and recorded) by :meth:`end`."""
+        self._track(pid, tid)._stack.append((name, cat, ts, args))
+
+    def end(self, pid: int, tid: int, ts: float) -> None:
+        """Close the innermost open span on a track.
+
+        An end with no matching begin is ignored (asymmetric
+        instrumentation tolerance, as in the VT shadow stack).
+        """
+        buf = self._track(pid, tid)
+        if not buf._stack:
+            return
+        name, cat, t0, args = buf._stack.pop()
+        self._emit_span(buf, name, cat, t0, max(ts, t0), args)
+
+    def complete(self, pid: int, tid: int, name: str, cat: str,
+                 t0: float, t1: float,
+                 args: Optional[Dict[str, Any]] = None) -> None:
+        """Record a span whose both ends are already known."""
+        self._emit_span(self._track(pid, tid), name, cat, t0, max(t1, t0), args)
+
+    def instant(self, pid: int, tid: int, name: str, cat: str, ts: float,
+                args: Optional[Dict[str, Any]] = None) -> None:
+        """Record a point-in-time event."""
+        self._track(pid, tid).append(TraceEvent(INSTANT, name, cat, ts, 0.0, args))
+
+    # -- flow edges -----------------------------------------------------------
+
+    def new_flow(self) -> int:
+        """A fresh flow id linking one causal pair (or fan-out set)."""
+        self._next_flow += 1
+        return self._next_flow
+
+    def flow_start(self, pid: int, tid: int, flow: int, name: str, cat: str,
+                   ts: float, args: Optional[Dict[str, Any]] = None) -> None:
+        """The cause end of a flow edge (e.g. the send)."""
+        self._track(pid, tid).append(
+            TraceEvent(FLOW_START, name, cat, ts, 0.0, args, flow)
+        )
+
+    def flow_end(self, pid: int, tid: int, flow: int, name: str, cat: str,
+                 ts: float, args: Optional[Dict[str, Any]] = None) -> None:
+        """The effect end of a flow edge (e.g. the matching delivery)."""
+        self._track(pid, tid).append(
+            TraceEvent(FLOW_END, name, cat, ts, 0.0, args, flow)
+        )
+
+    # -- drop-immune aggregates ----------------------------------------------
+
+    def count(self, name: str, n: Union[int, float] = 1) -> None:
+        """Add ``n`` to a drop-immune counter (e.g. raw VT records)."""
+        self.counts[name] = self.counts.get(name, 0) + n
+
+    # -- internals ------------------------------------------------------------
+
+    def _track(self, pid: int, tid: int) -> TrackBuffer:
+        buf = self.tracks.get((pid, tid))
+        if buf is None:
+            buf = self.track(pid, tid)
+        return buf
+
+    def _emit_span(self, buf: TrackBuffer, name: str, cat: str,
+                   t0: float, t1: float,
+                   args: Optional[Dict[str, Any]]) -> None:
+        buf.append(TraceEvent(SPAN, name, cat, t0, t1 - t0, args))
+        agg = self.totals.get(cat)
+        if agg is None:
+            self.totals[cat] = [1, t1 - t0]
+        else:
+            agg[0] += 1
+            agg[1] += t1 - t0
+
+    # -- export ---------------------------------------------------------------
+
+    @property
+    def dropped_events(self) -> int:
+        """Total events evicted from all ring buffers."""
+        return sum(b.dropped for b in self.tracks.values())
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-safe trace document (the worker-envelope payload)."""
+        return {
+            "kind": "repro.trace",
+            "version": 1,
+            "clock": "simulated-seconds",
+            "detail": self.detail,
+            "capacity": self.capacity,
+            "dropped_events": self.dropped_events,
+            "tracks": [
+                self.tracks[k].to_dict() for k in sorted(self.tracks)
+            ],
+            "totals": {
+                cat: {"count": int(v[0]), "total": v[1]}
+                for cat, v in sorted(self.totals.items())
+            },
+            "counts": {k: self.counts[k] for k in sorted(self.counts)},
+        }
+
+    def reset(self) -> None:
+        """Drop every track and aggregate (a fresh tracer, same identity)."""
+        self.tracks.clear()
+        self.totals.clear()
+        self.counts.clear()
+        self._next_flow = 0
+
+    def __repr__(self) -> str:
+        n = sum(len(b) for b in self.tracks.values())
+        return (
+            f"<Tracer {len(self.tracks)} tracks, {n} events, "
+            f"{self.dropped_events} dropped, detail={self.detail}>"
+        )
+
+
+class NullTracer:
+    """The disabled backend: same surface, every method a no-op.
+
+    ``fine`` is False so even the per-function fast-path guard
+    (``tracer.enabled and tracer.fine``) short-circuits on the first
+    attribute load.
+    """
+
+    __slots__ = ()
+
+    enabled = False
+    fine = False
+    detail = "off"
+    dropped_events = 0
+
+    def track(self, pid: int, tid: int = 0,
+              name: Optional[str] = None) -> None:
+        return None
+
+    def begin(self, pid: int, tid: int, name: str, cat: str, ts: float,
+              args: Optional[Dict[str, Any]] = None) -> None:
+        pass
+
+    def end(self, pid: int, tid: int, ts: float) -> None:
+        pass
+
+    def complete(self, pid: int, tid: int, name: str, cat: str,
+                 t0: float, t1: float,
+                 args: Optional[Dict[str, Any]] = None) -> None:
+        pass
+
+    def instant(self, pid: int, tid: int, name: str, cat: str, ts: float,
+                args: Optional[Dict[str, Any]] = None) -> None:
+        pass
+
+    def new_flow(self) -> int:
+        return 0
+
+    def flow_start(self, pid: int, tid: int, flow: int, name: str, cat: str,
+                   ts: float, args: Optional[Dict[str, Any]] = None) -> None:
+        pass
+
+    def flow_end(self, pid: int, tid: int, flow: int, name: str, cat: str,
+                 ts: float, args: Optional[Dict[str, Any]] = None) -> None:
+        pass
+
+    def count(self, name: str, n: Union[int, float] = 1) -> None:
+        pass
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "kind": "repro.trace",
+            "version": 1,
+            "clock": "simulated-seconds",
+            "detail": "off",
+            "capacity": 0,
+            "dropped_events": 0,
+            "tracks": [],
+            "totals": {},
+            "counts": {},
+        }
+
+    def reset(self) -> None:
+        pass
+
+    def __repr__(self) -> str:
+        return "<NullTracer (tracing disabled)>"
+
+
+#: The shared disabled backend.
+NULL_TRACER = NullTracer()
+
+#: The process-local current tracer; NULL_TRACER until tracing is enabled.
+_active: Union[Tracer, NullTracer] = NULL_TRACER
+
+
+def get() -> Union[Tracer, NullTracer]:
+    """The current process-local tracer (the null backend when off)."""
+    return _active
+
+
+def enable(tracer: Optional[Tracer] = None) -> Tracer:
+    """Install ``tracer`` (or a fresh one) as the current tracer.
+
+    As with the metrics registry, only objects *constructed after* this
+    call emit into it: hot-path components capture the tracer once at
+    construction time.
+    """
+    global _active
+    _active = tracer if tracer is not None else Tracer()
+    return _active
+
+
+def disable() -> Union[Tracer, NullTracer]:
+    """Restore the null backend; returns the tracer that was active."""
+    global _active
+    previous = _active
+    _active = NULL_TRACER
+    return previous
+
+
+def is_enabled() -> bool:
+    """True when a live tracer (not the null backend) is installed."""
+    return _active.enabled
+
+
+@contextmanager
+def tracing(tracer: Optional[Tracer] = None, *,
+            capacity: int = DEFAULT_CAPACITY,
+            detail: str = "fine") -> Iterator[Tracer]:
+    """Run a block with a (fresh by default) tracer installed.
+
+    Restores whatever was active before on exit, so a worker process
+    can trace one sweep point without leaking state into the next.
+    """
+    global _active
+    previous = _active
+    _active = tracer if tracer is not None else Tracer(capacity=capacity,
+                                                       detail=detail)
+    try:
+        yield _active
+    finally:
+        _active = previous

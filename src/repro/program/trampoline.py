@@ -18,6 +18,7 @@ from __future__ import annotations
 from itertools import count
 from typing import TYPE_CHECKING, Generator, List, Optional
 
+from ..obs.trace import get as _trace_get
 from .snippet import Snippet, _run
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -62,10 +63,11 @@ class ProbeHandle:
 class BaseTrampoline:
     """The per-probe-point trampoline holding a chain of minis."""
 
-    __slots__ = ("minis",)
+    __slots__ = ("minis", "_trace")
 
     def __init__(self) -> None:
         self.minis: List[MiniTrampoline] = []
+        self._trace = _trace_get()
 
     @property
     def has_active(self) -> bool:
@@ -97,11 +99,18 @@ class BaseTrampoline:
         """
         spec = pctx.spec
         pctx.task.charge(spec.tramp_base_cost)
+        overhead = spec.tramp_base_cost
         for mini in tuple(self.minis):
             if not mini.active:
                 continue
             pctx.task.charge(spec.tramp_mini_cost)
+            overhead += spec.tramp_mini_cost
             yield from _run(mini.snippet, pctx)
+        if self._trace.enabled:
+            # Trampoline mechanics only (jump/save/restore/minis); the
+            # snippet's own work is attributed by the VT probe path.
+            self._trace.count("tramp.firings")
+            self._trace.count("tramp.time", overhead)
 
     def batch_cost(self, pctx: "ProgramContext") -> Optional[float]:
         """Per-firing cost if every active snippet is batchable, else None.

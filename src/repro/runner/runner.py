@@ -36,6 +36,7 @@ from pathlib import Path
 from typing import IO, Any, Dict, List, Optional, Sequence, Union
 
 from ..obs import MetricsRegistry
+from ..obs.trace import DEFAULT_CAPACITY as DEFAULT_TRACE_CAPACITY
 from .cache import ResultCache, point_key
 from .point import SweepPoint
 from .telemetry import SweepTelemetry
@@ -118,6 +119,15 @@ class SweepRunner:
         ``point`` event and is merged into :attr:`obs`.  Cached points
         contribute nothing (no simulation ran).  Payloads — and thus
         cache entries and figures — are unaffected.
+    collect_trace:
+        When True each computed point runs under a fresh
+        :mod:`repro.obs.trace` tracer; the per-point trace document is
+        kept in :attr:`traces` keyed by point label.  Like obs
+        snapshots, traces ride the worker envelope and never enter the
+        cached payload.
+    trace_detail / trace_capacity:
+        Passed through to the per-point tracer (``"fine"``/``"coarse"``
+        and the per-track ring-buffer bound).
     """
 
     def __init__(
@@ -128,6 +138,9 @@ class SweepRunner:
         retries: int = 1,
         telemetry: Union[SweepTelemetry, IO[str], None] = None,
         collect_obs: bool = False,
+        collect_trace: bool = False,
+        trace_detail: str = "fine",
+        trace_capacity: int = DEFAULT_TRACE_CAPACITY,
     ) -> None:
         if jobs < 0:
             raise ValueError("jobs must be >= 0")
@@ -142,8 +155,14 @@ class SweepRunner:
         else:
             self.telemetry = SweepTelemetry(stream=telemetry)
         self.collect_obs = collect_obs
+        self.collect_trace = collect_trace
+        self.trace_detail = trace_detail
+        self.trace_capacity = trace_capacity
         #: Simulator metrics merged across every computed point.
         self.obs = MetricsRegistry()
+        #: Per-point trace documents (label -> trace dict), computed
+        #: points only — cached points ran no simulation to trace.
+        self.traces: Dict[str, Dict[str, Any]] = {}
 
     # -- public API -----------------------------------------------------------
 
@@ -199,7 +218,10 @@ class SweepRunner:
     ) -> None:
         for p in points:
             envelope = execute_point(p, timeout=self.timeout,
-                                     collect_obs=self.collect_obs)
+                                     collect_obs=self.collect_obs,
+                                     collect_trace=self.collect_trace,
+                                     trace_detail=self.trace_detail,
+                                     trace_capacity=self.trace_capacity)
             self._finish(p, envelope, attempts=1, results=results)
 
     def _run_parallel(
@@ -220,7 +242,8 @@ class SweepRunner:
             ) as pool:
                 futures = {
                     pool.submit(execute_point, p, self.timeout,
-                                self.collect_obs): p
+                                self.collect_obs, self.collect_trace,
+                                self.trace_detail, self.trace_capacity): p
                     for p in batch
                 }
                 for fut in as_completed(futures):
@@ -283,6 +306,9 @@ class SweepRunner:
         obs_snapshot = envelope.get("obs")
         if obs_snapshot:
             self.obs.merge_snapshot(obs_snapshot)
+        trace_doc = envelope.get("trace")
+        if trace_doc:
+            self.traces[point.label] = trace_doc
         self._report(result, obs_snapshot=obs_snapshot)
 
     def _report(

@@ -7,9 +7,12 @@ given stream (e.g. stderr for ``--progress``) and retained in
 ``.events`` for tests and programmatic inspection:
 
 ``{"event": "sweep_start", "total": 25, "cached": 20, "jobs": 4}``
-``{"event": "point", "label": ..., "key": ..., "status": "ok",
-  "cached": false, "sim_time": 12.81, "wall_time": 0.42, "attempts": 1,
-  "done": 3, "of": 25}``
+``{"event": "point", "label": ..., "key": ..., "cache_key": ...,
+  "status": "ok", "cached": false, "sim_time": 12.81, "wall_time": 0.42,
+  "attempts": 1, "done": 3, "of": 25}``
+
+(``key`` is the 12-character short form for human eyes; ``cache_key``
+is the full content hash, usable directly against the result cache.)
 ``{"event": "sweep_end", "total": 25, "ok": 25, "cached": 20,
   "failed": 0, "hit_rate": 0.8, "wall_time": 2.1}``
 
@@ -75,6 +78,7 @@ class SweepTelemetry:
         fields: Dict[str, Any] = dict(
             label=label,
             key=key[:12],
+            cache_key=key,
             status=status,
             cached=cached,
             sim_time=sim_time,

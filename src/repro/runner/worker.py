@@ -22,6 +22,7 @@ imports the other way would be circular.
 
 from __future__ import annotations
 
+import contextlib
 import os
 import signal
 import threading
@@ -31,6 +32,7 @@ from dataclasses import asdict
 from typing import Any, Dict, Optional
 
 from .. import obs
+from ..obs import trace as obs_trace
 from .point import SweepPoint
 
 __all__ = ["execute_point", "PointTimeout"]
@@ -100,7 +102,12 @@ def _selftest(point: SweepPoint) -> Dict[str, Any]:
 
 
 def execute_point(
-    point: SweepPoint, timeout: Optional[float] = None, collect_obs: bool = False
+    point: SweepPoint,
+    timeout: Optional[float] = None,
+    collect_obs: bool = False,
+    collect_trace: bool = False,
+    trace_detail: str = "fine",
+    trace_capacity: int = obs_trace.DEFAULT_CAPACITY,
 ) -> Dict[str, Any]:
     """Run one point under an optional wall-clock budget.
 
@@ -108,9 +115,11 @@ def execute_point(
     on success, or ``{"status": "timeout"|"error", "error": ...,
     "wall_time"}`` otherwise.  With ``collect_obs`` the point runs under
     a fresh :mod:`repro.obs` registry and the envelope carries its
-    snapshot under ``"obs"`` (partial on timeout/error) — outside the
-    cached payload, so cache entries stay identical with or without
-    observation.
+    snapshot under ``"obs"``; with ``collect_trace`` it runs under a
+    fresh :mod:`repro.obs.trace` tracer and the envelope carries the
+    trace document under ``"trace"`` (both partial on timeout/error) —
+    outside the cached payload, so cache entries stay identical with or
+    without observation.
     """
     start = time.perf_counter()
     use_alarm = (
@@ -127,11 +136,15 @@ def execute_point(
             previous_handler = signal.signal(signal.SIGALRM, _on_alarm)
             signal.setitimer(signal.ITIMER_REAL, timeout)
         registry: Optional[obs.MetricsRegistry] = None
+        tracer: Optional[obs_trace.Tracer] = None
         try:
-            if collect_obs:
-                with obs.collecting() as registry:
-                    payload = _dispatch(point)
-            else:
+            with contextlib.ExitStack() as stack:
+                if collect_obs:
+                    registry = stack.enter_context(obs.collecting())
+                if collect_trace:
+                    tracer = stack.enter_context(obs_trace.tracing(
+                        capacity=trace_capacity, detail=trace_detail,
+                    ))
                 payload = _dispatch(point)
             envelope = {
                 "status": "ok",
@@ -152,6 +165,8 @@ def execute_point(
             }
         if registry is not None:
             envelope["obs"] = registry.snapshot()
+        if tracer is not None:
+            envelope["trace"] = tracer.snapshot()
         return envelope
     finally:
         if use_alarm:

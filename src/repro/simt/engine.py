@@ -14,6 +14,7 @@ from itertools import count
 from typing import Any, List, Optional, Tuple
 
 from ..obs import get as _obs_get
+from ..obs.trace import get as _trace_get
 from .errors import SimtError, StopSimulation
 from .events import NORMAL, PENDING, Event, Process, ProcessGenerator, Timeout
 
@@ -59,6 +60,7 @@ class Environment:
         #: Total number of events processed (exposed for perf diagnostics).
         self.events_processed = 0
         self._obs = _obs_get()
+        self._trace = _trace_get()
 
     # -- clock ------------------------------------------------------------
 
@@ -107,6 +109,10 @@ class Environment:
             # the top of a step is exactly the running high-water mark.
             self._obs.inc("simt.events")
             self._obs.gauge_max("simt.queue_depth_hwm", len(self._queue))
+        if self._trace.enabled:
+            # Drop-immune kernel-event count: lets a trace document be
+            # sanity-checked against the engine's own bookkeeping.
+            self._trace.count("simt.events")
         when, _prio, _seq, event = heapq.heappop(self._queue)
         if when < self._now:  # pragma: no cover - guarded by schedule()
             raise SimtError("event scheduled in the past")

@@ -20,6 +20,7 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set, Tuple
 
 from ..cluster import MachineSpec, Task
 from ..obs import get as _obs_get
+from ..obs.trace import get as _trace_get
 from ..simt import Environment
 from .buffer import ThreadTraceBuffer, TraceFile
 from .config import VTConfig
@@ -98,6 +99,8 @@ class VTProcessState:
         self.registry = registry if registry is not None else FunctionRegistry()
         self.config = config if config is not None else VTConfig.all_on()
         self.initialized = False
+        #: Simulated time VT_init completed (None until then).
+        self._init_time: Optional[float] = None
         #: Deactivated function ids (the paper's lookup table).
         self._off: Set[int] = set()
         #: Per-task trace buffers and shadow call stacks.
@@ -122,6 +125,7 @@ class VTProcessState:
         self._active_cost = spec.vt_active_event_cost
         self._lookup_cost = spec.vt_lookup_cost
         self._obs = _obs_get()
+        self._trace = _trace_get()
 
         image.vt = self
         # Expose the library to dynamically inserted snippets.
@@ -148,6 +152,7 @@ class VTProcessState:
         task.charge(n_registered * self.spec.vt_funcdef_cost)
         self._rebuild_table()
         self.initialized = True
+        self._init_time = task.now
 
     def _rebuild_table(self) -> None:
         self._off = {
@@ -181,6 +186,12 @@ class VTProcessState:
         self.epoch += 1
         if self._obs.enabled:
             self._obs.inc("vt.reconfigurations")
+        if self._trace.enabled:
+            self._trace.instant(
+                self.process_index, 0, "vt.epoch", "vt.confsync",
+                task.now if task is not None else self.env.now,
+                args={"epoch": self.epoch},
+            )
         if task is not None:
             task.charge(self.spec.confsync_apply_cost)
 
@@ -199,9 +210,14 @@ class VTProcessState:
         self._unflushed_records += k
         if self._obs.enabled:
             self._obs.inc("vt.records", k)
+        if self._trace.enabled:
+            # Drop-immune raw-record count: the tracer-side input of the
+            # trace-volume model (records x trace_record_bytes).
+            self._trace.count("vt.records", k)
         if self._unflushed_records >= self.spec.vt_flush_threshold_records:
             n = self._unflushed_records
             self._unflushed_records = 0
+            t0 = task.now
             dt = (
                 n * self.spec.trace_record_bytes * self.n_cotracers
                 / self.spec.trace_fs_bandwidth
@@ -212,6 +228,14 @@ class VTProcessState:
                 self._obs.inc("vt.flushes")
                 self._obs.inc("vt.flush_bytes", n * self.spec.trace_record_bytes)
                 self._obs.span("vt.flush", dt)
+            if self._trace.enabled:
+                buf = self._buffers.get(task)
+                self._trace.complete(
+                    self.process_index, buf.thread if buf is not None else 0,
+                    "vt.flush", "vt.flush", t0, t0 + dt,
+                    args={"records": n,
+                          "bytes": n * self.spec.trace_record_bytes},
+                )
 
     # -- buffers -----------------------------------------------------------------
 
@@ -233,8 +257,12 @@ class VTProcessState:
         """VT_begin, from a static probe or a dynamic trampoline snippet."""
         fid = fi.fid
         task = pctx.task
+        trace = self._trace
         if fid is None or not self.initialized or fid in self._off:
             task.charge(self._lookup_cost)
+            if trace.enabled:
+                trace.count("vt.probe_events")
+                trace.count("vt.probe_time", self._lookup_cost)
             return
         task.charge(self._active_cost)
         self._account_records(task, 1)
@@ -244,13 +272,23 @@ class VTProcessState:
         t = task.now
         buf.enter(fid, t)
         self._stacks[task].append((fid, t))
+        if trace.enabled:
+            trace.count("vt.probe_events")
+            trace.count("vt.probe_time", self._active_cost)
+            if trace.fine:
+                trace.begin(self.process_index, buf.thread,
+                            self.registry.name_of(fid), "app", t)
 
     def probe_end(self, pctx: "ProgramContext", fi: "FunctionInstance") -> None:
         """VT_end, the matching exit event."""
         fid = fi.fid
         task = pctx.task
+        trace = self._trace
         if fid is None or not self.initialized or fid in self._off:
             task.charge(self._lookup_cost)
+            if trace.enabled:
+                trace.count("vt.probe_events")
+                trace.count("vt.probe_time", self._lookup_cost)
             return
         task.charge(self._active_cost)
         self._account_records(task, 1)
@@ -259,6 +297,11 @@ class VTProcessState:
             buf = self.buffer_for(task, pctx.thread_id)
         t = task.now
         buf.leave(fid, t)
+        if trace.enabled:
+            trace.count("vt.probe_events")
+            trace.count("vt.probe_time", self._active_cost)
+            if trace.fine:
+                trace.end(self.process_index, buf.thread, t)
         stack = self._stacks[task]
         # Pop the matching begin (tolerate asymmetric instrumentation).
         while stack:
@@ -306,6 +349,20 @@ class VTProcessState:
             st = self.stats[fid] = FunctionStats()
         st.count += n
         st.inclusive_time += n * duration
+        trace = self._trace
+        if trace.enabled:
+            trace.count("vt.probe_events", 2 * n)
+            trace.count("vt.probe_time", 2 * n * self._active_cost)
+            if trace.fine:
+                # One aggregate span stands for the whole batch; the ring
+                # would otherwise drown in per-iteration pairs.
+                trace.complete(
+                    self.process_index, buf.thread,
+                    f"{self.registry.name_of(fid)} x{n}", "app.batch",
+                    first_begin,
+                    first_begin + (n - 1) * period + duration,
+                    args={"n": n},
+                )
 
     def batch_mark(
         self,
@@ -400,6 +457,17 @@ class VTProcessState:
         for task, buf in self._buffers.items():
             for start, end in task.suspensions:
                 buf.marker("suspended", start, end)
+                # Trace only mid-run suspensions (patch windows): stops
+                # that ended before VT_init are spawn/instrument setup,
+                # which the paper's reported time already excludes.
+                if self._trace.enabled and (
+                    self._init_time is None or end > self._init_time
+                ):
+                    self._trace.complete(
+                        self.process_index, buf.thread,
+                        "suspended", "suspended",
+                        max(start, self._init_time or start), end,
+                    )
         for buf in self._buffers.values():
             trace.add_buffer(buf)
 

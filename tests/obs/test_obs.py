@@ -112,6 +112,30 @@ def test_merge_snapshot_rejects_mismatched_edges():
         a.merge_snapshot(b.snapshot())
 
 
+def test_merge_snapshot_rejects_mismatched_bucket_counts():
+    a = MetricsRegistry()
+    a.observe("sizes", 1.0, edges=(10, 20))
+    snap = MetricsRegistry().snapshot()
+    # Same edges, truncated counts array: zip() would silently drop the
+    # overflow bucket, so the merge must refuse instead.
+    snap["histograms"] = {
+        "sizes": {"edges": [10, 20], "counts": [1, 2], "count": 3, "total": 9.0}
+    }
+    with pytest.raises(ValueError, match="bucket counts"):
+        a.merge_snapshot(snap)
+
+
+def test_merge_empty_snapshot_is_identity():
+    a = MetricsRegistry()
+    a.inc("n", 2)
+    a.gauge_max("depth", 5)
+    a.observe("sizes", 3.0, edges=(10,))
+    a.span("wire", 1.0)
+    before = a.snapshot()
+    a.merge_snapshot(MetricsRegistry().snapshot())
+    assert a.snapshot() == before
+
+
 def test_merge_snapshots_helper_and_reset():
     a = MetricsRegistry()
     a.inc("n")
