@@ -54,7 +54,7 @@ from .runner import (
 from .simt import Environment, RandomStreams
 from .vt import TraceFile, VTConfig, VTProcessState, vt_confsync
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",

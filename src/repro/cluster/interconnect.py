@@ -35,6 +35,11 @@ class Interconnect:
         self.messages_sent = 0
         #: Total payload bytes moved (diagnostics).
         self.bytes_sent = 0
+        #: Optional :class:`repro.faults.FaultInjector`; consulted only
+        #: for ``control=True`` deliveries (DPCL daemon traffic).
+        self.faults = None
+        #: Control messages dropped by fault injection (diagnostics).
+        self.control_drops = 0
 
     def transfer_time(self, src: Node, dst: Node, nbytes: int) -> float:
         """Sampled one-way transfer time from ``src`` to ``dst``.
@@ -60,14 +65,26 @@ class Interconnect:
         channel: Channel,
         item: object,
         extra_delay: float = 0.0,
+        control: bool = False,
     ) -> float:
         """Schedule ``item`` to appear on ``channel`` after the wire time.
 
         Returns the delivery delay that was charged (useful for tracing).
+        ``control`` marks out-of-band tool traffic (DPCL requests, acks,
+        callbacks); an installed fault injector may drop or delay it.
         """
         delay = self.transfer_time(src, dst, nbytes) + extra_delay
         self.messages_sent += 1
         self.bytes_sent += nbytes
+        if control and self.faults is not None:
+            drop, added = self.faults.on_control_message(
+                src.index, dst.index, nbytes, self.env.now
+            )
+            if drop:
+                # The message hit the wire but never arrives.
+                self.control_drops += 1
+                return delay
+            delay += added
         self.send_after(delay, channel, item)
         return delay
 

@@ -69,6 +69,9 @@ class Task:
         self.suspensions: List[Tuple[float, float]] = []
         #: Total simulated seconds of useful compute charged.
         self.compute_time = 0.0
+        #: Multiplier applied to every charge — a fault injector models a
+        #: degraded core / noisy neighbour by setting this above 1.0.
+        self.slowdown = 1.0
         #: When a sampling profiler is attached (ephemeral
         #: instrumentation), the executor accumulates per-function time
         #: here: {function name: seconds}.  None = sampling off (keeps
@@ -94,6 +97,8 @@ class Task:
         """Accrue ``dt`` seconds of local compute (no engine interaction)."""
         if dt < 0:
             raise ValueError(f"negative charge {dt}")
+        if self.slowdown != 1.0:
+            dt *= self.slowdown
         self._pending += dt
         self.compute_time += dt
 

@@ -53,6 +53,9 @@ class Cluster:
         self.spec = get_machine(spec) if isinstance(spec, str) else spec
         self.rng = RandomStreams(seed).child(self.spec.name)
         self.interconnect = Interconnect(env, self.spec, self.rng)
+        #: Optional :class:`repro.faults.FaultInjector` bound to this
+        #: cluster (set by ``FaultInjector.install``; None = no faults).
+        self.faults = None
         self._nodes: List[Optional[Node]] = [None] * self.spec.n_nodes
 
     def node(self, index: int) -> Node:

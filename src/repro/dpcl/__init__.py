@@ -7,13 +7,23 @@ tools an asynchronous request/ack API plus target-initiated callbacks
 (``DPCL_callback``).
 """
 
-from .client import DpclClient, DpclError, ensure_super_daemons
+from .client import (
+    DaemonUnreachableError,
+    DpclClient,
+    DpclError,
+    DpclRequestError,
+    RequestPolicy,
+    ensure_super_daemons,
+)
 from .daemon import CommDaemon, DaemonHost, SuperDaemon
 from .messages import Ack, CallbackMsg
 
 __all__ = [
     "DpclClient",
     "DpclError",
+    "DpclRequestError",
+    "DaemonUnreachableError",
+    "RequestPolicy",
     "ensure_super_daemons",
     "SuperDaemon",
     "CommDaemon",

@@ -9,15 +9,25 @@ visible to targets at different times — DPCL's defining asynchrony.
 Per-process *program structure* navigation (symbol table download) is
 charged client-side and serially, which is what makes instrumentation
 time grow with the number of MPI processes in Figure 9.
+
+Robustness: every request goes through :meth:`DpclClient._transact`,
+which (under a non-default :class:`RequestPolicy`) bounds each wait
+with a timeout, resends to un-acked nodes with exponential backoff, and
+raises :class:`DaemonUnreachableError` naming the dead nodes once the
+retry budget is spent.  The default policy takes the exact pre-faults
+path — no timers, no extra events — so fault-free runs stay
+bit-identical.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from itertools import count
 from typing import TYPE_CHECKING, Any, Dict, Generator, List, Optional, Sequence, Tuple
 
 from ..cluster import Cluster, Node
-from ..simt import Channel, Environment
+from ..obs import get as _obs_get
+from ..simt import AnyOf, Channel, Environment
 from .daemon import CommDaemon, DaemonHost, SuperDaemon, _dpcl_delay
 from .messages import (
     Ack,
@@ -37,11 +47,90 @@ from .messages import (
 if TYPE_CHECKING:  # pragma: no cover
     from ..program import ProbeHandle, Snippet
 
-__all__ = ["DpclClient", "DpclError", "ensure_super_daemons"]
+__all__ = [
+    "DpclClient",
+    "DpclError",
+    "DpclRequestError",
+    "DaemonUnreachableError",
+    "RequestPolicy",
+    "ensure_super_daemons",
+]
+
+#: Sentinel returned by the bounded inbox wait when the timer fires.
+_TIMED_OUT = object()
 
 
 class DpclError(RuntimeError):
     """A daemon reported a failure for a client request."""
+
+
+class DpclRequestError(DpclError):
+    """A daemon processed a request and refused it.
+
+    Carries the structured context a recovery layer needs: which node,
+    which process, which request type, and the daemon's reason."""
+
+    def __init__(
+        self,
+        message: str,
+        node_index: Optional[int] = None,
+        request: str = "",
+        process: str = "",
+        reason: str = "",
+    ) -> None:
+        super().__init__(message)
+        self.node_index = node_index
+        self.request = request
+        self.process = process
+        self.reason = reason
+
+
+class DaemonUnreachableError(DpclError):
+    """No acknowledgement from one or more daemons within the retry
+    budget — the node's daemon is crashed or the network ate every
+    resend."""
+
+    def __init__(self, nodes: Sequence[int], request: str, attempts: int) -> None:
+        self.nodes = tuple(sorted(nodes))
+        self.request = request
+        self.attempts = attempts
+        super().__init__(
+            f"no ack from daemon(s) on node(s) {list(self.nodes)} "
+            f"after {attempts} attempt(s) of {request}"
+        )
+
+
+@dataclass(frozen=True)
+class RequestPolicy:
+    """Client-side robustness knobs for daemon requests.
+
+    The default (no timeout, no retries) reproduces the pre-faults
+    client exactly: waits block forever and schedule no timer events,
+    keeping fault-free runs bit-identical.
+    """
+
+    #: Max seconds to wait for each response message; None = forever.
+    timeout: Optional[float] = None
+    #: Resend waves after the first send (0 = never resend).
+    max_retries: int = 0
+    #: Pause before the first resend wave, in seconds.
+    backoff: float = 0.05
+    #: Backoff growth factor per successive wave.
+    backoff_multiplier: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.timeout is not None and self.timeout <= 0.0:
+            raise ValueError(f"non-positive timeout {self.timeout}")
+        if self.max_retries < 0:
+            raise ValueError(f"negative max_retries {self.max_retries}")
+        if self.backoff < 0.0:
+            raise ValueError(f"negative backoff {self.backoff}")
+        if self.backoff_multiplier <= 0.0:
+            raise ValueError(
+                f"non-positive backoff_multiplier {self.backoff_multiplier}"
+            )
+        if self.max_retries > 0 and self.timeout is None:
+            raise ValueError("retries need a timeout to trigger on")
 
 
 def ensure_super_daemons(env: Environment, cluster: Cluster, nodes: Sequence[Node], host: DaemonHost) -> List[SuperDaemon]:
@@ -66,6 +155,7 @@ class DpclClient:
         client_node: Node,
         host: DaemonHost,
         user: str = "user",
+        policy: Optional[RequestPolicy] = None,
     ) -> None:
         self.env = env
         self.cluster = cluster
@@ -73,34 +163,159 @@ class DpclClient:
         self.node = client_node
         self.host = host
         self.user = user
+        self.policy = policy if policy is not None else RequestPolicy()
         self.inbox = Channel(env, name=f"dpcl-client@{client_node.hostname}")
         #: Callback messages not yet consumed by wait_callback().
         self._callbacks = Channel(env, name="dpcl-callbacks")
         self._req_ids = count(1)
+        self._current_req = 0
         #: node index -> comm daemon inbox channel.
         self._daemon_inboxes: Dict[int, Channel] = {}
         #: process name -> node the process lives on.
         self._process_nodes: Dict[str, Node] = {}
         #: process name -> image (client-side program structure handle).
         self._attached: Dict[str, Any] = {}
+        #: Late acks from timed-out requests, dropped not raised.
+        self.stale_acks = 0
+        #: Resend waves performed across all requests.
+        self.retries = 0
+        self._obs = _obs_get()
 
     # -- low-level plumbing ------------------------------------------------------
 
     def _new_request_fields(self) -> Tuple[int, Channel, Node]:
-        return next(self._req_ids), self.inbox, self.node
+        req_id = next(self._req_ids)
+        self._current_req = req_id
+        return req_id, self.inbox, self.node
 
     def _send_to_node(self, node: Node, channel: Channel, msg: Any, nbytes: int = 256) -> None:
         self.cluster.interconnect.deliver(
             self.node, node, nbytes, channel, msg,
             extra_delay=_dpcl_delay(self.cluster, self.node),
+            control=True,
+        )
+
+    def _get_with_timeout(self, timeout: Optional[float]) -> Generator:
+        """Next inbox message, or ``_TIMED_OUT`` after ``timeout``.
+
+        ``timeout=None`` is a plain blocking get — no timer event is
+        created, so the default policy perturbs nothing.
+        """
+        if timeout is None:
+            msg = yield self.inbox.get()
+            return msg
+        get_ev = self.inbox.get()
+        timer = self.env.timeout(timeout)
+        yield AnyOf(self.env, [get_ev, timer])
+        if get_ev.processed:
+            return get_ev.value
+        # The timer won the race.  The get may still have been served in
+        # the same instant (put scheduled it behind the timer): cancel()
+        # returning False means a message is on the event — consume it
+        # rather than lose it.
+        if not self.inbox.cancel(get_ev) and get_ev.triggered:
+            return get_ev.value
+        return _TIMED_OUT
+
+    def _transact(
+        self,
+        sends: Sequence[Tuple[Node, Channel, Any, int]],
+        req_id: int,
+        request: str,
+        tolerant: bool = False,
+    ) -> Generator:
+        """Send one request wave and gather one ack per node.
+
+        Returns acks in arrival order.  Under a timeout policy, un-acked
+        nodes get resend waves with exponential backoff; nodes still
+        silent after the budget raise :class:`DaemonUnreachableError` —
+        or, when ``tolerant``, come back as synthetic failed acks so the
+        caller can degrade instead of die.  Returns ``acks`` when
+        strict, ``(acks, failures)`` keyed by node index when tolerant.
+        """
+        pending: Dict[int, Tuple[Node, Channel, Any, int]] = {
+            node.index: (node, inbox, msg, nbytes)
+            for node, inbox, msg, nbytes in sends
+        }
+        acks: List[Ack] = []
+        failures: Dict[int, Ack] = {}
+        seen: set = set()
+        attempt = 0
+        backoff = self.policy.backoff
+        while True:
+            attempt += 1
+            for node, inbox, msg, nbytes in pending.values():
+                self._send_to_node(node, inbox, msg, nbytes=nbytes)
+            while pending:
+                msg = yield from self._get_with_timeout(self.policy.timeout)
+                if msg is _TIMED_OUT:
+                    if self._obs.enabled:
+                        self._obs.inc("dpcl.timeouts")
+                    break
+                if isinstance(msg, CallbackMsg):
+                    self._callbacks.put(msg)
+                    continue
+                if not isinstance(msg, Ack):
+                    raise TypeError(f"client got unexpected message {msg!r}")
+                if msg.req_id != req_id:
+                    if msg.req_id < req_id:
+                        # Straggler ack from a request we gave up on.
+                        self._note_stale_ack()
+                        continue
+                    raise DpclError(
+                        f"out-of-order ack: got req {msg.req_id}, expected {req_id}"
+                    )
+                if msg.node_index in seen:
+                    continue  # duplicate from a resend race
+                seen.add(msg.node_index)
+                pending.pop(msg.node_index, None)
+                if not msg.ok:
+                    failures[msg.node_index] = msg
+                    if not tolerant:
+                        raise self._failure_error(msg, request)
+                else:
+                    acks.append(msg)
+            if not pending:
+                return (acks, failures) if tolerant else acks
+            if attempt > self.policy.max_retries:
+                if tolerant:
+                    for idx in sorted(pending):
+                        failures[idx] = Ack(
+                            req_id, idx, ok=False,
+                            error=f"daemon unreachable for {request}",
+                            error_info={"node": idx, "request": request,
+                                        "reason": "unreachable"},
+                        )
+                    if self._obs.enabled:
+                        self._obs.inc("dpcl.unreachable", len(pending))
+                    return acks, failures
+                raise DaemonUnreachableError(list(pending), request, attempt)
+            self.retries += 1
+            if self._obs.enabled:
+                self._obs.inc("dpcl.retries")
+            if backoff > 0.0:
+                yield self.env.timeout(backoff)
+            backoff *= self.policy.backoff_multiplier
+
+    def _note_stale_ack(self) -> None:
+        self.stale_acks += 1
+        if self._obs.enabled:
+            self._obs.inc("dpcl.stale_acks")
+
+    @staticmethod
+    def _failure_error(ack: Ack, request: str) -> DpclRequestError:
+        info = ack.error_info or {}
+        return DpclRequestError(
+            f"daemon on node {ack.node_index}: {ack.error}",
+            node_index=ack.node_index,
+            request=info.get("request", request),
+            process=info.get("process", ""),
+            reason=info.get("reason", ack.error),
         )
 
     def _collect_acks(self, req_id: int, expected: int) -> Generator:
-        """Read the inbox until ``expected`` acks for ``req_id`` arrive.
-
-        Callback messages that arrive interleaved are queued for
-        :meth:`wait_callback`.
-        """
+        """Back-compat shim: gather ``expected`` acks already in flight
+        (used by tests that drive the wire directly)."""
         acks: List[Ack] = []
         while len(acks) < expected:
             msg = yield self.inbox.get()
@@ -110,42 +325,48 @@ class DpclClient:
             if not isinstance(msg, Ack):
                 raise TypeError(f"client got unexpected message {msg!r}")
             if msg.req_id != req_id:
+                if msg.req_id < req_id:
+                    self._note_stale_ack()
+                    continue
                 raise DpclError(
                     f"out-of-order ack: got req {msg.req_id}, expected {req_id}"
                 )
             if not msg.ok:
-                raise DpclError(f"daemon on node {msg.node_index}: {msg.error}")
+                raise self._failure_error(msg, "request")
             acks.append(msg)
         return acks
 
     # -- connection management ------------------------------------------------------
 
-    def connect(self, process_locations: Dict[str, Node]) -> Generator:
+    def connect(self, process_locations: Dict[str, Node], tolerant: bool = False) -> Generator:
         """Connect to the super daemons of every node hosting a target.
 
         ``process_locations`` maps process name -> node.  After connect,
-        the client can attach to those processes.
+        the client can attach to those processes.  When ``tolerant``,
+        unreachable nodes are skipped and returned as a failure map
+        instead of raising.
         """
         self._process_nodes.update(process_locations)
         nodes = {n.index: n for n in process_locations.values()}
         new_nodes = [n for idx, n in nodes.items() if idx not in self._daemon_inboxes]
         if not new_nodes:
-            return []
+            return ([], {}) if tolerant else []
         ensure_super_daemons(self.env, self.cluster, new_nodes, self.host)
         req_id, reply_to, reply_node = self._new_request_fields()
-        for node in new_nodes:
-            self._send_to_node(
-                node, node.superdaemon_inbox,
-                ConnectReq(req_id, reply_to, reply_node, user=self.user),
-            )
-        acks = yield from self._collect_acks(req_id, len(new_nodes))
+        sends = [
+            (node, node.superdaemon_inbox,
+             ConnectReq(req_id, reply_to, reply_node, user=self.user), 256)
+            for node in new_nodes
+        ]
+        result = yield from self._transact(sends, req_id, "ConnectReq", tolerant=tolerant)
+        acks, failures = result if tolerant else (result, {})
         for ack in acks:
             self._daemon_inboxes[ack.node_index] = ack.payload
             # Route callbacks from this node's daemon to us.
             daemon = self._find_daemon(ack.node_index)
             if daemon is not None:
                 daemon.set_callback_client(self.inbox, self.node)
-        return acks
+        return (acks, failures) if tolerant else acks
 
     def _find_daemon(self, node_index: int) -> Optional[CommDaemon]:
         node = self.cluster.node(node_index)
@@ -163,6 +384,11 @@ class DpclClient:
             raise DpclError(f"not connected to node {node.hostname}")
         return node, inbox
 
+    def is_connected_to(self, process_name: str) -> bool:
+        """True if the daemon serving ``process_name`` is connected."""
+        node = self._process_nodes.get(process_name)
+        return node is not None and node.index in self._daemon_inboxes
+
     def _group_by_node(self, names: Sequence[str]) -> Dict[int, Tuple[Node, Channel, List[str]]]:
         groups: Dict[int, Tuple[Node, Channel, List[str]]] = {}
         for name in names:
@@ -176,20 +402,40 @@ class DpclClient:
 
     # -- attach / structure navigation -------------------------------------------------
 
-    def attach(self, process_names: Sequence[str]) -> Generator:
-        """Attach to targets and walk their program structure client-side."""
+    def attach(self, process_names: Sequence[str], tolerant: bool = False) -> Generator:
+        """Attach to targets and walk their program structure client-side.
+
+        When ``tolerant``, nodes whose daemon refuses or never answers
+        are skipped; returns ``(attached_names, failures)`` keyed by
+        node index instead of raising.
+        """
         groups = self._group_by_node(process_names)
         req_id, reply_to, reply_node = self._new_request_fields()
-        for node, inbox, names in groups.values():
-            self._send_to_node(
-                node, inbox, AttachReq(req_id, reply_to, reply_node, process_names=names)
+        sends = [
+            (node, inbox,
+             AttachReq(req_id, reply_to, reply_node, process_names=names), 256)
+            for node, inbox, names in groups.values()
+        ]
+        failures: Dict[int, Ack] = {}
+        if tolerant:
+            _acks, failures = yield from self._transact(
+                sends, req_id, "AttachReq", tolerant=True
             )
-        yield from self._collect_acks(req_id, len(groups))
+            names_ok = [
+                name for name in process_names
+                if self._process_nodes[name].index not in failures
+            ]
+        else:
+            yield from self._transact(sends, req_id, "AttachReq")
+            names_ok = list(process_names)
         # Client-side program-structure download per process (serial).
-        for name in process_names:
+        for name in names_ok:
             target = self.host.lookup(name)
             if target is None:
-                raise DpclError(f"process {name!r} vanished during attach")
+                raise DpclRequestError(
+                    f"process {name!r} vanished during attach",
+                    process=name, request="AttachReq", reason="vanished",
+                )
             _task, image = target
             n_symbols = len(image.functions)
             yield self.env.timeout(
@@ -197,7 +443,7 @@ class DpclClient:
                 + n_symbols * self.spec.dpcl_client_per_symbol_cost
             )
             self._attached[name] = image
-        return list(process_names)
+        return (names_ok, failures) if tolerant else names_ok
 
     @property
     def attached_processes(self) -> List[str]:
@@ -216,6 +462,34 @@ class DpclClient:
 
     # -- probe management -----------------------------------------------------------------
 
+    def _build_install_requests(
+        self,
+        probes: Sequence[Tuple[str, str, str, "Snippet"]],
+        register_names: Sequence[Tuple[str, str]],
+        activate: bool,
+        req_id: int,
+        reply_to: Channel,
+        reply_node: Node,
+    ) -> Dict[int, Tuple[Node, Channel, InstallProbeReq, List[int]]]:
+        """Group probes per node; the trailing list maps each node's
+        probe slots back to indices into the caller's ``probes``."""
+        by_node: Dict[int, Tuple[Node, Channel, InstallProbeReq, List[int]]] = {}
+        for index, probe in enumerate(probes):
+            node, inbox = self._daemon_inbox_for(probe[0])
+            entry = by_node.get(node.index)
+            if entry is None:
+                req = InstallProbeReq(req_id, reply_to, reply_node, activate=activate)
+                by_node[node.index] = (node, inbox, req, [])
+                entry = by_node[node.index]
+            entry[2].probes.append(tuple(probe))
+            entry[3].append(index)
+        for process_name, fname in register_names:
+            node, _inbox = self._daemon_inbox_for(process_name)
+            entry = by_node.get(node.index)
+            if entry is not None:
+                entry[2].register_names.append((process_name, fname))
+        return by_node
+
     def install_probes(
         self,
         probes: Sequence[Tuple[str, str, str, "Snippet"]],
@@ -225,32 +499,83 @@ class DpclClient:
         """Install probes: (process, function, where, snippet) tuples.
 
         Returns the installed :class:`ProbeHandle` s.  Work is fanned out
-        per node and proceeds in parallel across daemons.
+        per node and proceeds in parallel across daemons.  Any failed
+        probe raises :class:`DpclRequestError` naming the probe.
         """
-        by_node: Dict[int, Tuple[Node, Channel, InstallProbeReq]] = {}
         req_id, reply_to, reply_node = self._new_request_fields()
-        for probe in probes:
-            node, inbox = self._daemon_inbox_for(probe[0])
-            entry = by_node.get(node.index)
-            if entry is None:
-                req = InstallProbeReq(req_id, reply_to, reply_node, activate=activate)
-                by_node[node.index] = (node, inbox, req)
-                entry = by_node[node.index]
-            entry[2].probes.append(tuple(probe))
-        for process_name, fname in register_names:
-            node, _inbox = self._daemon_inbox_for(process_name)
-            entry = by_node.get(node.index)
-            if entry is not None:
-                entry[2].register_names.append((process_name, fname))
+        by_node = self._build_install_requests(
+            probes, register_names, activate, req_id, reply_to, reply_node
+        )
         if not by_node:
             return []
-        for node, inbox, req in by_node.values():
-            self._send_to_node(node, inbox, req, nbytes=512 + 64 * len(req.probes))
-        acks = yield from self._collect_acks(req_id, len(by_node))
+        sends = [
+            (node, inbox, req, 512 + 64 * len(req.probes))
+            for node, inbox, req, _indices in by_node.values()
+        ]
+        acks = yield from self._transact(sends, req_id, "InstallProbeReq")
         handles: List[Any] = []
         for ack in acks:
-            handles.extend(ack.payload)
+            for status, value in ack.payload:
+                if status != "ok":
+                    raise DpclRequestError(
+                        f"daemon on node {ack.node_index}: probe install "
+                        f"failed for {value.get('function')!r} in "
+                        f"{value.get('process')!r}: {value.get('reason')}",
+                        node_index=ack.node_index,
+                        request="InstallProbeReq",
+                        process=value.get("process", ""),
+                        reason=value.get("reason", ""),
+                    )
+                handles.append(value)
         return handles
+
+    def install_probes_tolerant(
+        self,
+        probes: Sequence[Tuple[str, str, str, "Snippet"]],
+        register_names: Sequence[Tuple[str, str]] = (),
+        activate: bool = True,
+    ) -> Generator:
+        """Like :meth:`install_probes`, but degrades instead of raising.
+
+        Returns ``(results, failures)``: ``results`` is aligned with the
+        input ``probes`` (a handle, or None where that probe could not
+        be installed); ``failures`` is a list of dicts describing each
+        failed slot (process, function, node, reason).
+        """
+        req_id, reply_to, reply_node = self._new_request_fields()
+        by_node = self._build_install_requests(
+            probes, register_names, activate, req_id, reply_to, reply_node
+        )
+        if not by_node:
+            return [], []
+        sends = [
+            (node, inbox, req, 512 + 64 * len(req.probes))
+            for node, inbox, req, _indices in by_node.values()
+        ]
+        acks, node_failures = yield from self._transact(
+            sends, req_id, "InstallProbeReq", tolerant=True
+        )
+        results: List[Optional[Any]] = [None] * len(probes)
+        failures: List[Dict[str, Any]] = []
+        for ack in acks:
+            _node, _inbox, req, indices = by_node[ack.node_index]
+            for slot, (status, value) in enumerate(ack.payload):
+                index = indices[slot]
+                if status == "ok":
+                    results[index] = value
+                else:
+                    failures.append(dict(value, node=ack.node_index))
+        for node_index, ack in node_failures.items():
+            _node, _inbox, req, indices = by_node[node_index]
+            info = ack.error_info or {}
+            reason = info.get("reason", ack.error)
+            for slot, index in enumerate(indices):
+                process, function = req.probes[slot][0], req.probes[slot][1]
+                failures.append({
+                    "process": process, "function": function,
+                    "node": node_index, "reason": reason,
+                })
+        return results, failures
 
     def remove_probes(self, handles: Sequence["ProbeHandle"]) -> Generator:
         """Remove installed probes; returns the number removed."""
@@ -266,9 +591,8 @@ class DpclClient:
             entry[2].handles.append(handle)
         if not by_node:
             return 0
-        for node, inbox, req in by_node.values():
-            self._send_to_node(node, inbox, req)
-        acks = yield from self._collect_acks(req_id, len(by_node))
+        sends = [(node, inbox, req, 256) for node, inbox, req in by_node.values()]
+        acks = yield from self._transact(sends, req_id, "RemoveProbeReq")
         return sum(ack.payload for ack in acks)
 
     def set_probes_active(self, handles: Sequence["ProbeHandle"], active: bool) -> Generator:
@@ -284,9 +608,8 @@ class DpclClient:
             entry[2].handles.append(handle)
         if not by_node:
             return 0
-        for node, inbox, req in by_node.values():
-            self._send_to_node(node, inbox, req)
-        acks = yield from self._collect_acks(req_id, len(by_node))
+        sends = [(node, inbox, req, 256) for node, inbox, req in by_node.values()]
+        acks = yield from self._transact(sends, req_id, "ActivateProbeReq")
         return sum(ack.payload for ack in acks)
 
     # -- execution control ---------------------------------------------------------------------
@@ -296,36 +619,43 @@ class DpclClient:
         names = list(process_names) if process_names is not None else self.attached_processes
         groups = self._group_by_node(names)
         req_id, reply_to, reply_node = self._new_request_fields()
-        for node, inbox, group_names in groups.values():
-            self._send_to_node(
-                node, inbox,
-                SuspendReq(req_id, reply_to, reply_node, process_names=group_names, blocking=blocking),
-            )
-        yield from self._collect_acks(req_id, len(groups))
+        sends = [
+            (node, inbox,
+             SuspendReq(req_id, reply_to, reply_node, process_names=group_names,
+                        blocking=blocking), 256)
+            for node, inbox, group_names in groups.values()
+        ]
+        yield from self._transact(sends, req_id, "SuspendReq")
         return len(names)
 
-    def resume(self, process_names: Optional[Sequence[str]] = None) -> Generator:
+    def resume(self, process_names: Optional[Sequence[str]] = None, tolerant: bool = False) -> Generator:
         names = list(process_names) if process_names is not None else self.attached_processes
         groups = self._group_by_node(names)
         req_id, reply_to, reply_node = self._new_request_fields()
-        for node, inbox, group_names in groups.values():
-            self._send_to_node(
-                node, inbox,
-                ResumeReq(req_id, reply_to, reply_node, process_names=group_names),
+        sends = [
+            (node, inbox,
+             ResumeReq(req_id, reply_to, reply_node, process_names=group_names), 256)
+            for node, inbox, group_names in groups.values()
+        ]
+        result = yield from self._transact(sends, req_id, "ResumeReq", tolerant=tolerant)
+        if tolerant:
+            _acks, failures = result
+            n_resumed = len(names) - sum(
+                len(groups[idx][2]) for idx in failures if idx in groups
             )
-        yield from self._collect_acks(req_id, len(groups))
+            return n_resumed, failures
         return len(names)
 
     def set_variable(self, process_name: str, variable: str, value: Any = 1) -> Generator:
         """Write a variable in one target (releases DYNVT_spin waits)."""
         node, inbox = self._daemon_inbox_for(process_name)
         req_id, reply_to, reply_node = self._new_request_fields()
-        self._send_to_node(
-            node, inbox,
-            SetVariableReq(req_id, reply_to, reply_node, process_name=process_name,
-                           variable=variable, value=value),
-        )
-        yield from self._collect_acks(req_id, 1)
+        sends = [
+            (node, inbox,
+             SetVariableReq(req_id, reply_to, reply_node, process_name=process_name,
+                            variable=variable, value=value), 256)
+        ]
+        yield from self._transact(sends, req_id, "SetVariableReq")
 
     def execute_snippet(self, process_name: str, snippet: "Snippet") -> Generator:
         """One-shot inferior call in a stopped target; returns its value.
@@ -336,12 +666,12 @@ class DpclClient:
         """
         node, inbox = self._daemon_inbox_for(process_name)
         req_id, reply_to, reply_node = self._new_request_fields()
-        self._send_to_node(
-            node, inbox,
-            ExecuteSnippetReq(req_id, reply_to, reply_node,
-                              process_name=process_name, snippet=snippet),
-        )
-        acks = yield from self._collect_acks(req_id, 1)
+        sends = [
+            (node, inbox,
+             ExecuteSnippetReq(req_id, reply_to, reply_node,
+                               process_name=process_name, snippet=snippet), 256)
+        ]
+        acks = yield from self._transact(sends, req_id, "ExecuteSnippetReq")
         return acks[0].payload
 
     def detach(self) -> Generator:
@@ -350,29 +680,44 @@ class DpclClient:
         if not nodes:
             return 0
         req_id, reply_to, reply_node = self._new_request_fields()
-        for idx, inbox in nodes.items():
-            self._send_to_node(self.cluster.node(idx), inbox, DetachReq(req_id, reply_to, reply_node))
-        acks = yield from self._collect_acks(req_id, len(nodes))
+        sends = [
+            (self.cluster.node(idx), inbox,
+             DetachReq(req_id, reply_to, reply_node), 256)
+            for idx, inbox in nodes.items()
+        ]
+        acks = yield from self._transact(sends, req_id, "DetachReq")
         self._attached.clear()
         return sum(a.payload for a in acks)
 
     # -- callbacks ------------------------------------------------------------------------------
 
-    def wait_callback(self, tag: Optional[str] = None, n: int = 1) -> Generator:
+    def wait_callback(
+        self,
+        tag: Optional[str] = None,
+        n: int = 1,
+        timeout: Optional[float] = None,
+    ) -> Generator:
         """Wait for ``n`` callback messages (optionally filtered by tag).
 
-        Messages queued while waiting for acks are consumed first.
+        Messages queued while waiting for acks are consumed first.  Late
+        acks from timed-out requests are dropped, not fatal.  With a
+        ``timeout``, gives up ``timeout`` seconds after the last message
+        and returns what arrived (possibly fewer than ``n``) — the
+        caller inspects the shortfall and quarantines the silent ranks.
         """
         got: List[CallbackMsg] = []
         while len(got) < n:
             if len(self._callbacks):
                 msg = yield self._callbacks.get()
             else:
-                msg = yield self.inbox.get()
+                msg = yield from self._get_with_timeout(timeout)
+                if msg is _TIMED_OUT:
+                    if self._obs.enabled:
+                        self._obs.inc("dpcl.timeouts")
+                    return got
             if isinstance(msg, Ack):
-                raise DpclError(
-                    f"unexpected ack {msg.req_id} while waiting for callbacks"
-                )
+                self._note_stale_ack()
+                continue
             if isinstance(msg, CallbackMsg) and (tag is None or msg.tag == tag):
                 got.append(msg)
         return got

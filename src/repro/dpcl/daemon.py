@@ -7,11 +7,19 @@ daemon work is charged to the daemon's own simulated time — the target
 is typically suspended while its image is modified, so these costs show
 up as instrumentation wall time (Figure 9), not as application profile
 perturbation.
+
+Fault behaviour: when a :class:`~repro.faults.FaultInjector` declares a
+node's daemons crashed, every request delivered during the crash window
+is silently swallowed (a dead process reads nothing from its sockets) —
+recovery is entirely the client's job.  Requests are idempotent at this
+layer: each daemon remembers the ack it sent per (client, request id)
+and re-replies it for duplicate deliveries, so a client resend whose
+original ack was merely delayed does not repeat the work.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Generator, List, Optional
+from typing import TYPE_CHECKING, Any, Dict, Generator, List, Optional
 
 from ..cluster import Cluster, Node
 from ..simt import Channel, Environment, Process
@@ -58,6 +66,23 @@ class DaemonHost:
         return list(self._targets)
 
 
+def _request_error_info(node_index: int, msg: DpclRequest, exc: BaseException) -> Dict[str, Any]:
+    """Structured failure context shipped back in the ack (satellite of
+    the recovery work: clients log *which* process/request broke where,
+    not just a bare string)."""
+    process = getattr(msg, "process_name", "") or ""
+    if not process:
+        names = getattr(msg, "process_names", None)
+        if names:
+            process = names[0] if len(names) == 1 else ",".join(names)
+    return {
+        "node": node_index,
+        "request": type(msg).__name__,
+        "process": process,
+        "reason": str(exc),
+    }
+
+
 class SuperDaemon:
     """One per node; authenticates users, forks communication daemons."""
 
@@ -67,6 +92,8 @@ class SuperDaemon:
         self.node = node
         self.host = host
         self.comm_daemons: Dict[str, CommDaemon] = {}
+        #: (client channel id, req_id) -> ack already sent (idempotence).
+        self._acked: Dict[tuple, Ack] = {}
         self.proc: Process = env.process(self._serve(), name=f"superd@{node.hostname}")
 
     def _serve(self) -> Generator:
@@ -77,18 +104,30 @@ class SuperDaemon:
                 return
             if not isinstance(msg, ConnectReq):
                 raise TypeError(f"super daemon got unexpected message {msg!r}")
+            faults = self.cluster.faults
+            if faults is not None and faults.daemon_down(self.node.index, self.env.now):
+                faults.note_daemon_drop(self.node.index)
+                continue
+            key = (id(msg.reply_to), msg.req_id)
+            prior = self._acked.get(key)
+            if prior is not None:  # duplicate of an already-served connect
+                self._reply(msg, prior)
+                continue
             # Authentication + fork of the user's communication daemon.
             yield self.env.timeout(self.cluster.spec.dpcl_connect_cost)
             daemon = self.comm_daemons.get(msg.user)
             if daemon is None:
                 daemon = CommDaemon(self.env, self.cluster, self.node, self.host, msg.user)
                 self.comm_daemons[msg.user] = daemon
-            self._reply(msg, Ack(msg.req_id, self.node.index, payload=daemon.inbox))
+            ack = Ack(msg.req_id, self.node.index, payload=daemon.inbox)
+            self._acked[key] = ack
+            self._reply(msg, ack)
 
     def _reply(self, req: DpclRequest, ack: Ack) -> None:
         self.cluster.interconnect.deliver(
             self.node, req.reply_node, 128, req.reply_to, ack,
             extra_delay=_dpcl_delay(self.cluster, self.node),
+            control=True,
         )
 
 
@@ -107,6 +146,8 @@ class CommDaemon:
         self.attached: Dict[str, tuple] = {}
         self._parsed_images: set = set()
         self.probes_installed = 0
+        #: (client channel id, req_id) -> ack already sent (idempotence).
+        self._acked: Dict[tuple, Ack] = {}
         self.proc: Process = env.process(self._serve(), name=f"commd@{node.hostname}:{user}")
 
     # -- main loop ---------------------------------------------------------------
@@ -116,20 +157,34 @@ class CommDaemon:
             msg = yield self.inbox.get()
             if msg is None:
                 return
+            faults = self.cluster.faults
+            if faults is not None and faults.daemon_down(self.node.index, self.env.now):
+                faults.note_daemon_drop(self.node.index)
+                continue
             handler = self._handlers.get(type(msg))
             if handler is None:
                 raise TypeError(f"comm daemon got unexpected message {msg!r}")
+            key = (id(msg.reply_to), msg.req_id)
+            prior = self._acked.get(key)
+            if prior is not None:  # duplicate delivery: don't redo the work
+                self._reply(msg, prior)
+                continue
             try:
                 payload = yield from handler(self, msg)
                 ack = Ack(msg.req_id, self.node.index, payload=payload)
             except Exception as exc:  # surfaced to the client, not fatal here
-                ack = Ack(msg.req_id, self.node.index, ok=False, error=str(exc))
+                ack = Ack(
+                    msg.req_id, self.node.index, ok=False, error=str(exc),
+                    error_info=_request_error_info(self.node.index, msg, exc),
+                )
+            self._acked[key] = ack
             self._reply(msg, ack)
 
     def _reply(self, req: DpclRequest, ack: Ack) -> None:
         self.cluster.interconnect.deliver(
             self.node, req.reply_node, 256, req.reply_to, ack,
             extra_delay=_dpcl_delay(self.cluster, self.node),
+            control=True,
         )
 
     # -- handlers ---------------------------------------------------------------------
@@ -154,13 +209,21 @@ class CommDaemon:
 
         def dpcl_callback(pctx, tag="callback", data=None):
             client = getattr(self, "_callback_client", None)
-            if client is not None:
-                channel, client_node = client
-                self.cluster.interconnect.deliver(
-                    self.node, client_node, 128, channel,
-                    CallbackMsg(str(tag), process_name, data),
-                    extra_delay=_dpcl_delay(self.cluster, self.node),
-                )
+            if client is None:
+                return None
+            faults = self.cluster.faults
+            if faults is not None and faults.daemon_down(self.node.index, self.env.now):
+                # The relay daemon is dead; the target's callback dies
+                # with it.
+                faults.note_daemon_drop(self.node.index)
+                return None
+            channel, client_node = client
+            self.cluster.interconnect.deliver(
+                self.node, client_node, 128, channel,
+                CallbackMsg(str(tag), process_name, data),
+                extra_delay=_dpcl_delay(self.cluster, self.node),
+                control=True,
+            )
             return None
 
         return dpcl_callback
@@ -175,7 +238,10 @@ class CommDaemon:
             self._parsed_images.add(image.name)
 
     def _install(self, msg: InstallProbeReq) -> Generator:
-        handles = []
+        """Install probes one by one; the payload is per-probe outcomes
+        (("ok", handle) or ("fail", info)) aligned with ``msg.probes``,
+        so one unwritable probe point no longer poisons the batch."""
+        outcomes: List[tuple] = []
         # Register function names with the target's VT library first
         # (one-shot calls executed in the stopped target).
         for process_name, fname in msg.register_names:
@@ -184,13 +250,27 @@ class CommDaemon:
                 yield self.env.timeout(self.spec.vt_funcdef_cost)
                 image.vt.funcdef_external(fname)
         for process_name, function, where, snippet in msg.probes:
-            task, image = self._target(process_name)
-            yield from self._ensure_parsed(image)
-            yield self.env.timeout(self.spec.dpcl_install_probe_cost)
-            handle = image.install_probe(function, where, snippet, activate=msg.activate)
+            try:
+                task, image = self._target(process_name)
+                yield from self._ensure_parsed(image)
+                yield self.env.timeout(self.spec.dpcl_install_probe_cost)
+                faults = self.cluster.faults
+                if faults is not None and faults.probe_install_fails(
+                    self.node.index, process_name, function
+                ):
+                    raise RuntimeError("probe install failed (injected fault)")
+                handle = image.install_probe(
+                    function, where, snippet, activate=msg.activate
+                )
+            except Exception as exc:
+                outcomes.append(("fail", {
+                    "process": process_name, "function": function,
+                    "where": where, "reason": str(exc),
+                }))
+                continue
             self.probes_installed += 1
-            handles.append(handle)
-        return handles
+            outcomes.append(("ok", handle))
+        return outcomes
 
     def _remove(self, msg: RemoveProbeReq) -> Generator:
         removed = 0
@@ -340,6 +420,9 @@ class _DaemonClock:
         yield  # pragma: no cover - generator marker
 
     checkpoint = flush
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<_DaemonClock {self.name} accrued={self.accrued:.6f}>"
 
 
 def _dpcl_delay(cluster: Cluster, node: Node) -> float:

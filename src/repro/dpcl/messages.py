@@ -124,6 +124,9 @@ class Ack:
     payload: Any = None
     ok: bool = True
     error: str = ""
+    #: Structured failure context ({"node", "request", "process",
+    #: "reason"}) when ``ok`` is False; None on success.
+    error_info: Optional[dict] = None
 
 
 @dataclass

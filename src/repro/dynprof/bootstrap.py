@@ -25,6 +25,7 @@ __all__ = [
     "SPIN_VARIABLE",
     "INIT_CALLBACK_TAG",
     "mpi_init_bootstrap",
+    "degraded_mpi_bootstrap",
     "vt_init_bootstrap",
     "bootstrap_anchor",
 ]
@@ -44,6 +45,23 @@ def mpi_init_bootstrap() -> Snippet:
         CallFunc("DPCL_callback", [Const(INIT_CALLBACK_TAG)]),
         SpinWait(SPIN_VARIABLE),
         CallFunc("MPI_Barrier"),
+    ])
+
+
+def degraded_mpi_bootstrap() -> Snippet:
+    """Barrier-free MPI bootstrap used when a fault plan is armed.
+
+    Quarantining a rank while the survivors run the two-barrier Figure 6
+    bootstrap would hang MPI_Barrier (B+2 barrier calls on survivors vs
+    B on the quarantined rank).  Under fault injection *every* rank gets
+    this barrier-free variant, so partial probe coverage can never turn
+    into a collective mismatch.  The cost is the re-synchronisation the
+    second barrier provided: released ranks enter main computation with
+    whatever skew the per-rank spin releases had.
+    """
+    return Sequence([
+        CallFunc("DPCL_callback", [Const(INIT_CALLBACK_TAG)]),
+        SpinWait(SPIN_VARIABLE),
     ])
 
 

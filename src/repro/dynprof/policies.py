@@ -23,10 +23,11 @@ insertion), but *includes* the overhead incurred by the probes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from ..apps import AppSpec
 from ..cluster import Cluster, MachineSpec, POWER3_SP
+from ..faults import FaultInjector, FaultPlan
 from ..jobs import MpiJob, OmpJob
 from ..simt import Environment
 from ..vt import VTConfig
@@ -70,6 +71,9 @@ class PolicyResult:
     #: Time dynprof spent creating + instrumenting (Figure 9); None for
     #: the static policies.
     instrument_time: Optional[float] = None
+    #: Fault-injection report (injected counts, quarantined ranks,
+    #: coverage); None for fault-free runs.
+    faults: Optional[Dict[str, Any]] = None
 
     def __repr__(self) -> str:
         return (
@@ -103,12 +107,14 @@ def run_policy(
     scale: float = 1.0,
     machine: MachineSpec = POWER3_SP,
     seed: int = 0,
+    faults: Optional[FaultPlan] = None,
 ) -> PolicyResult:
     """Run one (app, policy, CPUs) cell and collect the measurements."""
     if n_cpus not in app.cpu_counts and n_cpus > max(app.cpu_counts):
         raise ValueError(f"{app.name} was not evaluated beyond {max(app.cpu_counts)} CPUs")
     env = Environment()
     cluster = Cluster(env, machine, seed=seed)
+    injector = FaultInjector.install(faults, cluster)
     instrument_static, vt_config = _policy_build(app, policy)
     exe = app.build_exe(instrument_static)
     program = app.make_program(n_cpus, scale)
@@ -127,6 +133,7 @@ def run_policy(
         )
 
     instrument_time: Optional[float] = None
+    fault_report: Optional[Dict[str, Any]] = None
     if policy == "Dynamic":
         # Scripted dynprof session, exactly like the paper's batch runs:
         # instrument before the main computation via insert-file + start.
@@ -138,10 +145,14 @@ def run_policy(
         env.run(until=tool_proc)
         instrument_time = tool.create_and_instrument_time
         env.run(until=job.completion())
+        if injector is not None:
+            fault_report = tool.fault_report()
     else:
         job.start()
         env.run(until=job.completion())
     env.run()  # drain (finalize flushes, daemons idle)
+    if injector is not None and fault_report is None:
+        fault_report = {"injected": injector.summary()}
 
     if app.kind == "mpi":
         per_rank = [p.value for p in job.procs]
@@ -158,4 +169,5 @@ def run_policy(
         trace_records=job.trace.raw_record_count,
         trace_bytes=job.trace.size_bytes,
         instrument_time=instrument_time,
+        faults=fault_report,
     )

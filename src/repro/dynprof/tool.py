@@ -28,7 +28,7 @@ from __future__ import annotations
 from typing import Dict, Generator, List, Optional, Sequence, Tuple, Union
 
 from ..cluster import Cluster, Node, Task
-from ..dpcl import DpclClient
+from ..dpcl import DpclClient, DpclError, RequestPolicy
 from ..jobs import MpiJob, OmpJob
 from ..obs import get as _obs_get
 from ..obs.trace import TOOL_PID, get as _trace_get
@@ -39,13 +39,25 @@ from .bootstrap import (
     INIT_CALLBACK_TAG,
     SPIN_VARIABLE,
     bootstrap_anchor,
+    degraded_mpi_bootstrap,
     mpi_init_bootstrap,
     vt_init_bootstrap,
 )
 from .commands import Command, HELP_TEXT, parse_script
 from .timefile import Timefile
 
-__all__ = ["DynProf", "DynProfError"]
+__all__ = ["DynProf", "DynProfError", "DEGRADED_POLICY"]
+
+#: Request policy armed automatically when a fault plan is installed:
+#: generous per-wait timeouts (well above the largest per-node handler
+#: cost at the paper's scales) with two resend waves.
+DEGRADED_POLICY = RequestPolicy(
+    timeout=10.0, max_retries=2, backoff=0.5, backoff_multiplier=2.0
+)
+
+#: Seconds (simulated) to wait for init callbacks past the last one
+#: before quarantining the silent ranks.
+CALLBACK_TIMEOUT = 10.0
 
 
 class DynProfError(RuntimeError):
@@ -78,6 +90,7 @@ class DynProf:
         tool_node: Optional[Node] = None,
         file_contents: Optional[Dict[str, str]] = None,
         attach: bool = False,
+        policy: Optional[RequestPolicy] = None,
     ) -> None:
         if not attach and not job.start_suspended:
             raise DynProfError(
@@ -94,9 +107,19 @@ class DynProf:
         node = tool_node if tool_node is not None else cluster.node(0)
         #: The tool runs on an interactive node and needs no compute core.
         self.task = Task(env, node, f"dynprof:{job.exe.name}", self.spec, bind_core=False)
-        self.client = DpclClient(env, cluster, node, job.daemon_host, user=user)
+        #: Degraded operation: armed whenever a fault injector is bound
+        #: to the cluster.  Requests get timeouts/retries, the bootstrap
+        #: goes barrier-free, and un-instrumentable ranks are
+        #: quarantined instead of killing the session.
+        self.degraded = getattr(cluster, "faults", None) is not None
+        if policy is None and self.degraded:
+            policy = DEGRADED_POLICY
+        self.client = DpclClient(env, cluster, node, job.daemon_host, user=user,
+                                 policy=policy)
         self.timefile = Timefile()
         self.output: List[str] = []
+        #: process name -> reason it was excluded from instrumentation.
+        self.quarantined: Dict[str, str] = {}
 
         #: Function names queued before start (acted on after the
         #: bootstrap callback confirms it is safe, Section 3.4).
@@ -119,11 +142,72 @@ class DynProf:
     def process_names(self) -> List[str]:
         return [t.name for t in self.job.tasks]
 
+    @property
+    def active_processes(self) -> List[str]:
+        """Ranks still under tool control (not quarantined)."""
+        if not self.quarantined:
+            return self.process_names
+        return [n for n in self.process_names if n not in self.quarantined]
+
     def _emit(self, text: str) -> None:
         self.output.append(text)
 
     def _now(self) -> float:
         return self.env.now
+
+    def _quarantine(self, name: str, reason: str) -> None:
+        if name in self.quarantined:
+            return
+        self.quarantined[name] = reason
+        self._emit(f"quarantined {name}: {reason}")
+        if self._obs.enabled:
+            self._obs.inc("dynprof.quarantined_ranks")
+
+    def _quarantine_node(self, node_index: int, reason: str) -> None:
+        for task in self.job.tasks:
+            if task.node.index == node_index:
+                self._quarantine(task.name, reason)
+
+    def _controllable(self) -> List[str]:
+        """Attached ranks the tool may still send requests about."""
+        if not self.quarantined:
+            return self.client.attached_processes
+        return [
+            n for n in self.client.attached_processes
+            if n not in self.quarantined
+        ]
+
+    def _direct_release(self, name: str) -> None:
+        """Launcher-side fallback for a rank DPCL can no longer reach:
+        poe still holds the process handle, so the tool can resume a
+        spawn-suspended rank and poke its spin flag directly, letting
+        the application run (uninstrumented) instead of hanging."""
+        target = self.job.daemon_host.lookup(name)
+        if target is None:
+            return
+        task, image = target
+        if task.is_suspend_requested:
+            task.resume()
+        # Pre-set (or release) the spin flag; a rank that never got the
+        # bootstrap simply never reads it.
+        image.write_variable(SPIN_VARIABLE, 1)
+
+    def fault_report(self) -> Dict[str, object]:
+        """Partial-coverage summary for a faulted session."""
+        total = len(self.process_names)
+        names = self.process_names
+        injector = getattr(self.cluster, "faults", None)
+        return {
+            "degraded": self.degraded,
+            "quarantined": dict(self.quarantined),
+            "quarantined_ranks": sorted(
+                names.index(n) for n in self.quarantined
+            ),
+            "coverage": (total - len(self.quarantined)) / total if total else 1.0,
+            "injected": injector.summary() if injector is not None else {},
+            "client_retries": self.client.retries,
+            "stale_acks": self.client.stale_acks,
+        }
 
     # -- session driver --------------------------------------------------------------
 
@@ -178,24 +262,50 @@ class DynProf:
         tf.end("create", self._now())
 
         tf.begin("connect", self._now())
-        yield from self.client.connect({t.name: t.node for t in self.job.tasks})
+        locations = {t.name: t.node for t in self.job.tasks}
+        if self.degraded:
+            _acks, failures = yield from self.client.connect(locations, tolerant=True)
+            for idx in sorted(failures):
+                self._quarantine_node(idx, "daemon unreachable at connect")
+        else:
+            yield from self.client.connect(locations)
         tf.end("connect", self._now())
 
         tf.begin("attach", self._now(), detail=f"{n_procs} processes")
-        yield from self.client.attach(self.process_names)
+        if self.degraded:
+            _names, failures = yield from self.client.attach(
+                self.active_processes, tolerant=True
+            )
+            for idx, ack in sorted(failures.items()):
+                self._quarantine_node(idx, f"attach failed: {ack.error}")
+        else:
+            yield from self.client.attach(self.process_names)
         tf.end("attach", self._now())
 
         # The bootstrap goes in immediately upon loading (Section 3.4).
         tf.begin("bootstrap", self._now())
         anchor = bootstrap_anchor(self.kind)
-        snippet_factory = (
-            mpi_init_bootstrap if self.kind == "mpi" else vt_init_bootstrap
-        )
+        if self.kind != "mpi":
+            snippet_factory = vt_init_bootstrap
+        elif self.degraded:
+            # Barrier-free: a partially-bootstrapped job must not have a
+            # barrier-count mismatch between ranks (see bootstrap.py).
+            snippet_factory = degraded_mpi_bootstrap
+        else:
+            snippet_factory = mpi_init_bootstrap
         probes = [
             (name, anchor, EXIT, snippet_factory())
-            for name in self.process_names
+            for name in self.active_processes
         ]
-        yield from self.client.install_probes(probes)
+        if self.degraded:
+            _results, failures = yield from self.client.install_probes_tolerant(probes)
+            for failure in failures:
+                self._quarantine(
+                    failure["process"],
+                    f"bootstrap install failed: {failure['reason']}",
+                )
+        else:
+            yield from self.client.install_probes(probes)
         tf.end("bootstrap", self._now())
         self.state = "spawned"
         self._emit(f"spawned {self.job.exe.name} x{n_procs} (suspended)")
@@ -292,7 +402,7 @@ class DynProf:
         # (or running toward) the confsync broadcast.  The blocking
         # suspend certifies every target has stopped before any image
         # is touched.
-        yield from self.client.suspend(blocking=True)
+        yield from self.client.suspend(self._controllable(), blocking=True)
         try:
             if insert:
                 yield from self._install_into_all(list(insert))
@@ -314,7 +424,7 @@ class DynProf:
                         )
                     self._emit(f"removed {n} probes")
         finally:
-            yield from self.client.resume()
+            yield from self.client.resume(self._controllable())
             done.succeed()
         tf.end("safe-point-patch", self._now())
         if self._obs.enabled:
@@ -388,14 +498,37 @@ class DynProf:
             raise DynProfError(f"start in state {self.state}")
         tf = self.timefile
         tf.begin("start", self._now())
-        yield from self.client.resume(self.process_names)
+        if self.degraded:
+            _n, failures = yield from self.client.resume(
+                self.active_processes, tolerant=True
+            )
+            for idx in sorted(failures):
+                self._quarantine_node(idx, "daemon unreachable at start")
+            # Ranks DPCL cannot reach are released through the launcher
+            # so the application (and its collectives) can still run.
+            for name in list(self.quarantined):
+                self._direct_release(name)
+        else:
+            yield from self.client.resume(self.process_names)
         tf.end("start", self._now())
 
         # Ranks run MPI_Init, barrier, call back, and spin.
         tf.begin("init-callbacks", self._now())
-        yield from self.client.wait_callback(
-            tag=INIT_CALLBACK_TAG, n=len(self.process_names)
-        )
+        if self.degraded:
+            expected = list(self.active_processes)
+            msgs = yield from self.client.wait_callback(
+                tag=INIT_CALLBACK_TAG, n=len(expected),
+                timeout=CALLBACK_TIMEOUT,
+            )
+            heard = {m.process_name for m in msgs}
+            for name in expected:
+                if name not in heard:
+                    self._quarantine(name, "no init callback (lost or daemon dead)")
+                    self._direct_release(name)
+        else:
+            yield from self.client.wait_callback(
+                tag=INIT_CALLBACK_TAG, n=len(self.process_names)
+            )
         tf.end("init-callbacks", self._now())
 
         # Install everything queued while the ranks are captive in the spin.
@@ -407,13 +540,26 @@ class DynProf:
 
         # Release the spins; the second barrier re-synchronises the ranks.
         tf.begin("release", self._now())
-        for name in self.process_names:
-            yield from self.client.set_variable(name, SPIN_VARIABLE, 1)
+        for name in self.active_processes:
+            if self.degraded:
+                try:
+                    yield from self.client.set_variable(name, SPIN_VARIABLE, 1)
+                except DpclError as exc:
+                    self._quarantine(name, f"spin release failed: {exc}")
+                    self._direct_release(name)
+            else:
+                yield from self.client.set_variable(name, SPIN_VARIABLE, 1)
         tf.end("release", self._now())
 
         self.create_and_instrument_time = self._now()
         self.state = "running"
-        self._emit("application started")
+        if self.quarantined:
+            self._emit(
+                f"application started (degraded: {len(self.quarantined)}/"
+                f"{len(self.process_names)} ranks quarantined)"
+            )
+        else:
+            self._emit("application started")
 
     def _cmd_wait(self, command: Command) -> Generator:
         yield self.env.timeout(command.seconds)
@@ -421,7 +567,13 @@ class DynProf:
 
     def _cmd_quit(self, command: Command) -> Generator:
         # Detach; all active instrumentation stays in the application.
-        yield from self.client.detach()
+        if self.degraded:
+            try:
+                yield from self.client.detach()
+            except DpclError as exc:
+                self._emit(f"warning: detach incomplete: {exc}")
+        else:
+            yield from self.client.detach()
         self.state = "detached"
         self._emit("detached")
 
@@ -432,7 +584,7 @@ class DynProf:
         probes = []
         registrations = []
         matched_any = set()
-        for pname in self.process_names:
+        for pname in self.active_processes:
             image = self.client.image_of(pname)
             for glob in names:
                 for fi in image.find_functions(glob):
@@ -452,11 +604,30 @@ class DynProf:
         if not probes:
             return
         t_install0 = self._now()
-        handles = yield from self.client.install_probes(
-            probes, register_names=registrations
-        )
-        for (pname, fname, _where, _snippet), handle in zip(probes, handles):
-            self._handles.setdefault((pname, fname), []).append(handle)
+        if self.degraded:
+            results, failures = yield from self.client.install_probes_tolerant(
+                probes, register_names=registrations
+            )
+            handles = [h for h in results if h is not None]
+            for (pname, fname, _where, _snippet), handle in zip(probes, results):
+                if handle is not None:
+                    self._handles.setdefault((pname, fname), []).append(handle)
+            if failures:
+                self._emit(
+                    f"warning: {len(failures)} probe install(s) failed: "
+                    + "; ".join(
+                        f"{f['process']}:{f['function']} ({f['reason']})"
+                        for f in failures[:4]
+                    )
+                )
+                if self._obs.enabled:
+                    self._obs.inc("dynprof.probe_install_failures", len(failures))
+        else:
+            handles = yield from self.client.install_probes(
+                probes, register_names=registrations
+            )
+            for (pname, fname, _where, _snippet), handle in zip(probes, handles):
+                self._handles.setdefault((pname, fname), []).append(handle)
         if self._obs.enabled:
             self._obs.inc("dynprof.probe_inserts", len(handles))
         if self._trace.enabled:
@@ -495,7 +666,7 @@ class DynProf:
         tf = self.timefile
         t_patch0 = self._now()
         tf.begin("suspend", t_patch0)
-        yield from self.client.suspend(blocking=True)
+        yield from self.client.suspend(self._controllable(), blocking=True)
         tf.end("suspend", self._now())
         try:
             if install:
@@ -523,7 +694,7 @@ class DynProf:
                 tf.end("remove", self._now())
         finally:
             tf.begin("resume", self._now())
-            yield from self.client.resume()
+            yield from self.client.resume(self._controllable())
             tf.end("resume", self._now())
             if self._obs.enabled:
                 self._obs.inc("dynprof.suspend_patches")

@@ -46,6 +46,7 @@ from typing import List, Optional, Union
 from ..apps import ALL_APPS, get_app
 from ..cluster import MACHINES, get_machine
 from ..dynprof import POLICIES
+from ..faults import CANNED_PLANS, FaultPlan, canned_plan
 from ..runner import SweepError, SweepPoint, SweepRunner, default_cache_dir
 from .fig7 import FIG7_PANELS, fig7_shape_report, run_fig7
 from .fig8 import IA32_PROC_COUNTS, IBM_PROC_COUNTS, run_fig8a, run_fig8b, run_fig8c
@@ -79,13 +80,19 @@ def run_experiment(
     seed: int,
     quick: bool,
     runner: Optional[SweepRunner] = None,
+    faults: Optional[FaultPlan] = None,
 ) -> List[ExperimentOutput]:
     """Run one experiment id; returns text blocks / FigureResults.
 
     ``runner`` (optional) carries the worker pool, result cache and
     telemetry every figure grid executes through; None runs serially
     without caching, exactly like a direct ``run_fig*`` call.
+    ``faults`` (optional) arms a deterministic fault-injection plan on
+    the experiments that run full simulations (fig7, fig9, tracevol);
+    an empty plan is equivalent to None and changes nothing.
     """
+    if faults is not None and faults.is_empty:
+        faults = None
     out: List[ExperimentOutput] = []
     if name == "table1":
         out.append(render_table1())
@@ -97,12 +104,13 @@ def run_experiment(
         app = get_app(FIG7_PANELS[name])
         cpus = _quick_counts(app.cpu_counts, 16) if quick else None
         fig = run_fig7(app, cpu_counts=cpus, scale=scale, seed=seed,
-                       runner=runner)
+                       runner=runner, faults=faults)
         out.append(fig)
         out.append("\n".join(fig7_shape_report(fig, app)) + "\n")
     elif name == "fig7":
         for panel in ("fig7a", "fig7b", "fig7c", "fig7d"):
-            out.extend(run_experiment(panel, scale, seed, quick, runner))
+            out.extend(run_experiment(panel, scale, seed, quick, runner,
+                                      faults))
     elif name == "fig8a":
         counts = _quick_counts(IBM_PROC_COUNTS, 32) if quick else IBM_PROC_COUNTS
         out.append(run_fig8a(counts, seed=seed, runner=runner))
@@ -117,15 +125,18 @@ def run_experiment(
             out.extend(run_experiment(panel, scale, seed, quick, runner))
     elif name == "fig9":
         cpus = (1, 2, 4, 8) if quick else None
-        out.append(run_fig9(cpu_counts=cpus, seed=seed, runner=runner))
+        out.append(run_fig9(cpu_counts=cpus, seed=seed, runner=runner,
+                            faults=faults))
     elif name == "tracevol":
         n = 4 if quick else 16
         out.append(render_tracevol(
-            run_tracevol(n_cpus=n, scale=scale, seed=seed, runner=runner)
+            run_tracevol(n_cpus=n, scale=scale, seed=seed, runner=runner,
+                         faults=faults)
         ))
     elif name == "all":
         for exp in ("table1", "table2", "table3", "fig7", "fig8", "fig9", "tracevol"):
-            out.extend(run_experiment(exp, scale, seed, quick, runner))
+            out.extend(run_experiment(exp, scale, seed, quick, runner,
+                                      faults))
     else:
         raise SystemExit(f"unknown experiment {name!r}; known: {EXPERIMENTS}")
     return out
@@ -348,6 +359,36 @@ def sweep_main(argv: List[str]) -> int:
     return 0 if all(r.ok for r in ordered) else 1
 
 
+# -- fault plans ----------------------------------------------------------------
+
+
+def _add_faults_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--faults", metavar="FILE", default=None,
+                        help="run under the fault-injection plan in FILE "
+                             "(JSON, see docs/faults.md); an empty plan "
+                             "changes nothing")
+    parser.add_argument("--plan", metavar="NAME", default=None,
+                        choices=sorted(CANNED_PLANS),
+                        help="run under a canned fault plan "
+                             f"(one of {','.join(sorted(CANNED_PLANS))})")
+
+
+def _load_fault_plan(
+    args: argparse.Namespace, parser: argparse.ArgumentParser
+) -> Optional[FaultPlan]:
+    """The plan ``--faults``/``--plan`` selected, or None."""
+    if args.faults and args.plan:
+        parser.error("--faults and --plan are mutually exclusive")
+    if args.plan:
+        return canned_plan(args.plan)
+    if args.faults:
+        try:
+            return FaultPlan.from_file(args.faults)
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            parser.error(f"--faults {args.faults}: {exc}")
+    return None
+
+
 # -- the `trace` subcommand -----------------------------------------------------
 
 
@@ -439,6 +480,129 @@ def trace_main(argv: List[str]) -> int:
     return 0
 
 
+# -- the `chaos` subcommand -----------------------------------------------------
+
+
+def chaos_main(argv: List[str]) -> int:
+    """``repro-experiments chaos`` — run one simulated point under a
+    fault-injection plan and report the recovery outcome (quarantined
+    ranks, coverage, injected-fault counts)."""
+    from ..runner.worker import execute_point
+
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments chaos",
+        description="Run one (app, policy/instrument, CPUs) point under "
+                    "a deterministic fault-injection plan; the tool "
+                    "degrades gracefully (quarantine + partial coverage) "
+                    "instead of failing.",
+    )
+    parser.add_argument("--kind", choices=("instrument", "policy"),
+                        default="instrument",
+                        help="point kind: 'instrument' = a Figure 9 cell "
+                             "(default), 'policy' = a Figure 7 cell")
+    parser.add_argument("--app", default="sweep3d",
+                        help=f"application (one of {','.join(ALL_APPS)}; "
+                             "default sweep3d)")
+    parser.add_argument("--policy", default="Dynamic",
+                        help="instrumentation policy for --kind policy "
+                             "(default Dynamic)")
+    parser.add_argument("--cpus", type=int, default=32,
+                        help="process count (default 32: spans several "
+                             "nodes, so node-level faults bite)")
+    parser.add_argument("--scale", type=float, default=0.02,
+                        help="workload scale factor (default 0.02)")
+    parser.add_argument("--seed", type=int, default=0, help="simulation seed")
+    parser.add_argument("--machine", choices=sorted(MACHINES),
+                        default="power3-sp",
+                        help="machine preset (default power3-sp)")
+    parser.add_argument("--check-determinism", action="store_true",
+                        help="run the point twice and fail unless both "
+                             "payloads are bit-identical")
+    parser.add_argument("--json", action="store_true",
+                        help="print the payload as a JSON document")
+    _add_faults_args(parser)
+    args = parser.parse_args(argv)
+
+    try:
+        get_app(args.app)
+    except KeyError as exc:
+        parser.error(str(exc))
+    if args.policy not in POLICIES:
+        parser.error(f"unknown policy {args.policy!r}; known: "
+                     f"{','.join(POLICIES)}")
+    plan = _load_fault_plan(args, parser)
+    if plan is None:
+        plan = canned_plan("daemon-crash-attach")
+
+    machine = get_machine(args.machine)
+    if args.kind == "policy":
+        point = SweepPoint.policy_cell(
+            args.app, args.policy, args.cpus,
+            scale=args.scale, machine=machine, seed=args.seed, faults=plan,
+        )
+    else:
+        point = SweepPoint.instrument(
+            args.app, args.cpus,
+            scale=args.scale, machine=machine, seed=args.seed, faults=plan,
+        )
+
+    # No cache: the whole purpose is to exercise the recovery paths,
+    # and --check-determinism needs two real executions.
+    runs = 2 if args.check_determinism else 1
+    envelopes = [execute_point(point) for _ in range(runs)]
+    for envelope in envelopes:
+        if envelope["status"] != "ok":
+            print(f"repro-experiments chaos: {point.label}: "
+                  f"{envelope.get('error', envelope['status'])}",
+                  file=sys.stderr)
+            return 1
+
+    import json as _json
+
+    payloads = [e["payload"] for e in envelopes]
+    if args.check_determinism:
+        blobs = [_json.dumps(p, sort_keys=True) for p in payloads]
+        if blobs[0] != blobs[1]:
+            print("chaos: NON-DETERMINISTIC: two runs of "
+                  f"{point.label} under the same plan and seed differ",
+                  file=sys.stderr)
+            return 1
+
+    payload = payloads[0]
+    report = payload.get("faults") or {}
+    if args.json:
+        doc = {
+            "point": point.canonical(),
+            "plan": plan.to_dict(),
+            "payload": payload,
+        }
+        if args.check_determinism:
+            doc["deterministic"] = True
+        print(_json.dumps(doc, indent=2))
+        return 0
+
+    print(f"chaos: {point.label} under plan "
+          f"({len(plan)} spec(s){': ' + plan.note if plan.note else ''})")
+    if "time" in payload:
+        print(f"  time: {payload['time']:.4f} s (simulated)")
+    quarantined = report.get("quarantined_ranks", [])
+    coverage = report.get("coverage")
+    print(f"  quarantined ranks: {quarantined if quarantined else 'none'}")
+    if coverage is not None:
+        print(f"  coverage: {coverage:.0%} of ranks instrumented")
+    injected = report.get("injected") or {}
+    if injected:
+        pairs = ", ".join(f"{k}={v}" for k, v in sorted(injected.items()))
+        print(f"  injected: {pairs}")
+    else:
+        print("  injected: none (plan never fired at this scale)")
+    if report.get("client_retries"):
+        print(f"  dpcl client retries: {report['client_retries']}")
+    if args.check_determinism:
+        print("  determinism: OK (two runs bit-identical)")
+    return 0
+
+
 # -- entry point ----------------------------------------------------------------
 
 
@@ -448,6 +612,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return sweep_main(argv[1:])
     if argv and argv[0] == "trace":
         return trace_main(argv[1:])
+    if argv and argv[0] == "chaos":
+        return chaos_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
@@ -470,9 +636,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="print results as one JSON document on stdout "
                              "instead of rendered text")
     _add_runner_args(parser)
+    _add_faults_args(parser)
     args = parser.parse_args(argv)
     if args.jobs < 0:
         parser.error("--jobs must be >= 0")
+    fault_plan = _load_fault_plan(args, parser)
 
     runner = _build_runner(args)
     json_items: List[dict] = []
@@ -480,7 +648,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     for name in args.experiments:
         try:
             items = run_experiment(name, args.scale, args.seed, args.quick,
-                                   runner=runner)
+                                   runner=runner, faults=fault_plan)
         except SweepError as exc:
             print(f"repro-experiments: {name}: {exc}", file=sys.stderr)
             return 1

@@ -13,6 +13,7 @@ from typing import Dict, List, Optional, Sequence
 from ..apps import AppSpec, get_app
 from ..cluster import MachineSpec, POWER3_SP
 from ..dynprof import POLICIES, PolicyResult
+from ..faults import FaultPlan
 from ..runner import SweepPoint, SweepRunner
 from .results import FigureResult
 
@@ -36,6 +37,7 @@ def run_fig7(
     collect: Optional[Dict[str, List[PolicyResult]]] = None,
     runner: Optional[SweepRunner] = None,
     jobs: int = 1,
+    faults: Optional[FaultPlan] = None,
 ) -> FigureResult:
     """Reproduce one Figure 7 panel.
 
@@ -71,7 +73,8 @@ def run_fig7(
                 if p != "Subset" or app.has_subset_policy]
     points = [
         SweepPoint.policy_cell(app.name, policy, n,
-                               scale=scale, machine=machine, seed=seed)
+                               scale=scale, machine=machine, seed=seed,
+                               faults=faults)
         for policy in policies
         for n in cpus
     ]

@@ -14,35 +14,41 @@ Umt98's curve is flat: all OpenMP threads share a single image
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from ..apps import ALL_APPS, AppSpec, get_app
 from ..cluster import Cluster, MachineSpec, POWER3_SP
 from ..dynprof import DynProf
+from ..faults import FaultInjector, FaultPlan
 from ..jobs import MpiJob, OmpJob
 from ..runner import SweepPoint, SweepRunner
 from ..simt import Environment
 from .results import FigureResult
 
-__all__ = ["measure_create_and_instrument", "run_fig9"]
+__all__ = [
+    "measure_create_and_instrument",
+    "measure_create_and_instrument_detail",
+    "run_fig9",
+]
 
 
-def measure_create_and_instrument(
+def measure_create_and_instrument_detail(
     app: AppSpec | str,
     n_cpus: int,
     machine: MachineSpec = POWER3_SP,
     scale: float = 0.02,
     seed: int = 0,
-) -> float:
-    """One Figure 9 data point: dynprof's create+instrument wall time.
+    faults: Optional[FaultPlan] = None,
+) -> Dict[str, Any]:
+    """One Figure 9 data point, with diagnostics.
 
-    The application's own runtime is irrelevant here, so a tiny
-    ``scale`` keeps the measurement cheap; the instrumentation time
-    itself does not depend on the workload scale.
+    Returns ``{"time": ..., "faults": ...}`` where ``faults`` is the
+    tool's fault report when an injection plan is armed, else None.
     """
     app = get_app(app) if isinstance(app, str) else app
     env = Environment()
     cluster = Cluster(env, machine, seed=seed)
+    injector = FaultInjector.install(faults, cluster)
     exe = app.build_exe(False)
     program = app.make_program(n_cpus, scale)
     if app.kind == "mpi":
@@ -59,7 +65,27 @@ def measure_create_and_instrument(
     # Let the job drain so the environment ends cleanly.
     env.run(until=job.completion())
     env.run()
-    return tool.create_and_instrument_time
+    report = tool.fault_report() if injector is not None else None
+    return {"time": tool.create_and_instrument_time, "faults": report}
+
+
+def measure_create_and_instrument(
+    app: AppSpec | str,
+    n_cpus: int,
+    machine: MachineSpec = POWER3_SP,
+    scale: float = 0.02,
+    seed: int = 0,
+    faults: Optional[FaultPlan] = None,
+) -> float:
+    """One Figure 9 data point: dynprof's create+instrument wall time.
+
+    The application's own runtime is irrelevant here, so a tiny
+    ``scale`` keeps the measurement cheap; the instrumentation time
+    itself does not depend on the workload scale.
+    """
+    return measure_create_and_instrument_detail(
+        app, n_cpus, machine=machine, scale=scale, seed=seed, faults=faults,
+    )["time"]
 
 
 def _fig9_cell_runs(app: AppSpec, n: int) -> bool:
@@ -77,6 +103,7 @@ def run_fig9(
     apps: Optional[Sequence[str]] = None,
     runner: Optional[SweepRunner] = None,
     jobs: int = 1,
+    faults: Optional[FaultPlan] = None,
 ) -> FigureResult:
     """Reproduce Figure 9: one series per application."""
     app_names = list(apps) if apps is not None else list(ALL_APPS)
@@ -94,7 +121,8 @@ def run_fig9(
         x,
     )
     points = [
-        SweepPoint.instrument(get_app(name).name, n, machine=machine, seed=seed)
+        SweepPoint.instrument(get_app(name).name, n, machine=machine,
+                              seed=seed, faults=faults)
         for name in app_names
         for n in x
         if _fig9_cell_runs(get_app(name), n)

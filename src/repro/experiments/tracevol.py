@@ -20,6 +20,7 @@ from typing import Any, Dict, List, Optional
 from ..apps import ALL_APPS, get_app
 from ..cluster import MachineSpec, POWER3_SP
 from ..dynprof import POLICIES, PolicyResult
+from ..faults import FaultPlan
 from ..runner import SweepPoint, SweepRunner
 
 __all__ = [
@@ -54,6 +55,7 @@ def run_tracevol(
     seed: int = 0,
     runner: Optional[SweepRunner] = None,
     jobs: int = 1,
+    faults: Optional[FaultPlan] = None,
 ) -> List[TraceVolumeRow]:
     """Measure trace volume per (app, policy) at one CPU count.
 
@@ -71,7 +73,7 @@ def run_tracevol(
                 continue
             cells.append(SweepPoint.policy_cell(
                 app.name, policy, cpus,
-                scale=scale, machine=machine, seed=seed,
+                scale=scale, machine=machine, seed=seed, faults=faults,
             ))
     if runner is None:
         runner = SweepRunner(jobs=jobs)

@@ -130,6 +130,9 @@ class MpiJob:
             if self.start_suspended:
                 task.request_suspend()
             self.procs.append(task.start(self._rank_main(pctx), name=task.name))
+        faults = getattr(self.cluster, "faults", None)
+        if faults is not None:
+            faults.apply_to_job(self)
         return self.procs
 
     def _rank_main(self, pctx: ProgramContext) -> Generator:
@@ -256,6 +259,9 @@ class OmpJob:
         if self.start_suspended:
             self.task.request_suspend()
         self.proc = self.task.start(self._main(), name=self.task.name)
+        faults = getattr(self.cluster, "faults", None)
+        if faults is not None:
+            faults.apply_to_job(self)
         return self.proc
 
     def _main(self) -> Generator:

@@ -14,6 +14,7 @@ the failure semantics.
 
 from .cache import ResultCache, default_cache_dir, point_key
 from .point import SweepPoint
+from .retry import RetryPolicy
 from .runner import PointResult, SweepError, SweepRunner, default_jobs
 from .telemetry import SweepTelemetry
 from .worker import execute_point
@@ -23,6 +24,7 @@ __all__ = [
     "SweepRunner",
     "PointResult",
     "SweepError",
+    "RetryPolicy",
     "ResultCache",
     "SweepTelemetry",
     "point_key",

@@ -38,6 +38,23 @@ POINT_KINDS = ("policy", "confsync", "instrument", "selftest")
 _PARAM_TYPES = (bool, int, float, str, type(None))
 
 
+def _faults_params(faults: Any) -> Tuple[Tuple[str, Any], ...]:
+    """Canonicalize an optional fault plan into point params.
+
+    Accepts a :class:`~repro.faults.FaultPlan` or its canonical JSON
+    string.  Fault-free points carry no ``faults`` param at all, so
+    their cache keys are unchanged from pre-faults versions of the
+    point grid.
+    """
+    if faults is None:
+        return ()
+    if not isinstance(faults, str):
+        if faults.is_empty:
+            return ()
+        faults = faults.canonical()
+    return (("faults", faults),)
+
+
 @dataclass(frozen=True)
 class SweepPoint:
     """One cell of an experiment grid, described but not yet run."""
@@ -77,10 +94,12 @@ class SweepPoint:
         scale: float = 1.0,
         machine: MachineSpec = POWER3_SP,
         seed: int = 0,
+        faults: Any = None,
     ) -> "SweepPoint":
         """One (app, policy, CPU-count) cell of Figure 7 / trace volume."""
         return cls("policy", procs, app=app, policy=policy,
-                   machine=machine, seed=seed, scale=scale)
+                   machine=machine, seed=seed, scale=scale,
+                   params=_faults_params(faults))
 
     @classmethod
     def confsync(
@@ -106,10 +125,12 @@ class SweepPoint:
         scale: float = 0.02,
         machine: MachineSpec = POWER3_SP,
         seed: int = 0,
+        faults: Any = None,
     ) -> "SweepPoint":
         """One Figure 9 cell: dynprof's create+instrument wall time."""
         return cls("instrument", procs, app=app,
-                   machine=machine, seed=seed, scale=scale)
+                   machine=machine, seed=seed, scale=scale,
+                   params=_faults_params(faults))
 
     @classmethod
     def selftest(cls, mode: str = "echo", **params: Any) -> "SweepPoint":

@@ -29,6 +29,7 @@ they are computed once).
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
@@ -36,9 +37,11 @@ from pathlib import Path
 from typing import IO, Any, Dict, List, Optional, Sequence, Union
 
 from ..obs import MetricsRegistry
+from ..obs import get as _obs_get
 from ..obs.trace import DEFAULT_CAPACITY as DEFAULT_TRACE_CAPACITY
 from .cache import ResultCache, point_key
 from .point import SweepPoint
+from .retry import RetryPolicy
 from .telemetry import SweepTelemetry
 from .worker import execute_point
 
@@ -110,6 +113,11 @@ class SweepRunner:
     retries:
         How many times a point is re-submitted after its worker
         process crashes (the paper-prescribed default is one retry).
+        Shorthand for ``retry=RetryPolicy(max_attempts=retries + 1)``.
+    retry:
+        A full :class:`RetryPolicy` (attempt budget, exponential
+        backoff, deterministic per-point jitter); overrides
+        ``retries`` when given.
     telemetry:
         A :class:`SweepTelemetry`, or a text stream to emit JSON lines
         to, or None for counters-only telemetry.
@@ -136,6 +144,7 @@ class SweepRunner:
         cache: Union[ResultCache, str, Path, None] = None,
         timeout: Optional[float] = None,
         retries: int = 1,
+        retry: Optional[RetryPolicy] = None,
         telemetry: Union[SweepTelemetry, IO[str], None] = None,
         collect_obs: bool = False,
         collect_trace: bool = False,
@@ -149,7 +158,9 @@ class SweepRunner:
             cache = ResultCache(cache)
         self.cache = cache
         self.timeout = timeout
-        self.retries = max(0, retries)
+        if retry is None:
+            retry = RetryPolicy(max_attempts=max(0, retries) + 1)
+        self.retry = retry
         if telemetry is None or isinstance(telemetry, SweepTelemetry):
             self.telemetry = telemetry or SweepTelemetry()
         else:
@@ -158,11 +169,17 @@ class SweepRunner:
         self.collect_trace = collect_trace
         self.trace_detail = trace_detail
         self.trace_capacity = trace_capacity
+        self._obs = _obs_get()
         #: Simulator metrics merged across every computed point.
         self.obs = MetricsRegistry()
         #: Per-point trace documents (label -> trace dict), computed
         #: points only — cached points ran no simulation to trace.
         self.traces: Dict[str, Dict[str, Any]] = {}
+
+    @property
+    def retries(self) -> int:
+        """Crash-retry budget per point (back-compat view of the policy)."""
+        return self.retry.max_attempts - 1
 
     # -- public API -----------------------------------------------------------
 
@@ -262,8 +279,9 @@ class SweepRunner:
                     self._finish(p, envelope, attempts=pending[p],
                                  results=results)
                     del pending[p]
+            wave_delay = 0.0
             for p in crashed:
-                if pending[p] > self.retries:
+                if not self.retry.should_retry(pending[p]):
                     envelope = {
                         "status": "crashed",
                         "error": (
@@ -276,7 +294,19 @@ class SweepRunner:
                                  results=results)
                     del pending[p]
                 else:
+                    delay = self.retry.delay(pending[p], point_key(p))
+                    wave_delay = max(wave_delay, delay)
+                    self.telemetry.retry_scheduled(
+                        label=p.label, key=point_key(p),
+                        attempt=pending[p] + 1, delay=delay,
+                    )
+                    if self._obs.enabled:
+                        self._obs.inc("runner.retries")
                     pending[p] += 1
+            if pending and wave_delay > 0.0:
+                # One sleep per crash wave: the whole wave re-runs on a
+                # fresh pool, so per-point sleeps would only serialize.
+                time.sleep(wave_delay)
 
     # -- bookkeeping ----------------------------------------------------------
 
@@ -298,10 +328,21 @@ class SweepRunner:
             error=envelope.get("error"),
         )
         if result.ok and self.cache is not None:
-            self.cache.put(
-                point_key(point), point, result.payload,
-                meta={"wall_time": result.wall_time},
-            )
+            try:
+                self.cache.put(
+                    point_key(point), point, result.payload,
+                    meta={"wall_time": result.wall_time},
+                )
+            except OSError as exc:
+                # A full/read-only/vanished cache directory must not
+                # fail the sweep: the result is kept in memory and the
+                # entry simply stays uncached.
+                self.telemetry.warning(
+                    "cache write failed; continuing uncached",
+                    label=point.label, error=f"{type(exc).__name__}: {exc}",
+                )
+                if self._obs.enabled:
+                    self._obs.inc("runner.cache_write_errors")
         results[point] = result
         obs_snapshot = envelope.get("obs")
         if obs_snapshot:

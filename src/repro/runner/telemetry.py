@@ -40,6 +40,8 @@ class SweepTelemetry:
         self.done = 0
         self.cached = 0
         self.failed = 0
+        self.retries = 0
+        self.warnings = 0
         self._t0: Optional[float] = None
 
     # -- emission -------------------------------------------------------------
@@ -92,6 +94,24 @@ class SweepTelemetry:
             fields["obs"] = obs
         self.emit("point", **fields)
 
+    def retry_scheduled(
+        self, label: str, key: str, attempt: int, delay: float
+    ) -> None:
+        """A crashed point was granted another attempt."""
+        self.retries += 1
+        self.emit(
+            "retry",
+            label=label,
+            key=key[:12],
+            attempt=attempt,
+            delay=round(delay, 6),
+        )
+
+    def warning(self, message: str, **fields: Any) -> None:
+        """A non-fatal degradation (e.g. a failed cache write)."""
+        self.warnings += 1
+        self.emit("warning", message=message, **fields)
+
     def sweep_end(self) -> Dict[str, Any]:
         wall = time.perf_counter() - self._t0 if self._t0 is not None else 0.0
         return self.emit(
@@ -117,5 +137,7 @@ class SweepTelemetry:
             "ok": self.done - self.failed,
             "cached": self.cached,
             "failed": self.failed,
+            "retries": self.retries,
+            "warnings": self.warnings,
             "hit_rate": self.hit_rate,
         }

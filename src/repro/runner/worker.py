@@ -42,6 +42,16 @@ class PointTimeout(Exception):
     """Raised inside a worker when a point exceeds its time budget."""
 
 
+def _point_faults(point: SweepPoint):
+    """Parse a point's optional ``faults`` param into a FaultPlan."""
+    doc = point.param("faults")
+    if doc is None:
+        return None
+    from ..faults import FaultPlan
+
+    return FaultPlan.from_json(doc)
+
+
 def _dispatch(point: SweepPoint) -> Dict[str, Any]:
     """Run the simulation a point describes; returns the raw payload."""
     if point.kind == "policy":
@@ -51,6 +61,7 @@ def _dispatch(point: SweepPoint) -> Dict[str, Any]:
         result = run_policy(
             get_app(point.app), point.policy, point.procs,
             scale=point.scale, machine=point.machine, seed=point.seed,
+            faults=_point_faults(point),
         )
         return asdict(result)
     if point.kind == "confsync":
@@ -65,6 +76,14 @@ def _dispatch(point: SweepPoint) -> Dict[str, Any]:
         )
         return {"time": elapsed}
     if point.kind == "instrument":
+        plan = _point_faults(point)
+        if plan is not None:
+            from ..experiments.fig9 import measure_create_and_instrument_detail
+
+            return measure_create_and_instrument_detail(
+                point.app, point.procs, point.machine,
+                scale=point.scale, seed=point.seed, faults=plan,
+            )
         from ..experiments.fig9 import measure_create_and_instrument
 
         elapsed = measure_create_and_instrument(

@@ -66,6 +66,20 @@ class Channel:
             return self._items.popleft()
         return None
 
+    def cancel(self, event: Event) -> bool:
+        """Withdraw a pending getter (e.g. a timed-out request wait).
+
+        Returns True if ``event`` was still queued and has been removed;
+        False if it was never ours or has already been served — in that
+        case the caller must consume ``event.value`` itself or the item
+        is lost.
+        """
+        try:
+            self._getters.remove(event)
+            return True
+        except ValueError:
+            return False
+
     def peek_all(self) -> List[Any]:
         """Snapshot of queued items (for inspection/testing)."""
         return list(self._items)

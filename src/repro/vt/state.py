@@ -118,6 +118,12 @@ class VTProcessState:
         self.n_cotracers = 1
         #: Total time this process spent flushing trace buffers.
         self.flush_time_total = 0.0
+        #: Optional fault hook (set by a FaultInjector): called with the
+        #: writing task before each raw-record batch is accounted; True
+        #: means the buffer write fails and the batch is lost.
+        self.write_fault: Optional[Callable] = None
+        #: Raw records lost to injected trace-buffer write failures.
+        self.write_drops = 0
         #: Optional hook run by rank 0 inside VT_confsync — the
         #: configuration_break breakpoint a monitoring tool can grab.
         self.break_hook: Optional[Callable] = None
@@ -207,6 +213,15 @@ class VTProcessState:
         per processor growth estimate): concurrent writers divide the
         trace filesystem's bandwidth, so flush time scales with the
         number of tracing processes."""
+        if self.write_fault is not None and self.write_fault(task):
+            # The buffer write failed: the batch never reaches the trace
+            # stream (and never contributes flush traffic).  The in-
+            # memory profile (stats) is unaffected — only trace volume
+            # is lost, which is how VT treats unwritable buffer pages.
+            self.write_drops += k
+            if self._obs.enabled:
+                self._obs.inc("vt.write_drops", k)
+            return
         self._unflushed_records += k
         if self._obs.enabled:
             self._obs.inc("vt.records", k)

@@ -1,0 +1,76 @@
+"""The ``chaos`` subcommand and the ``--faults`` figure plumbing."""
+
+import json
+
+import pytest
+
+from repro.experiments.cli import chaos_main, main
+
+ARGS = ["--cpus", "16", "--scale", "0.02"]
+
+
+def test_chaos_defaults_to_canned_crash_plan(capsys):
+    assert chaos_main(list(ARGS)) == 0
+    out = capsys.readouterr().out
+    assert "daemon-crash-attach" in out
+    assert "quarantined ranks: [8, 9, 10, 11, 12, 13, 14, 15]" in out
+    assert "coverage: 50%" in out
+    assert "injected:" in out
+
+
+def test_chaos_check_determinism(capsys):
+    assert chaos_main(list(ARGS) + ["--check-determinism"]) == 0
+    out = capsys.readouterr().out
+    assert "determinism: OK" in out
+
+
+def test_chaos_json_document(capsys):
+    assert chaos_main(list(ARGS) + ["--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert set(doc) == {"point", "plan", "payload"}
+    report = doc["payload"]["faults"]
+    assert report["quarantined_ranks"] == list(range(8, 16))
+    assert doc["plan"]["faults"]  # the canned plan rode along verbatim
+
+
+def test_chaos_named_plan_and_policy_kind(capsys):
+    rc = chaos_main(list(ARGS) + ["--kind", "policy", "--plan", "flaky-network",
+                                  "--json"])
+    assert rc == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["point"]["kind"] == "policy"
+
+
+def test_chaos_rejects_faults_plus_plan(tmp_path, capsys):
+    path = tmp_path / "p.json"
+    path.write_text('{"faults": []}')
+    with pytest.raises(SystemExit) as exc:
+        chaos_main(["--faults", str(path), "--plan", "flaky-network"])
+    assert exc.value.code == 2
+    assert "mutually exclusive" in capsys.readouterr().err
+
+
+def test_chaos_rejects_bad_plan_file(tmp_path, capsys):
+    path = tmp_path / "bad.json"
+    path.write_text('{"faults": [{"kind": "nope"}]}')
+    with pytest.raises(SystemExit) as exc:
+        chaos_main(["--faults", str(path)])
+    assert exc.value.code == 2
+    assert "--faults" in capsys.readouterr().err
+
+
+def test_main_dispatches_chaos(capsys):
+    assert main(["chaos"] + ARGS) == 0
+    assert "quarantined ranks" in capsys.readouterr().out
+
+
+def test_empty_fault_plan_is_bit_identical_on_figures(tmp_path, capsys):
+    """The acceptance bar: an empty plan must not perturb a single byte
+    of figure output (no RNG draws, no cache-key change)."""
+    path = tmp_path / "empty.json"
+    path.write_text('{"faults": []}')
+    assert main(["fig9", "--quick", "--no-cache", "--json"]) == 0
+    baseline = capsys.readouterr().out
+    assert main(["fig9", "--quick", "--no-cache", "--json",
+                 "--faults", str(path)]) == 0
+    assert capsys.readouterr().out == baseline

@@ -1,0 +1,91 @@
+"""FaultPlan / FaultSpec: validation, round-trips, canonical identity."""
+
+import json
+
+import pytest
+
+from repro.faults import CANNED_PLANS, FAULT_KINDS, FaultPlan, FaultSpec, canned_plan
+
+
+def test_spec_roundtrip_every_kind():
+    specs = [
+        FaultSpec("daemon_crash", node=1, start=2.0, end=5.0),
+        FaultSpec("message_loss", probability=0.05),
+        FaultSpec("message_delay", delay=0.01, start=1.0),
+        FaultSpec("probe_install_fail", node=2, probability=0.5),
+        FaultSpec("rank_stall", rank=3, start=1.0, end=2.0),
+        FaultSpec("rank_slowdown", rank=0, factor=2.0),
+        FaultSpec("vt_write_fail", probability=0.1),
+    ]
+    assert {s.kind for s in specs} == set(FAULT_KINDS)
+    for spec in specs:
+        assert FaultSpec.from_dict(spec.to_dict()) == spec
+
+
+def test_plan_roundtrip_and_canonical_stability():
+    plan = FaultPlan.of(
+        FaultSpec("daemon_crash", node=1),
+        FaultSpec("message_loss", probability=0.01),
+        note="whatever",
+    )
+    again = FaultPlan.from_json(plan.canonical())
+    assert again.specs == plan.specs
+    # The note is provenance, not identity.
+    assert again.canonical() == plan.canonical()
+    # Canonical is compact, key-sorted JSON — byte-stable.
+    assert plan.canonical() == json.dumps(
+        plan.to_dict(), sort_keys=True, separators=(",", ":")
+    )
+
+
+def test_plan_from_file(tmp_path):
+    path = tmp_path / "plan.json"
+    path.write_text('{"faults": [{"kind": "message_loss", "probability": 0.2}]}')
+    plan = FaultPlan.from_file(str(path))
+    assert len(plan) == 1
+    assert plan.specs[0].kind == "message_loss"
+    assert plan.specs[0].probability == 0.2
+
+
+def test_empty_plan():
+    assert FaultPlan.empty().is_empty
+    assert len(FaultPlan.empty()) == 0
+    assert FaultPlan.from_dict({"faults": []}).is_empty
+
+
+@pytest.mark.parametrize("bad", [
+    dict(kind="nope"),
+    dict(kind="message_loss", probability=1.5),
+    dict(kind="message_loss", probability=-0.1),
+    dict(kind="daemon_crash"),                          # needs a node
+    dict(kind="rank_stall", rank=1),                    # needs an end
+    dict(kind="rank_stall", start=0.0, end=1.0),        # needs a rank
+    dict(kind="rank_slowdown", factor=0.0),
+    dict(kind="message_delay", delay=-1.0),
+    dict(kind="daemon_crash", node=0, start=5.0, end=1.0),
+    dict(kind="message_loss", typo_field=1),            # unknown field
+])
+def test_spec_validation_rejects(bad):
+    with pytest.raises(ValueError):
+        FaultSpec.from_dict(bad)
+
+
+def test_active_at_window():
+    spec = FaultSpec("message_loss", start=1.0, end=3.0, probability=0.5)
+    assert not spec.active_at(0.5)
+    assert spec.active_at(1.0)
+    assert spec.active_at(2.999)
+    assert not spec.active_at(3.0)  # end is exclusive
+    forever = FaultSpec("daemon_crash", node=0, start=2.0)
+    assert forever.active_at(1e9)
+    assert not forever.active_at(1.0)
+
+
+def test_canned_plans_parse_and_are_nonempty():
+    for name in CANNED_PLANS:
+        plan = canned_plan(name)
+        assert not plan.is_empty
+        # Each canned plan survives the wire format it rides in points.
+        assert FaultPlan.from_json(plan.canonical()).canonical() == plan.canonical()
+    with pytest.raises(KeyError, match="unknown canned fault plan"):
+        canned_plan("definitely-not-a-plan")

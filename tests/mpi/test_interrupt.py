@@ -1,0 +1,150 @@
+"""Interrupting a rank mid-rendezvous leaves the transport consistent.
+
+A rank parked in the rendezvous handshake (large send, receiver never
+posts) is exactly where the suspend/interrupt machinery meets the
+transport.  Interrupting it must not corrupt mailbox state: the RTS
+envelope stays queued as unexpected, the send counters reflect exactly
+one rendezvous send, and the wire-byte accounting matches what was
+actually committed to the wire.
+"""
+
+import pytest
+
+from repro import obs
+from repro.cluster import Cluster, POWER3_SP
+from repro.jobs import MpiJob
+from repro.program import ExecutableImage
+from repro.simt import Environment, Interrupt
+
+SPEC = POWER3_SP.with_overrides(net_jitter=0.0, os_noise=0.0)
+
+#: Well past the eager threshold so the send takes the rendezvous path.
+BIG = 10 * SPEC.eager_limit
+
+
+def _world(send_big):
+    """Two ranks: 0 blocks in a rendezvous send (when ``send_big``),
+    1 never posts the recv.
+
+    Neither rank calls MPI_Finalize (its barrier would deadlock once
+    rank 0 bails out).  A watcher interrupts rank 0 at t=0.5.  With
+    ``send_big=False`` this is the fault-free baseline used to subtract
+    MPI_Init's own wire traffic out of the counters.
+    """
+    env = Environment()
+    cluster = Cluster(env, SPEC, seed=5)
+
+    def program(pctx):
+        yield from pctx.call("MPI_Init")
+        if pctx.mpi.rank == 0:
+            if not send_big:
+                return ("baseline", None)
+            try:
+                yield from pctx.mpi.comm.send("bulk", 1, tag=7, size=BIG)
+            except Interrupt as exc:
+                return ("interrupted", exc.cause)
+            return ("sent", None)
+        yield from pctx.compute(2.0)
+        return ("idle", None)
+
+    job = MpiJob(env, cluster, ExecutableImage("intr"), 2, program)
+    job.start()
+
+    if send_big:
+        def watcher():
+            yield env.timeout(0.5)
+            job.procs[0].interrupt("suspend-request")
+
+        env.process(watcher())
+    env.run(until=job.completion())
+    return job
+
+
+def _interrupted_world():
+    return _world(send_big=True)
+
+
+def test_interrupt_mid_rendezvous_keeps_transport_consistent():
+    with obs.collecting() as base_reg:
+        base = _world(send_big=False)
+    with obs.collecting() as reg:
+        job = _interrupted_world()
+    assert job.procs[0].value == ("interrupted", "suspend-request")
+    assert job.procs[1].value == ("idle", None)
+
+    transport = job.world.transport
+    baseline = base.world.transport
+    # Exactly one rendezvous on top of whatever MPI_Init did.
+    assert transport.rendezvous_sends == 1
+    assert baseline.rendezvous_sends == 0
+    assert transport.eager_sends == baseline.eager_sends
+    # The RTS envelope is still parked in rank 1's unexpected queue —
+    # the interrupt neither consumed nor leaked it.
+    assert transport.mailboxes[1].unexpected_count == \
+        baseline.mailboxes[1].unexpected_count + 1
+    assert transport.mailboxes[0].unexpected_count == \
+        baseline.mailboxes[0].unexpected_count
+
+    counters = reg.snapshot()["counters"]
+    base_counters = base_reg.snapshot()["counters"]
+    assert counters["mpi.rendezvous_sends"] == 1
+    # Only the 64-byte RTS plus the committed payload were accounted on
+    # top of init traffic; an inconsistent abort would double-count or
+    # drop the payload bytes.
+    assert counters["mpi.wire_bytes"] - base_counters["mpi.wire_bytes"] == 64 + BIG
+    # Nothing ever matched the interrupted send.
+    assert counters.get("mpi.matched_posted", 0) == \
+        base_counters.get("mpi.matched_posted", 0)
+    assert counters.get("mpi.matched_unexpected", 0) == \
+        base_counters.get("mpi.matched_unexpected", 0)
+
+
+def test_interrupted_send_is_reproducible():
+    def value():
+        return _interrupted_world().procs[0].value
+
+    assert value() == value()
+
+
+def test_stale_rts_from_interrupted_send_is_drainable():
+    """The abandoned handshake does not wedge the transport: the stale
+    RTS envelope of an interrupted send still matches a later receive
+    (its orphaned handshake fires with no waiter, harmlessly), and a
+    retried send completes normally behind it."""
+    env = Environment()
+    cluster = Cluster(env, SPEC, seed=5)
+    log = []
+
+    def program(pctx):
+        yield from pctx.call("MPI_Init")
+        if pctx.mpi.rank == 0:
+            try:
+                yield from pctx.mpi.comm.send("stale", 1, tag=7, size=BIG)
+            except Interrupt:
+                log.append("interrupted")
+                # Retry after the interrupt; the receiver drains the
+                # stale RTS first, then matches this one.
+                yield from pctx.mpi.comm.send("fresh", 1, tag=7, size=BIG)
+            yield from pctx.call("MPI_Finalize")
+            return "sent"
+        yield from pctx.compute(2.0)
+        first = yield from pctx.mpi.comm.recv(source=0, tag=7)
+        second = yield from pctx.mpi.comm.recv(source=0, tag=7)
+        yield from pctx.call("MPI_Finalize")
+        return (first, second)
+
+    job = MpiJob(env, cluster, ExecutableImage("intr2"), 2, program)
+    job.start()
+
+    def watcher():
+        yield env.timeout(0.5)
+        job.procs[0].interrupt("poke")
+
+    env.process(watcher())
+    env.run(until=job.completion())
+    assert log == ["interrupted"]
+    assert job.procs[0].value == "sent"
+    # Non-overtaking: the stale payload arrives before the fresh one.
+    assert job.procs[1].value == ("stale", "fresh")
+    assert job.world.transport.rendezvous_sends == 2
+    assert job.world.transport.mailboxes[1].unexpected_count == 0

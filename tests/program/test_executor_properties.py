@@ -1,7 +1,7 @@
 """Property tests for the executor: random call trees with random probe
 configurations always produce well-formed traces."""
 
-from hypothesis import given, settings
+from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.analysis import ProfileView, Timeline
@@ -61,7 +61,8 @@ def build(static_instrumented, dynamic_probes):
 
 
 @given(prog=programs, static=st.booleans(), probes=probe_config)
-@settings(max_examples=40, deadline=None)
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.filter_too_much])
 def test_any_probe_mix_yields_wellformed_trace(prog, static, probes):
     dynamic = [fn for fn, dyn in probes if dyn]
     env, task, pctx, vt = build(static, dynamic)
@@ -107,7 +108,8 @@ def test_any_probe_mix_yields_wellformed_trace(prog, static, probes):
 
 
 @given(prog=programs, probes=probe_config, seed=st.integers(0, 99))
-@settings(max_examples=20, deadline=None)
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.filter_too_much])
 def test_executor_deterministic(prog, probes, seed):
     dynamic = [fn for fn, dyn in probes if dyn]
 

@@ -25,7 +25,7 @@ SUBPACKAGES = [
 
 
 def test_version():
-    assert repro.__version__ == "1.0.0"
+    assert repro.__version__ == "1.1.0"
 
 
 def test_root_all_resolves():
