@@ -1,0 +1,124 @@
+"""Record committed performance baselines for the engine and Figure 7.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/record_baseline.py
+
+Writes two small JSON documents next to this script:
+
+``BENCH_engine.json``
+    Raw simulation throughput — ``simt.events`` processed per second
+    for one representative Figure 7 cell, measured under a live
+    :mod:`repro.obs` registry (so the number includes the enabled-
+    observation overhead a profiled run actually pays).
+
+``BENCH_fig7.json``
+    End-to-end sweep cost — wall time of the quick Figure 7a grid cold
+    (every point simulated) and fully cached (every point served from a
+    :class:`ResultCache`), plus the resulting speedup.  The cached
+    re-run is the number the service layer exists to protect: a warm
+    regeneration should cost milliseconds.
+
+The baselines are committed so a future change that slows the engine or
+breaks cache hits shows up as a diff against a recorded machine, not as
+a vague recollection.  They are *descriptive*, not enforced in CI —
+wall time on shared runners is too noisy to gate on.
+"""
+
+import json
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro import __version__, obs
+from repro.apps import SWEEP3D, get_app
+from repro.dynprof import run_policy
+from repro.experiments import run_fig7
+from repro.runner import SweepRunner
+
+HERE = Path(__file__).resolve().parent
+
+ENGINE_CELL = {"app": "sweep3d", "policy": "Full", "procs": 16,
+               "scale": 0.1, "seed": 7}
+FIG7 = {"cpu_counts": (1, 4, 16), "scale": 0.05, "seed": 7}
+
+
+def _context():
+    return {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "repro_version": __version__,
+        "recorded_at": time.strftime("%Y-%m-%d", time.gmtime()),
+        "command": "PYTHONPATH=src python benchmarks/record_baseline.py",
+    }
+
+
+def record_engine():
+    app = get_app(ENGINE_CELL["app"])
+    # One untimed warm-up run so import costs and allocator warm-up
+    # don't land in the measured number.
+    run_policy(app, ENGINE_CELL["policy"], ENGINE_CELL["procs"],
+               scale=ENGINE_CELL["scale"], seed=ENGINE_CELL["seed"])
+    with obs.collecting() as registry:
+        t0 = time.perf_counter()
+        run_policy(app, ENGINE_CELL["policy"], ENGINE_CELL["procs"],
+                   scale=ENGINE_CELL["scale"], seed=ENGINE_CELL["seed"])
+        wall = time.perf_counter() - t0
+    events = registry.counters.get("simt.events", 0)
+    doc = {
+        "benchmark": "engine-event-throughput",
+        "cell": dict(ENGINE_CELL),
+        "events": events,
+        "wall_time_s": round(wall, 4),
+        "events_per_sec": round(events / wall) if wall > 0 else None,
+        **_context(),
+    }
+    (HERE / "BENCH_engine.json").write_text(
+        json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+    return doc
+
+
+def record_fig7():
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as cache_dir:
+        t0 = time.perf_counter()
+        cold_runner = SweepRunner(jobs=1, cache=cache_dir)
+        run_fig7(SWEEP3D, runner=cold_runner, **FIG7)
+        cold = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        warm_runner = SweepRunner(jobs=1, cache=cache_dir)
+        run_fig7(SWEEP3D, runner=warm_runner, **FIG7)
+        cached = time.perf_counter() - t0
+        hit_rate = warm_runner.telemetry.summary()["hit_rate"]
+
+    doc = {
+        "benchmark": "fig7-wall-time",
+        "grid": {"app": "sweep3d", "cpu_counts": list(FIG7["cpu_counts"]),
+                 "scale": FIG7["scale"], "seed": FIG7["seed"]},
+        "points": warm_runner.telemetry.summary()["total"],
+        "cold_wall_time_s": round(cold, 4),
+        "cached_wall_time_s": round(cached, 4),
+        "cached_speedup": round(cold / cached, 1) if cached > 0 else None,
+        "cached_hit_rate": hit_rate,
+        **_context(),
+    }
+    (HERE / "BENCH_fig7.json").write_text(
+        json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+    return doc
+
+
+def main():
+    engine = record_engine()
+    print(f"engine: {engine['events']} events in {engine['wall_time_s']}s "
+          f"-> {engine['events_per_sec']} events/sec")
+    fig7 = record_fig7()
+    print(f"fig7:   cold {fig7['cold_wall_time_s']}s, "
+          f"cached {fig7['cached_wall_time_s']}s "
+          f"(x{fig7['cached_speedup']}, hit rate {fig7['cached_hit_rate']})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

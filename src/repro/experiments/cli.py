@@ -35,6 +35,18 @@ The ``trace`` subcommand runs a single (app, policy, CPUs) point with
 tracing on and prints the critical-path / perturbation summary —
 optionally exporting Chrome-trace JSON (``--chrome``, loadable in
 Perfetto) and an SVG timeline (``--svg``).
+
+Where points run and where results live are pluggable through the
+service layer (:mod:`repro.svc`, see ``docs/service.md``): ``--backend
+serial | process[:N] | socket:HOST:PORT`` selects the executor (the
+socket form turns the sweep into a server that ``repro-experiments
+worker --connect HOST:PORT`` processes join and pull points from), and
+``--cache-backend dir:PATH | memory | sqlite:PATH | http://HOST:PORT``
+selects the result store (the HTTP form talks to a standalone
+``repro-experiments serve-cache`` daemon with read-through,
+write-behind and graceful degradation).  Every combination produces
+byte-identical figures; the defaults are exactly the classic local
+pool + directory cache.
 """
 
 from __future__ import annotations
@@ -176,14 +188,30 @@ def _add_runner_args(parser: argparse.ArgumentParser) -> None:
                         help="per-track trace ring-buffer bound in events "
                              "(default 65536; evictions are counted, not "
                              "silent)")
+    parser.add_argument("--backend", metavar="SPEC", default=None,
+                        help="executor backend: serial, process[:N], or "
+                             "socket:HOST:PORT (remote `worker` processes "
+                             "pull points); default derives from --jobs")
+    parser.add_argument("--cache-backend", metavar="SPEC", default=None,
+                        help="cache backend: dir:PATH, memory, sqlite:PATH, "
+                             "or http://HOST:PORT (a `serve-cache` daemon); "
+                             "overrides --cache-dir")
 
 
 def _build_runner(args: argparse.Namespace) -> SweepRunner:
-    cache = None if args.no_cache else (args.cache_dir or default_cache_dir())
+    if args.no_cache:
+        cache = None
+    elif args.cache_backend:
+        from ..svc import make_cache_backend
+
+        cache = make_cache_backend(args.cache_backend,
+                                   fallback_dir=args.cache_dir)
+    else:
+        cache = args.cache_dir or default_cache_dir()
     kwargs = {}
     if args.trace_capacity is not None:
         kwargs["trace_capacity"] = args.trace_capacity
-    return SweepRunner(
+    runner = SweepRunner(
         jobs=args.jobs,
         cache=cache,
         timeout=args.timeout,
@@ -191,8 +219,40 @@ def _build_runner(args: argparse.Namespace) -> SweepRunner:
         collect_obs=bool(args.obs),
         collect_trace=bool(args.trace),
         trace_detail=args.trace_detail,
+        executor=args.backend,
         **kwargs,
     )
+    if args.backend:
+        # Resolve eagerly: a bad spec should fail before any work runs,
+        # and a socket backend should bind now so `worker --connect`
+        # processes can join before the first grid is dispatched.
+        try:
+            backend = runner._resolve_executor()
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+        if hasattr(backend, "address"):
+            print(f"sweep server listening on {backend.address}; join with: "
+                  f"repro-experiments worker --connect {backend.address}",
+                  file=sys.stderr)
+    return runner
+
+
+def _close_runner(runner: SweepRunner) -> None:
+    """Release service-layer resources the CLI created for this run
+    (socket listeners, sqlite handles, write-behind upload queues)."""
+    from ..svc.backends import CacheBackend
+    from ..svc.executors import ExecutorBackend
+
+    if isinstance(runner.executor, ExecutorBackend):
+        runner.executor.close()
+    # isinstance against the runtime-checkable protocol: True for the
+    # svc backends (which hold sockets/handles/queues), False for the
+    # plain ResultCache and for None.
+    if isinstance(runner.cache, CacheBackend):
+        try:
+            runner.cache.close()
+        except OSError:
+            pass
 
 
 def _write_obs_document(
@@ -313,7 +373,10 @@ def sweep_main(argv: List[str]) -> int:
         return 2
 
     runner = _build_runner(args)
-    results = runner.run(points)
+    try:
+        results = runner.run(points)
+    finally:
+        _close_runner(runner)
     ordered = [results[p] for p in points]
 
     obs_path = _write_obs_document(args, runner, quiet=args.json)
@@ -603,6 +666,26 @@ def chaos_main(argv: List[str]) -> int:
     return 0
 
 
+def _render_items(
+    items: List[ExperimentOutput],
+    args: argparse.Namespace,
+    json_items: List[dict],
+    csv_chunks: List[str],
+) -> None:
+    for item in items:
+        if isinstance(item, FigureResult):
+            csv_chunks.append(item.to_csv())
+            if args.json:
+                json_items.append({"type": "figure", **item.to_dict()})
+            else:
+                print(item.render())
+        else:
+            if args.json:
+                json_items.append({"type": "text", "text": item})
+            else:
+                print(item)
+
+
 # -- entry point ----------------------------------------------------------------
 
 
@@ -614,6 +697,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         return trace_main(argv[1:])
     if argv and argv[0] == "chaos":
         return chaos_main(argv[1:])
+    if argv and argv[0] in ("serve-cache", "serve"):
+        from ..svc.httpcache import serve_cache_main
+
+        return serve_cache_main(argv[1:])
+    if argv and argv[0] == "worker":
+        from ..svc.worker import worker_main
+
+        return worker_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
@@ -645,25 +736,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     runner = _build_runner(args)
     json_items: List[dict] = []
     csv_chunks: List[str] = []
-    for name in args.experiments:
-        try:
-            items = run_experiment(name, args.scale, args.seed, args.quick,
-                                   runner=runner, faults=fault_plan)
-        except SweepError as exc:
-            print(f"repro-experiments: {name}: {exc}", file=sys.stderr)
-            return 1
-        for item in items:
-            if isinstance(item, FigureResult):
-                csv_chunks.append(item.to_csv())
-                if args.json:
-                    json_items.append({"type": "figure", **item.to_dict()})
-                else:
-                    print(item.render())
-            else:
-                if args.json:
-                    json_items.append({"type": "text", "text": item})
-                else:
-                    print(item)
+    try:
+        for name in args.experiments:
+            try:
+                items = run_experiment(name, args.scale, args.seed, args.quick,
+                                       runner=runner, faults=fault_plan)
+            except SweepError as exc:
+                print(f"repro-experiments: {name}: {exc}", file=sys.stderr)
+                return 1
+            _render_items(items, args, json_items, csv_chunks)
+    finally:
+        _close_runner(runner)
     obs_path = _write_obs_document(args, runner, quiet=args.json)
     trace_paths = _write_trace_documents(args, runner, quiet=args.json)
     if args.json:

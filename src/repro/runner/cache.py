@@ -24,6 +24,7 @@ import tempfile
 from pathlib import Path
 from typing import Any, Dict, Iterator, Optional, Union
 
+from ..obs import get as _obs_get
 from .point import SweepPoint
 
 __all__ = ["point_key", "ResultCache", "default_cache_dir"]
@@ -67,18 +68,31 @@ def point_key(point: SweepPoint, version: Optional[str] = None) -> str:
 class ResultCache:
     """Directory of content-addressed sweep results."""
 
+    #: Backend name reported by repr/telemetry (subclasses override).
+    backend_name = "directory"
+
     def __init__(self, root: Union[str, Path]) -> None:
         self.root = Path(root)
+        #: Corrupt entries silently turned into misses so far — surfaced
+        #: via the ``runner.cache_corrupt_discards`` obs counter and the
+        #: sweep telemetry summary instead of vanishing without a trace.
+        self.corrupt_discards = 0
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
+
+    def _count_corrupt(self) -> None:
+        self.corrupt_discards += 1
+        registry = _obs_get()
+        if registry.enabled:
+            registry.inc("runner.cache_corrupt_discards")
 
     def get(self, key: str) -> Optional[Dict[str, Any]]:
         """The stored entry for ``key``, or None on miss *or* corruption.
 
         A corrupted entry (unreadable, invalid JSON, wrong shape, or a
         key that does not match its filename) is deleted so the slot is
-        clean for the recomputed result.
+        clean for the recomputed result; each discard is counted.
         """
         path = self._path(key)
         try:
@@ -88,6 +102,7 @@ class ResultCache:
             return None
         except (OSError, ValueError, UnicodeDecodeError):
             self._discard(path)
+            self._count_corrupt()
             return None
         if (
             not isinstance(entry, dict)
@@ -95,6 +110,7 @@ class ResultCache:
             or "payload" not in entry
         ):
             self._discard(path)
+            self._count_corrupt()
             return None
         return entry
 
@@ -170,4 +186,6 @@ class ResultCache:
             pass
 
     def __repr__(self) -> str:
-        return f"<ResultCache {self.root} ({len(self)} entries)>"
+        # O(1) on purpose: logging a runner must never walk the cache
+        # directory (``len(self)`` scans every entry).
+        return f"<{type(self).__name__} {self.backend_name}:{self.root}>"

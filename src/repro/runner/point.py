@@ -177,3 +177,25 @@ class SweepPoint:
             "params": dict(self.params),
             "machine": asdict(self.machine),
         }
+
+    @classmethod
+    def from_canonical(cls, doc: Dict[str, Any]) -> "SweepPoint":
+        """Rebuild a point from :meth:`canonical` output.
+
+        The round trip is exact — same cache key, same label — which is
+        what lets socket workers on other hosts receive points as JSON
+        and still write into the shared content-addressed cache.
+        """
+        machine = doc["machine"]
+        if not isinstance(machine, MachineSpec):
+            machine = MachineSpec(**machine)
+        return cls(
+            kind=doc["kind"],
+            procs=doc["procs"],
+            app=doc.get("app"),
+            policy=doc.get("policy"),
+            machine=machine,
+            seed=doc.get("seed", 0),
+            scale=doc.get("scale", 1.0),
+            params=tuple(dict(doc.get("params") or {}).items()),
+        )

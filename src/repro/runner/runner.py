@@ -6,11 +6,13 @@ one :class:`PointResult` per distinct point:
 1. **Cache probe** — every point is first looked up in the
    content-addressed :class:`~repro.runner.cache.ResultCache` (if one
    is configured); hits never touch a worker.
-2. **Fan-out** — misses run on a ``ProcessPoolExecutor`` with
-   ``jobs`` workers (``jobs=1`` runs in-process, no pool, no pickling).
-   The simulations are deterministic, so the parallel path returns
-   bit-identical floats to the serial one — that equivalence is the
-   acceptance test of the whole subsystem.
+2. **Fan-out** — misses run on an executor backend
+   (:mod:`repro.svc.executors`): in-process serial for ``jobs=1``, a
+   ``ProcessPoolExecutor`` with ``jobs`` workers otherwise, or — via
+   ``executor=`` — socket workers on other hosts.  The simulations are
+   deterministic, so every path returns bit-identical floats to the
+   serial one — that equivalence is the acceptance test of the whole
+   subsystem.
 3. **Failure containment** — a point that raises or exceeds the
    per-point ``timeout`` becomes a failed :class:`PointResult`; a point
    whose *worker process dies* (``BrokenProcessPool``) is retried once
@@ -29,9 +31,6 @@ they are computed once).
 from __future__ import annotations
 
 import os
-import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from pathlib import Path
 from typing import IO, Any, Dict, List, Optional, Sequence, Union
@@ -43,7 +42,6 @@ from .cache import ResultCache, point_key
 from .point import SweepPoint
 from .retry import RetryPolicy
 from .telemetry import SweepTelemetry
-from .worker import execute_point
 
 __all__ = ["SweepRunner", "PointResult", "SweepError", "default_jobs"]
 
@@ -136,6 +134,13 @@ class SweepRunner:
     trace_detail / trace_capacity:
         Passed through to the per-point tracer (``"fine"``/``"coarse"``
         and the per-track ring-buffer bound).
+    executor:
+        A :class:`repro.svc.executors.ExecutorBackend` or a spec string
+        (``"serial"``, ``"process[:N]"``, ``"socket:HOST:PORT"``).
+        None (the default) derives the historical serial/process-pool
+        behaviour from ``jobs``.  The ``cache`` parameter likewise
+        accepts any :class:`repro.svc.backends.CacheBackend` — memory,
+        sqlite, http — in place of a directory path.
     """
 
     def __init__(
@@ -150,13 +155,17 @@ class SweepRunner:
         collect_trace: bool = False,
         trace_detail: str = "fine",
         trace_capacity: int = DEFAULT_TRACE_CAPACITY,
+        executor: Any = None,
     ) -> None:
         if jobs < 0:
             raise ValueError("jobs must be >= 0")
         self.jobs = jobs if jobs > 0 else default_jobs()
-        if cache is not None and not isinstance(cache, ResultCache):
+        if cache is not None and isinstance(cache, (str, Path)):
             cache = ResultCache(cache)
+        # Anything else duck-types as a repro.svc CacheBackend
+        # (get/put); the directory ResultCache is simply one of them.
         self.cache = cache
+        self.executor = executor
         self.timeout = timeout
         if retry is None:
             retry = RetryPolicy(max_attempts=max(0, retries) + 1)
@@ -187,6 +196,7 @@ class SweepRunner:
         """Execute a grid; returns one result per *distinct* point."""
         unique = list(dict.fromkeys(points))
         results: Dict[SweepPoint, PointResult] = {}
+        corrupt_base = getattr(self.cache, "corrupt_discards", 0)
 
         cached: List[PointResult] = []
         if self.cache is not None:
@@ -206,10 +216,10 @@ class SweepRunner:
 
         missing = [p for p in unique if p not in results]
         if missing:
-            if self.jobs == 1:
-                self._run_serial(missing, results)
-            else:
-                self._run_parallel(missing, results)
+            self._execute(missing, results)
+        self.telemetry.corrupt_discards = (
+            getattr(self.cache, "corrupt_discards", 0) - corrupt_base
+        )
         self.telemetry.sweep_end()
         return results
 
@@ -228,85 +238,58 @@ class SweepRunner:
 
     # -- execution paths ------------------------------------------------------
 
-    def _run_serial(
-        self,
-        points: List[SweepPoint],
-        results: Dict[SweepPoint, PointResult],
-    ) -> None:
-        for p in points:
-            envelope = execute_point(p, timeout=self.timeout,
-                                     collect_obs=self.collect_obs,
-                                     collect_trace=self.collect_trace,
-                                     trace_detail=self.trace_detail,
-                                     trace_capacity=self.trace_capacity)
-            self._finish(p, envelope, attempts=1, results=results)
+    def _exec_spec(self):
+        """The :class:`repro.svc.executors.ExecSpec` for this sweep."""
+        from ..svc.executors import ExecSpec
 
-    def _run_parallel(
+        return ExecSpec(
+            timeout=self.timeout,
+            collect_obs=self.collect_obs,
+            collect_trace=self.collect_trace,
+            trace_detail=self.trace_detail,
+            trace_capacity=self.trace_capacity,
+            retry=self.retry,
+            jobs=self.jobs,
+            on_retry=self._on_retry,
+        )
+
+    def _resolve_executor(self):
+        """The executor backend this sweep runs on.
+
+        ``executor=None`` reproduces the historical behaviour exactly:
+        ``jobs == 1`` runs in-process and serial, more jobs fan out
+        over a process pool with wave-retry crash semantics.  A spec
+        string or a :class:`~repro.svc.executors.ExecutorBackend`
+        overrides that.  (Imported lazily — :mod:`repro.svc` builds on
+        this module.)
+        """
+        from ..svc.executors import (
+            ProcessPoolBackend,
+            SerialBackend,
+            make_executor_backend,
+        )
+
+        if self.executor is None:
+            return SerialBackend() if self.jobs == 1 else ProcessPoolBackend(self.jobs)
+        backend = make_executor_backend(self.executor, jobs=self.jobs)
+        self.executor = backend  # keep the instance (socket listeners etc.)
+        return backend
+
+    def _on_retry(self, label: str, key: str, attempt: int, delay: float) -> None:
+        self.telemetry.retry_scheduled(
+            label=label, key=key, attempt=attempt, delay=delay
+        )
+        if self._obs.enabled:
+            self._obs.inc("runner.retries")
+
+    def _execute(
         self,
         points: List[SweepPoint],
         results: Dict[SweepPoint, PointResult],
     ) -> None:
-        # attempt number each pending point is on; a BrokenProcessPool
-        # wave increments every point it swept away (the culprit is not
-        # identifiable from the parent) and the whole wave is re-run on
-        # a fresh pool until the retry budget is spent.
-        pending: Dict[SweepPoint, int] = {p: 1 for p in points}
-        while pending:
-            batch = list(pending)
-            crashed: List[SweepPoint] = []
-            with ProcessPoolExecutor(
-                max_workers=min(self.jobs, len(batch))
-            ) as pool:
-                futures = {
-                    pool.submit(execute_point, p, self.timeout,
-                                self.collect_obs, self.collect_trace,
-                                self.trace_detail, self.trace_capacity): p
-                    for p in batch
-                }
-                for fut in as_completed(futures):
-                    p = futures[fut]
-                    try:
-                        envelope = fut.result()
-                    except BrokenProcessPool:
-                        crashed.append(p)
-                        continue
-                    except Exception as exc:  # transport-level failure
-                        envelope = {
-                            "status": "error",
-                            "error": f"{type(exc).__name__}: {exc}",
-                            "wall_time": 0.0,
-                        }
-                    self._finish(p, envelope, attempts=pending[p],
-                                 results=results)
-                    del pending[p]
-            wave_delay = 0.0
-            for p in crashed:
-                if not self.retry.should_retry(pending[p]):
-                    envelope = {
-                        "status": "crashed",
-                        "error": (
-                            f"{p.label}: worker process died "
-                            f"({pending[p]} attempt(s))"
-                        ),
-                        "wall_time": 0.0,
-                    }
-                    self._finish(p, envelope, attempts=pending[p],
-                                 results=results)
-                    del pending[p]
-                else:
-                    delay = self.retry.delay(pending[p], point_key(p))
-                    wave_delay = max(wave_delay, delay)
-                    self.telemetry.retry_scheduled(
-                        label=p.label, key=point_key(p),
-                        attempt=pending[p] + 1, delay=delay,
-                    )
-                    if self._obs.enabled:
-                        self._obs.inc("runner.retries")
-                    pending[p] += 1
-            if pending and wave_delay > 0.0:
-                # One sleep per crash wave: the whole wave re-runs on a
-                # fresh pool, so per-point sleeps would only serialize.
-                time.sleep(wave_delay)
+        backend = self._resolve_executor()
+        for point, envelope, attempts in backend.run(points, self._exec_spec()):
+            self._finish(point, envelope, attempts=attempts, results=results)
 
     # -- bookkeeping ----------------------------------------------------------
 

@@ -42,6 +42,9 @@ class SweepTelemetry:
         self.failed = 0
         self.retries = 0
         self.warnings = 0
+        #: Corrupt cache entries discarded during this sweep (set by the
+        #: runner from the cache backend's counter before ``sweep_end``).
+        self.corrupt_discards = 0
         self._t0: Optional[float] = None
 
     # -- emission -------------------------------------------------------------
@@ -121,6 +124,7 @@ class SweepTelemetry:
             cached=self.cached,
             failed=self.failed,
             hit_rate=self.hit_rate,
+            corrupt_discards=self.corrupt_discards,
             wall_time=round(wall, 6),
         )
 
@@ -139,5 +143,6 @@ class SweepTelemetry:
             "failed": self.failed,
             "retries": self.retries,
             "warnings": self.warnings,
+            "corrupt_discards": self.corrupt_discards,
             "hit_rate": self.hit_rate,
         }

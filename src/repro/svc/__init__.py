@@ -1,0 +1,66 @@
+"""repro.svc — sweep-as-a-service.
+
+The service layer generalizes the sweep runner's two hard-wired
+choices (one local process pool, one directory cache) into pluggable
+protocols and adds an async scheduler on top:
+
+* :mod:`repro.svc.backends` — the :class:`CacheBackend` protocol with
+  directory (sharded + LRU-bounded), memory, SQLite (WAL) and HTTP
+  (read-through / write-behind) implementations;
+* :mod:`repro.svc.executors` — the :class:`ExecutorBackend` protocol:
+  in-process serial, process pool, and a socket server that feeds
+  ``repro worker`` processes on any host;
+* :mod:`repro.svc.scheduler` — :class:`SweepScheduler`, an asyncio
+  multiplexer for many concurrent named submissions (tenants) with
+  fair round-robin dispatch, cross-tenant cache sharing, in-flight
+  dedup, per-submission deadlines and per-tenant ``svc.*`` telemetry;
+* :mod:`repro.svc.httpcache` — the ``repro serve-cache`` daemon;
+* :mod:`repro.svc.worker` — the ``repro worker`` pull client;
+* :mod:`repro.svc.wire` — length-prefixed JSON framing shared by all
+  of the above.
+
+Every backend produces bit-identical figure output (the envelopes come
+from the same :func:`~repro.runner.worker.execute_point` everywhere);
+CLI-level equivalence tests pin that, the same discipline obs, trace
+and faults established.  See ``docs/service.md``.
+"""
+
+from .backends import (
+    CacheBackend,
+    DirectoryBackend,
+    HttpBackend,
+    MemoryBackend,
+    SqliteBackend,
+    make_cache_backend,
+)
+from .executors import (
+    ExecSpec,
+    ExecutorBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    SocketWorkerBackend,
+    make_executor_backend,
+)
+from .httpcache import CacheDaemon, serve_cache
+from .scheduler import Submission, SweepScheduler
+from .worker import run_worker
+
+__all__ = [
+    "CacheBackend",
+    "DirectoryBackend",
+    "MemoryBackend",
+    "SqliteBackend",
+    "HttpBackend",
+    "make_cache_backend",
+    "ExecSpec",
+    "ExecutorBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "SocketWorkerBackend",
+    "make_executor_backend",
+    "SweepScheduler",
+    "Submission",
+    "CacheDaemon",
+    "serve_cache",
+    "run_worker",
+]

@@ -1,0 +1,478 @@
+"""Pluggable executor backends — where sweep points actually run.
+
+The runner historically had two hard-wired paths (in-process serial,
+``ProcessPoolExecutor`` fan-out).  This module lifts them behind an
+:class:`ExecutorBackend` interface and adds a third: a socket server
+that hands points to ``repro worker`` processes — on this machine or
+any other — over the length-prefixed JSON protocol in
+:mod:`repro.svc.wire`.
+
+Every backend speaks the same two calls:
+
+* :meth:`ExecutorBackend.run` — execute a batch, yielding
+  ``(point, envelope, attempts)`` as points finish (any order).
+* :meth:`ExecutorBackend.run_point` — execute one point (what the
+  asyncio :class:`~repro.svc.scheduler.SweepScheduler` dispatches).
+
+Envelopes are exactly what :func:`repro.runner.worker.execute_point`
+returns, whichever process produced them, so figure outputs are
+bit-identical across backends — the subsystem's acceptance test.
+
+Failure semantics mirror the historical runner: an exception inside a
+point is deterministic and becomes an ``error`` envelope; a *worker
+death* (``BrokenProcessPool``, or a socket worker's connection
+dropping mid-point) is retried per the :class:`RetryPolicy` before
+surfacing as ``crashed``.
+
+CLI spec strings (``--backend``)::
+
+    serial                       in-process, one point at a time
+    process[:N]                  process pool with N workers (0 = CPUs)
+    socket:HOST:PORT             listen on HOST:PORT for `repro worker`s
+"""
+
+from __future__ import annotations
+
+import queue
+import socket
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from ..obs.trace import DEFAULT_CAPACITY as DEFAULT_TRACE_CAPACITY
+from ..runner.cache import point_key
+from ..runner.point import SweepPoint
+from ..runner.retry import RetryPolicy
+from ..runner.worker import execute_point
+from . import wire
+
+__all__ = [
+    "ExecSpec",
+    "ExecutorBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "SocketWorkerBackend",
+    "make_executor_backend",
+]
+
+#: (point, envelope, attempts) — one finished point.
+PointOutcome = Tuple[SweepPoint, Dict[str, Any], int]
+
+
+@dataclass
+class ExecSpec:
+    """Everything a backend needs to run points on the runner's behalf."""
+
+    timeout: Optional[float] = None
+    collect_obs: bool = False
+    collect_trace: bool = False
+    trace_detail: str = "fine"
+    trace_capacity: int = DEFAULT_TRACE_CAPACITY
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    jobs: int = 1
+    #: Called as (label, key, next_attempt, delay) when a crashed point
+    #: is granted another attempt — feeds retry telemetry.
+    on_retry: Optional[Callable[[str, str, int, float], None]] = None
+
+    def worker_args(self) -> Tuple[Any, ...]:
+        """Positional args of :func:`execute_point` after the point."""
+        return (self.timeout, self.collect_obs, self.collect_trace,
+                self.trace_detail, self.trace_capacity)
+
+    def to_wire(self) -> Dict[str, Any]:
+        """The JSON-safe subset a socket worker needs."""
+        return {
+            "timeout": self.timeout,
+            "collect_obs": self.collect_obs,
+            "collect_trace": self.collect_trace,
+            "trace_detail": self.trace_detail,
+            "trace_capacity": self.trace_capacity,
+        }
+
+    def notify_retry(self, point: SweepPoint, attempts: int) -> float:
+        """Report a granted retry; returns the backoff delay to apply."""
+        key = point_key(point)
+        delay = self.retry.delay(attempts, key)
+        if self.on_retry is not None:
+            self.on_retry(point.label, key, attempts + 1, delay)
+        return delay
+
+
+def _crashed_envelope(point: SweepPoint, attempts: int) -> Dict[str, Any]:
+    return {
+        "status": "crashed",
+        "error": f"{point.label}: worker process died ({attempts} attempt(s))",
+        "wall_time": 0.0,
+    }
+
+
+class ExecutorBackend:
+    """Base class: subclasses implement :meth:`run_point`, and may
+    override :meth:`run` for smarter batching."""
+
+    backend_name = "?"
+
+    def concurrency(self, spec: ExecSpec) -> int:
+        """How many points this backend can usefully run at once."""
+        return 1
+
+    def run_point(self, point: SweepPoint, spec: ExecSpec) -> Tuple[Dict[str, Any], int]:
+        raise NotImplementedError
+
+    def run(
+        self, points: Sequence[SweepPoint], spec: ExecSpec
+    ) -> Iterator[PointOutcome]:
+        for point in points:
+            envelope, attempts = self.run_point(point, spec)
+            yield (point, envelope, attempts)
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "ExecutorBackend":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.backend_name}>"
+
+
+class SerialBackend(ExecutorBackend):
+    """In-process, strictly sequential — zero overhead, full signal
+    support (SIGALRM timeouts work because points run on the main
+    thread), and the baseline every other backend must match."""
+
+    backend_name = "serial"
+
+    def run_point(self, point: SweepPoint, spec: ExecSpec) -> Tuple[Dict[str, Any], int]:
+        return execute_point(point, *spec.worker_args()), 1
+
+
+class ProcessPoolBackend(ExecutorBackend):
+    """The classic ``ProcessPoolExecutor`` fan-out.
+
+    Batch runs keep the historical *wave* semantics: a
+    ``BrokenProcessPool`` poisons every in-flight point (the culprit is
+    not identifiable from the parent), so the whole wave re-runs on a
+    fresh pool until each point's retry budget is spent.  Single-point
+    runs (the scheduler path) keep a persistent pool and retry just
+    that point.
+    """
+
+    backend_name = "process"
+
+    def __init__(self, jobs: int = 0) -> None:
+        from ..runner.runner import default_jobs
+
+        self.jobs = jobs if jobs > 0 else default_jobs()
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_lock = threading.Lock()
+
+    def concurrency(self, spec: ExecSpec) -> int:
+        return self.jobs
+
+    # -- batch ----------------------------------------------------------------
+
+    def run(
+        self, points: Sequence[SweepPoint], spec: ExecSpec
+    ) -> Iterator[PointOutcome]:
+        pending: Dict[SweepPoint, int] = {p: 1 for p in points}
+        while pending:
+            batch = list(pending)
+            crashed: List[SweepPoint] = []
+            with ProcessPoolExecutor(
+                max_workers=min(self.jobs, len(batch))
+            ) as pool:
+                futures = {
+                    pool.submit(execute_point, p, *spec.worker_args()): p
+                    for p in batch
+                }
+                for fut in as_completed(futures):
+                    p = futures[fut]
+                    try:
+                        envelope = fut.result()
+                    except BrokenProcessPool:
+                        crashed.append(p)
+                        continue
+                    except Exception as exc:  # transport-level failure
+                        envelope = {
+                            "status": "error",
+                            "error": f"{type(exc).__name__}: {exc}",
+                            "wall_time": 0.0,
+                        }
+                    yield (p, envelope, pending.pop(p))
+            wave_delay = 0.0
+            for p in crashed:
+                if not spec.retry.should_retry(pending[p]):
+                    yield (p, _crashed_envelope(p, pending[p]), pending.pop(p))
+                else:
+                    wave_delay = max(wave_delay, spec.notify_retry(p, pending[p]))
+                    pending[p] += 1
+            if pending and wave_delay > 0.0:
+                # One sleep per crash wave: the whole wave re-runs on a
+                # fresh pool, so per-point sleeps would only serialize.
+                time.sleep(wave_delay)
+
+    # -- single point (scheduler path) ----------------------------------------
+
+    def _persistent_pool(self) -> ProcessPoolExecutor:
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+            return self._pool
+
+    def _reset_pool(self) -> None:
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=False, cancel_futures=True)
+                self._pool = None
+
+    def run_point(self, point: SweepPoint, spec: ExecSpec) -> Tuple[Dict[str, Any], int]:
+        attempts = 1
+        while True:
+            pool = self._persistent_pool()
+            try:
+                return pool.submit(
+                    execute_point, point, *spec.worker_args()
+                ).result(), attempts
+            except BrokenProcessPool:
+                self._reset_pool()
+                if not spec.retry.should_retry(attempts):
+                    return _crashed_envelope(point, attempts), attempts
+                delay = spec.notify_retry(point, attempts)
+                attempts += 1
+                if delay > 0.0:
+                    time.sleep(delay)
+            except Exception as exc:
+                return {
+                    "status": "error",
+                    "error": f"{type(exc).__name__}: {exc}",
+                    "wall_time": 0.0,
+                }, attempts
+
+    def close(self) -> None:
+        self._reset_pool()
+
+
+# -- socket workers -------------------------------------------------------------
+
+
+class _Task:
+    """One point waiting for (or assigned to) a socket worker."""
+
+    __slots__ = ("point", "attempts", "done_q")
+
+    def __init__(self, point: SweepPoint, done_q: "queue.Queue[PointOutcome]") -> None:
+        self.point = point
+        self.attempts = 1
+        self.done_q = done_q
+
+
+class SocketWorkerBackend(ExecutorBackend):
+    """Listens for ``repro worker`` processes that *pull* points.
+
+    The server never pushes unsolicited work: a worker sends
+    ``{"op": "pull"}`` when idle, blocks until a point is available,
+    runs it, and replies with the result envelope.  Pull scheduling
+    makes heterogeneous workers self-load-balance — a fast host simply
+    pulls more often — with no partitioning logic on the server.
+
+    A connection that dies while a point is in flight requeues the
+    point (per the retry policy), so a crashed or OOM-killed worker
+    host costs one retry, never a lost result.  Workers may connect
+    and disconnect at any time; :meth:`wait_for_workers` is a
+    convenience barrier for scripts that want N workers before
+    sweeping.
+    """
+
+    backend_name = "socket"
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 backlog: int = 64) -> None:
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(backlog)
+        self.host, self.port = self._listener.getsockname()[:2]
+        self._tasks: "queue.Queue[_Task]" = queue.Queue()
+        self._spec: Optional[ExecSpec] = None
+        self._closing = False
+        self._lock = threading.Lock()
+        self._workers = 0
+        self._worker_seq = 0
+        self._threads: List[threading.Thread] = []
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-svc-accept", daemon=True
+        )
+        self._accept_thread.start()
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    @property
+    def workers(self) -> int:
+        """Currently connected workers."""
+        with self._lock:
+            return self._workers
+
+    def concurrency(self, spec: ExecSpec) -> int:
+        return max(1, self.workers)
+
+    def wait_for_workers(self, n: int, timeout: float = 30.0) -> int:
+        deadline = time.monotonic() + timeout
+        while self.workers < n and time.monotonic() < deadline:
+            time.sleep(0.02)
+        return self.workers
+
+    # -- server side ----------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._closing:
+            try:
+                conn, _addr = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            thread = threading.Thread(
+                target=self._serve_worker, args=(conn,),
+                name="repro-svc-worker-conn", daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def _serve_worker(self, conn: socket.socket) -> None:
+        with self._lock:
+            self._workers += 1
+            self._worker_seq += 1
+        task: Optional[_Task] = None
+        try:
+            hello = wire.recv_message(conn)
+            if not hello or hello.get("op") != "hello":
+                return
+            wire.send_message(conn, {"op": "welcome"})
+            while not self._closing:
+                msg = wire.recv_message(conn)
+                if msg is None:
+                    return  # clean disconnect while idle
+                if msg.get("op") != "pull":
+                    return
+                task = self._next_task()
+                if task is None:
+                    wire.send_message(conn, {"op": "shutdown"})
+                    return
+                spec = self._spec
+                wire.send_message(conn, {
+                    "op": "point",
+                    "point": task.point.canonical(),
+                    "spec": spec.to_wire() if spec is not None else {},
+                })
+                reply = wire.recv_message(conn)
+                if reply is None or reply.get("op") != "result":
+                    raise wire.WireError("worker vanished mid-point")
+                task.done_q.put(
+                    (task.point, reply["envelope"], task.attempts)
+                )
+                task = None
+        except (wire.WireError, OSError):
+            pass
+        finally:
+            if task is not None:
+                self._requeue_or_fail(task)
+            with self._lock:
+                self._workers -= 1
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _next_task(self) -> Optional[_Task]:
+        """Block (in this connection's thread) until work or shutdown."""
+        while not self._closing:
+            try:
+                return self._tasks.get(timeout=0.1)
+            except queue.Empty:
+                continue
+        return None
+
+    def _requeue_or_fail(self, task: _Task) -> None:
+        spec = self._spec
+        retry = spec.retry if spec is not None else RetryPolicy()
+        if retry.should_retry(task.attempts):
+            if spec is not None:
+                delay = spec.notify_retry(task.point, task.attempts)
+                if delay > 0.0:
+                    time.sleep(delay)
+            task.attempts += 1
+            self._tasks.put(task)
+        else:
+            task.done_q.put(
+                (task.point, _crashed_envelope(task.point, task.attempts),
+                 task.attempts)
+            )
+
+    # -- ExecutorBackend ------------------------------------------------------
+
+    def run(
+        self, points: Sequence[SweepPoint], spec: ExecSpec
+    ) -> Iterator[PointOutcome]:
+        self._spec = spec
+        done_q: "queue.Queue[PointOutcome]" = queue.Queue()
+        for point in points:
+            self._tasks.put(_Task(point, done_q))
+        for _ in range(len(points)):
+            yield done_q.get()
+
+    def run_point(self, point: SweepPoint, spec: ExecSpec) -> Tuple[Dict[str, Any], int]:
+        self._spec = spec
+        done_q: "queue.Queue[PointOutcome]" = queue.Queue()
+        self._tasks.put(_Task(point, done_q))
+        _point, envelope, attempts = done_q.get()
+        return envelope, attempts
+
+    def close(self) -> None:
+        self._closing = True
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+
+    def __repr__(self) -> str:
+        return f"<SocketWorkerBackend {self.address} ({self.workers} worker(s))>"
+
+
+# -- factory --------------------------------------------------------------------
+
+
+def make_executor_backend(
+    spec: Union[str, ExecutorBackend, None],
+    jobs: int = 1,
+) -> Optional[ExecutorBackend]:
+    """Build a backend from a CLI spec string (see module docstring).
+
+    ``None`` returns None — the runner then picks serial or process
+    pool from its ``jobs`` argument, exactly as before.
+    """
+    if spec is None or isinstance(spec, ExecutorBackend):
+        return spec
+    text = str(spec)
+    if text == "serial":
+        return SerialBackend()
+    if text == "process":
+        return ProcessPoolBackend(jobs)
+    if text.startswith("process:"):
+        return ProcessPoolBackend(int(text[len("process:"):]))
+    if text.startswith("socket:"):
+        rest = text[len("socket:"):]
+        host, _, port = rest.rpartition(":")
+        if not host:
+            host, port = "127.0.0.1", rest
+        return SocketWorkerBackend(host, int(port))
+    raise ValueError(
+        f"unknown executor backend spec {text!r} "
+        "(expected serial, process[:N] or socket:HOST:PORT)"
+    )

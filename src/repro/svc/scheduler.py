@@ -1,0 +1,426 @@
+"""Sweep-as-a-service: an asyncio scheduler for concurrent submissions.
+
+:class:`SweepScheduler` turns the one-shot :class:`SweepRunner` model
+into a service: many named submissions (*tenants*) enter concurrently,
+share one executor backend and one result cache, and are multiplexed
+fairly — round-robin across tenants, one point at a time — so a
+thousand-point tenant cannot starve a three-point one.
+
+What the scheduler adds over calling the runner per tenant:
+
+* **Fair scheduling** — dispatch order interleaves tenants; with one
+  worker and tenants A and B the execution order is A, B, A, B, ...
+* **Cross-tenant cache sharing** — every point is keyed by its
+  content hash, so tenant B hits results tenant A computed a moment
+  ago.  In-flight points are deduplicated too: if B submits a point A
+  is *currently computing*, B awaits A's execution instead of
+  re-running it (counted as a hit for B, computed once).
+* **Per-submission timeouts** — a submission past its deadline stops
+  dispatching and its unfinished points resolve as ``timeout``;
+  in-flight work still completes into the shared cache.
+* **Per-tenant telemetry** — the scheduler's own
+  :class:`~repro.obs.MetricsRegistry` carries ``svc.*`` counters
+  (hit-rate, latency spans, queue-depth high-water) per tenant and
+  globally; :meth:`SweepScheduler.stats` renders the per-tenant view.
+
+Executor backends are blocking by design (they are also the runner's
+fan-out); the scheduler drives them from a thread pool sized to the
+backend's concurrency, so the asyncio loop itself never blocks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import OrderedDict, deque
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
+
+from ..obs import MetricsRegistry
+from ..runner.cache import point_key
+from ..runner.point import SweepPoint
+from ..runner.runner import PointResult
+from .backends import CacheBackend
+from .executors import ExecSpec, ExecutorBackend, SerialBackend
+
+__all__ = ["SweepScheduler", "Submission"]
+
+
+class Submission:
+    """One tenant's batch of points moving through the scheduler."""
+
+    def __init__(
+        self,
+        tenant: str,
+        points: Sequence[SweepPoint],
+        timeout: Optional[float],
+    ) -> None:
+        self.tenant = tenant
+        self.points = list(points)
+        self.unique = list(dict.fromkeys(self.points))
+        self.deadline = (
+            time.monotonic() + timeout if timeout is not None else None
+        )
+        self.results: Dict[SweepPoint, PointResult] = {}
+        self.done = asyncio.Event()
+        self.submitted_at = time.monotonic()
+
+    @property
+    def expired(self) -> bool:
+        return self.deadline is not None and time.monotonic() > self.deadline
+
+    def remaining_budget(self) -> Optional[float]:
+        if self.deadline is None:
+            return None
+        return max(0.0, self.deadline - time.monotonic())
+
+    def _resolve(self, point: SweepPoint, result: PointResult) -> None:
+        self.results[point] = result
+        if len(self.results) == len(self.unique):
+            self.done.set()
+
+    async def wait(self) -> Dict[SweepPoint, PointResult]:
+        """Block until every point has a result; returns them."""
+        await self.done.wait()
+        return self.results
+
+    def payloads(self) -> List[Optional[Dict[str, Any]]]:
+        """Payloads aligned with the submitted point order."""
+        return [self.results[p].payload for p in self.points]
+
+    @property
+    def ok(self) -> bool:
+        return self.done.is_set() and all(r.ok for r in self.results.values())
+
+
+class SweepScheduler:
+    """Fair, cache-shared, multi-tenant sweep execution.
+
+    Parameters
+    ----------
+    executor:
+        Any :class:`~repro.svc.executors.ExecutorBackend`; default is
+        the in-process serial backend.
+    cache:
+        Any :class:`~repro.svc.backends.CacheBackend` (or a
+        :class:`~repro.runner.cache.ResultCache`) shared by every
+        tenant; None disables caching (in-flight dedup still applies).
+    workers:
+        Concurrent point executions; defaults to the backend's own
+        concurrency (1 for serial, the pool size for process, the
+        connected-worker count for socket).
+    spec:
+        The :class:`ExecSpec` applied to every point (timeouts here
+        are *per point*; per-submission deadlines are given to
+        :meth:`submit`).
+    """
+
+    def __init__(
+        self,
+        executor: Optional[ExecutorBackend] = None,
+        cache: Optional[CacheBackend] = None,
+        workers: Optional[int] = None,
+        spec: Optional[ExecSpec] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.executor = executor if executor is not None else SerialBackend()
+        self.cache = cache
+        self.spec = spec if spec is not None else ExecSpec()
+        self.workers = (
+            workers if workers is not None
+            else max(1, self.executor.concurrency(self.spec))
+        )
+        self.obs = registry if registry is not None else MetricsRegistry()
+        #: (tenant, point label) in the order points were dispatched —
+        #: the observable artifact of fair scheduling (tests pin it).
+        self.dispatch_log: List[Tuple[str, str]] = []
+        self._queues: "OrderedDict[str, Deque[Tuple[Submission, SweepPoint]]]" = OrderedDict()
+        self._inflight: Dict[str, "asyncio.Future[Dict[str, Any]]"] = {}
+        self._work_available = asyncio.Event()
+        self._sem = asyncio.Semaphore(self.workers)
+        self._threads = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="repro-svc-exec"
+        )
+        self._dispatcher: Optional[asyncio.Task] = None
+        self._closed = False
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def _ensure_dispatcher(self) -> None:
+        if self._dispatcher is None or self._dispatcher.done():
+            self._dispatcher = asyncio.get_running_loop().create_task(
+                self._dispatch_loop(), name="repro-svc-dispatch"
+            )
+
+    async def close(self) -> None:
+        """Stop dispatching and release the executor/thread pool."""
+        self._closed = True
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            try:
+                await self._dispatcher
+            except asyncio.CancelledError:
+                pass
+        self._threads.shutdown(wait=False)
+        self.executor.close()
+        if self.cache is not None and hasattr(self.cache, "close"):
+            self.cache.close()
+
+    async def __aenter__(self) -> "SweepScheduler":
+        return self
+
+    async def __aexit__(self, *exc: Any) -> None:
+        await self.close()
+
+    # -- submission -----------------------------------------------------------
+
+    async def submit(
+        self,
+        tenant: str,
+        points: Sequence[SweepPoint],
+        timeout: Optional[float] = None,
+    ) -> Submission:
+        """Enqueue a named batch; returns immediately with a handle.
+
+        ``timeout`` is the submission's overall deadline in real
+        seconds: points not finished by then resolve as ``timeout``.
+        """
+        if self._closed:
+            raise RuntimeError("scheduler is closed")
+        if not tenant:
+            raise ValueError("tenant name must be non-empty")
+        submission = Submission(tenant, points, timeout)
+        self._count("svc.submissions")
+        self._count(f"svc.tenant.{tenant}.submissions")
+        if not submission.unique:
+            submission.done.set()
+            return submission
+        queue = self._queues.setdefault(tenant, deque())
+        for point in submission.unique:
+            queue.append((submission, point))
+        self._count(f"svc.tenant.{tenant}.points", len(submission.unique))
+        self.obs.gauge_max(f"svc.tenant.{tenant}.queue_depth", len(queue))
+        self.obs.gauge_max(
+            "svc.queue_depth",
+            sum(len(q) for q in self._queues.values()),
+        )
+        self._work_available.set()
+        self._ensure_dispatcher()
+        return submission
+
+    async def run(
+        self,
+        tenant: str,
+        points: Sequence[SweepPoint],
+        timeout: Optional[float] = None,
+    ) -> Dict[SweepPoint, PointResult]:
+        """Submit and wait — the one-call convenience path."""
+        submission = await self.submit(tenant, points, timeout)
+        return await submission.wait()
+
+    # -- dispatch -------------------------------------------------------------
+
+    def _next_item(self) -> Optional[Tuple[str, Submission, SweepPoint]]:
+        """Round-robin pop: take from the first non-empty tenant queue,
+        then rotate that tenant to the back."""
+        for tenant in list(self._queues):
+            queue = self._queues[tenant]
+            if not queue:
+                del self._queues[tenant]
+                continue
+            submission, point = queue.popleft()
+            self._queues.move_to_end(tenant)
+            return tenant, submission, point
+        return None
+
+    async def _dispatch_loop(self) -> None:
+        while True:
+            await self._work_available.wait()
+            item = self._next_item()
+            if item is None:
+                self._work_available.clear()
+                continue
+            tenant, submission, point = item
+            await self._sem.acquire()
+            self.dispatch_log.append((tenant, point.label))
+            task = asyncio.get_running_loop().create_task(
+                self._process(tenant, submission, point)
+            )
+            task.add_done_callback(lambda _t: self._sem.release())
+
+    # -- per-point processing -------------------------------------------------
+
+    def _count(self, name: str, n: int = 1) -> None:
+        self.obs.inc(name, n)
+
+    def _cache_get(self, key: str) -> Optional[Dict[str, Any]]:
+        if self.cache is None:
+            return None
+        return self.cache.get(key)
+
+    def _cache_put(self, key: str, point: SweepPoint, payload: Any) -> None:
+        if self.cache is None:
+            return
+        try:
+            self.cache.put(key, point, payload)
+        except OSError:
+            self._count("svc.cache_write_errors")
+
+    async def _process(
+        self, tenant: str, submission: Submission, point: SweepPoint
+    ) -> None:
+        t0 = time.monotonic()
+        try:
+            result = await self._resolve_point(tenant, submission, point)
+        except Exception as exc:  # defensive: a backend bug, not a point error
+            result = PointResult(point, "error",
+                                 error=f"{type(exc).__name__}: {exc}")
+        latency = time.monotonic() - t0
+        self.obs.span("svc.point_latency", latency)
+        self.obs.span(f"svc.tenant.{tenant}.latency", latency)
+        if result.status == "timeout" and result.error and "deadline" in result.error:
+            self._count(f"svc.tenant.{tenant}.timeouts")
+        submission._resolve(point, result)
+
+    async def _resolve_point(
+        self, tenant: str, submission: Submission, point: SweepPoint
+    ) -> PointResult:
+        if submission.expired:
+            return PointResult(
+                point, "timeout",
+                error=f"{point.label}: submission deadline passed",
+            )
+        key = point_key(point)
+        loop = asyncio.get_running_loop()
+
+        # 1. A tenant (possibly another one) is computing it right now.
+        inflight = self._inflight.get(key)
+        if inflight is not None:
+            envelope = await self._await_shared(inflight, submission, point)
+            if envelope is None:
+                return PointResult(
+                    point, "timeout",
+                    error=f"{point.label}: submission deadline passed",
+                )
+            self._hit(tenant, shared=True)
+            return self._result_from_envelope(point, envelope, cached=True)
+
+        # 2. The shared cache already has it.
+        entry = await loop.run_in_executor(self._threads, self._cache_get, key)
+        if entry is not None:
+            self._hit(tenant, shared=False)
+            return PointResult(point, "ok", payload=entry["payload"],
+                               cached=True, attempts=0)
+
+        # 3. Compute it — and publish the in-flight future so concurrent
+        #    tenants join this execution instead of repeating it.
+        self._count("svc.cache_misses")
+        self._count(f"svc.tenant.{tenant}.misses")
+        future: "asyncio.Future[Dict[str, Any]]" = loop.create_future()
+        self._inflight[key] = future
+        try:
+            envelope, attempts = await loop.run_in_executor(
+                self._threads, self.executor.run_point, point, self.spec
+            )
+        except Exception as exc:
+            envelope = {
+                "status": "error",
+                "error": f"{type(exc).__name__}: {exc}",
+                "wall_time": 0.0,
+            }
+            attempts = 1
+        if envelope.get("status") == "ok":
+            await loop.run_in_executor(
+                self._threads, self._cache_put, key, point,
+                envelope.get("payload"),
+            )
+        self._inflight.pop(key, None)
+        if not future.done():
+            future.set_result(envelope)
+        return self._result_from_envelope(point, envelope, cached=False,
+                                          attempts=attempts)
+
+    async def _await_shared(
+        self,
+        future: "asyncio.Future[Dict[str, Any]]",
+        submission: Submission,
+        point: SweepPoint,
+    ) -> Optional[Dict[str, Any]]:
+        """Wait on another tenant's execution, bounded by our deadline."""
+        budget = submission.remaining_budget()
+        try:
+            return await asyncio.wait_for(asyncio.shield(future), budget)
+        except asyncio.TimeoutError:
+            return None
+
+    def _hit(self, tenant: str, shared: bool) -> None:
+        self._count("svc.cache_hits")
+        self._count(f"svc.tenant.{tenant}.hits")
+        if shared:
+            self._count("svc.inflight_joins")
+
+    @staticmethod
+    def _result_from_envelope(
+        point: SweepPoint,
+        envelope: Dict[str, Any],
+        cached: bool,
+        attempts: int = 0,
+    ) -> PointResult:
+        return PointResult(
+            point=point,
+            status=envelope.get("status", "error"),
+            payload=envelope.get("payload"),
+            cached=cached,
+            wall_time=float(envelope.get("wall_time", 0.0)),
+            attempts=attempts,
+            error=envelope.get("error"),
+        )
+
+    # -- reporting ------------------------------------------------------------
+
+    def tenants(self) -> List[str]:
+        prefix = "svc.tenant."
+        seen = []
+        for name in self.obs.counters:
+            if name.startswith(prefix):
+                tenant = name[len(prefix):].split(".", 1)[0]
+                if tenant not in seen:
+                    seen.append(tenant)
+        return sorted(seen)
+
+    def stats(self) -> Dict[str, Any]:
+        """Per-tenant hit-rate / latency / queue-depth summary."""
+        counters = self.obs.counters
+        doc: Dict[str, Any] = {
+            "submissions": counters.get("svc.submissions", 0),
+            "cache_hits": counters.get("svc.cache_hits", 0),
+            "cache_misses": counters.get("svc.cache_misses", 0),
+            "inflight_joins": counters.get("svc.inflight_joins", 0),
+            "queue_depth_hwm": self.obs.gauges.get("svc.queue_depth", 0),
+            "tenants": {},
+        }
+        for tenant in self.tenants():
+            pre = f"svc.tenant.{tenant}."
+            hits = counters.get(pre + "hits", 0)
+            misses = counters.get(pre + "misses", 0)
+            lat = self.obs.spans.get(pre + "latency")
+            doc["tenants"][tenant] = {
+                "submissions": counters.get(pre + "submissions", 0),
+                "points": counters.get(pre + "points", 0),
+                "hits": hits,
+                "misses": misses,
+                "timeouts": counters.get(pre + "timeouts", 0),
+                "hit_rate": hits / (hits + misses) if hits + misses else 0.0,
+                "queue_depth_hwm": self.obs.gauges.get(pre + "queue_depth", 0),
+                "latency": (
+                    {"count": int(lat[0]), "total": lat[1], "max": lat[2]}
+                    if lat is not None else None
+                ),
+            }
+        return doc
+
+    def __repr__(self) -> str:
+        return (
+            f"<SweepScheduler {self.executor.backend_name} "
+            f"workers={self.workers} tenants={len(self._queues)}>"
+        )

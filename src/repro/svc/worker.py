@@ -1,0 +1,149 @@
+"""``repro worker`` — a pull-based sweep worker for other hosts.
+
+One worker process connects to a
+:class:`~repro.svc.executors.SocketWorkerBackend` (the runner's
+``--backend socket:HOST:PORT``), then loops: *pull* a point, run it
+with the same :func:`~repro.runner.worker.execute_point` every other
+backend uses, send the envelope back.  Points arrive as their
+canonical JSON (rebuilt via :meth:`SweepPoint.from_canonical`), so the
+worker needs nothing but the ``repro`` package — no shared filesystem,
+no preloaded grid.
+
+Points run on the worker's main thread, so per-point ``SIGALRM``
+timeouts work exactly as they do under the process pool.  A worker
+that loses its server (network blip, sweep finished) exits by default,
+or keeps retrying the connection with ``--reconnect``.
+"""
+
+from __future__ import annotations
+
+import socket
+import sys
+import time
+from typing import List, Optional
+
+from ..runner.point import SweepPoint
+from ..runner.worker import execute_point
+from . import wire
+
+__all__ = ["run_worker", "worker_main"]
+
+
+def _serve_connection(
+    sock: socket.socket, max_points: Optional[int], tally: List[int]
+) -> int:
+    """Pull/run/reply until shutdown or EOF; returns points executed.
+
+    Every executed point is also added to ``tally[0]`` *immediately*,
+    so the caller's count survives a connection that dies on a later
+    frame — a server that exits without the closing shutdown handshake
+    (sweep done, process gone) must not erase work already performed.
+    """
+    wire.send_message(sock, {"op": "hello", "version": 1})
+    welcome = wire.recv_message(sock)
+    if not welcome or welcome.get("op") != "welcome":
+        raise wire.WireError("server did not welcome us")
+    done = 0
+    while max_points is None or done < max_points:
+        wire.send_message(sock, {"op": "pull"})
+        msg = wire.recv_message(sock)
+        if msg is None or msg.get("op") == "shutdown":
+            break
+        if msg.get("op") != "point":
+            raise wire.WireError(f"unexpected server message {msg.get('op')!r}")
+        point = SweepPoint.from_canonical(msg["point"])
+        spec = msg.get("spec") or {}
+        envelope = execute_point(
+            point,
+            timeout=spec.get("timeout"),
+            collect_obs=bool(spec.get("collect_obs", False)),
+            collect_trace=bool(spec.get("collect_trace", False)),
+            trace_detail=spec.get("trace_detail", "fine"),
+            trace_capacity=int(spec.get("trace_capacity", 65536)),
+        )
+        wire.send_message(sock, {"op": "result", "envelope": envelope})
+        done += 1
+        tally[0] += 1
+    return done
+
+
+def run_worker(
+    host: str,
+    port: int,
+    max_points: Optional[int] = None,
+    reconnect: bool = False,
+    reconnect_delay: float = 1.0,
+    connect_timeout: float = 10.0,
+) -> int:
+    """Serve one server until it goes away; returns points executed.
+
+    With ``reconnect`` the worker survives server restarts (it keeps
+    dialing until the server answers again), which is the deployment
+    mode for long-lived worker hosts.
+    """
+    tally = [0]
+    while True:
+        total = tally[0]
+        try:
+            sock = socket.create_connection((host, port), timeout=connect_timeout)
+        except OSError:
+            if not reconnect:
+                raise
+            time.sleep(reconnect_delay)
+            continue
+        sock.settimeout(None)
+        try:
+            _serve_connection(
+                sock, None if max_points is None else max_points - total, tally
+            )
+        except (wire.WireError, OSError):
+            pass
+        finally:
+            try:
+                sock.close()
+            except OSError:
+                pass
+        if not reconnect:
+            return tally[0]
+        if max_points is not None and tally[0] >= max_points:
+            return tally[0]
+        time.sleep(reconnect_delay)
+
+
+def worker_main(argv: Optional[List[str]] = None) -> int:
+    """``repro-experiments worker`` — join a sweep as a remote worker."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments worker",
+        description="Pull sweep points from a runner's socket backend "
+                    "and execute them here (see docs/service.md).",
+    )
+    parser.add_argument("--connect", required=True, metavar="HOST:PORT",
+                        help="the runner's --backend socket address")
+    parser.add_argument("--max-points", type=int, default=None, metavar="N",
+                        help="exit after executing N points")
+    parser.add_argument("--reconnect", action="store_true",
+                        help="keep redialing when the server goes away")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the per-session summary line")
+    args = parser.parse_args(argv)
+
+    host, _, port_text = args.connect.rpartition(":")
+    if not host or not port_text.isdigit():
+        parser.error(f"--connect {args.connect!r} is not HOST:PORT")
+    try:
+        n = run_worker(host, int(port_text),
+                       max_points=args.max_points,
+                       reconnect=args.reconnect)
+    except OSError as exc:
+        print(f"repro worker: cannot reach {args.connect}: {exc}",
+              file=sys.stderr)
+        return 1
+    if not args.quiet:
+        print(f"repro worker: executed {n} point(s)", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(worker_main())

@@ -159,6 +159,62 @@ def test_tmp_droppings_are_not_entries(tmp_path):
     assert not orphan_tmp.exists()
 
 
+def test_corrupt_discards_are_counted(tmp_path):
+    from repro import obs
+
+    cache = ResultCache(tmp_path)
+    p = _cell()
+    key = point_key(p)
+    cache.put(key, p, {"time": 1.0})
+    assert cache.corrupt_discards == 0
+    cache._path(key).write_text("{ not json !!", encoding="utf-8")
+    with obs.collecting() as registry:
+        assert cache.get(key) is None
+    assert cache.corrupt_discards == 1
+    assert registry.counters.get("runner.cache_corrupt_discards") == 1
+
+    # The mismatched-key corruption path counts too.
+    cache.put(key, p, {"time": 1.0})
+    entry = json.loads(cache._path(key).read_text(encoding="utf-8"))
+    entry["key"] = "0" * 64
+    cache._path(key).write_text(json.dumps(entry), encoding="utf-8")
+    assert cache.get(key) is None
+    assert cache.corrupt_discards == 2
+
+
+def test_telemetry_summary_surfaces_corrupt_discards(tmp_path):
+    point = SweepPoint.confsync(2, reps=2)
+    SweepRunner(cache=tmp_path).run([point])
+    path = ResultCache(tmp_path)._path(point_key(point))
+    path.write_bytes(b"\x00\xffgarbage")
+
+    runner = SweepRunner(cache=tmp_path)
+    runner.run([point])
+    summary = runner.telemetry.summary()
+    assert summary["corrupt_discards"] == 1
+
+    # A clean rerun reports zero even though the cache object remembers.
+    rerun = SweepRunner(cache=tmp_path)
+    rerun.run([point])
+    assert rerun.telemetry.summary()["corrupt_discards"] == 0
+
+
+def test_repr_is_constant_time(tmp_path, monkeypatch):
+    """Regression: ``repr(cache)`` used to report ``len(self)``, which
+    walks every entry on disk — logging a runner scanned the cache."""
+    cache = ResultCache(tmp_path)
+    p = _cell()
+    cache.put(point_key(p), p, {"time": 1.0})
+
+    def boom(self):
+        raise AssertionError("repr must not scan the cache directory")
+
+    monkeypatch.setattr(ResultCache, "__len__", boom)
+    monkeypatch.setattr(ResultCache, "_iter_paths", boom)
+    text = repr(cache)
+    assert str(tmp_path) in text
+
+
 def test_runner_recovers_from_corrupted_entry(tmp_path):
     """A damaged cache degrades to recomputation, not to a crash."""
     point = SweepPoint.confsync(2, reps=2)

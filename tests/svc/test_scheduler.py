@@ -1,0 +1,206 @@
+"""SweepScheduler: fairness, cross-tenant sharing, deadlines, telemetry.
+
+No pytest-asyncio here: each test drives its own loop with
+``asyncio.run`` so the suite has zero plugin dependencies.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.runner import SweepPoint
+from repro.svc import MemoryBackend, SerialBackend, SweepScheduler
+
+
+def echo(i):
+    return SweepPoint.selftest("echo", value=i)
+
+
+def napping(i, seconds):
+    return SweepPoint.selftest("sleep", seconds=seconds, tag=i)
+
+
+# --------------------------------------------------------------- fairness
+
+
+def test_round_robin_interleaves_tenants():
+    async def scenario():
+        async with SweepScheduler(SerialBackend(), workers=1) as sched:
+            # Both queues are full before the dispatcher first runs, so
+            # the dispatch order is strict round-robin.
+            sub_a = await sched.submit("alice", [echo(i) for i in range(4)])
+            sub_b = await sched.submit("bob", [echo(100 + i) for i in range(4)])
+            await sub_a.wait()
+            await sub_b.wait()
+            return list(sched.dispatch_log), sub_a, sub_b
+
+    log, sub_a, sub_b = asyncio.run(scenario())
+    assert [tenant for tenant, _ in log] == [
+        "alice", "bob", "alice", "bob", "alice", "bob", "alice", "bob",
+    ]
+    assert sub_a.ok and sub_b.ok
+    assert [r.payload["echo"] for r in (sub_a.results[p] for p in sub_a.points)] \
+        == [0, 1, 2, 3]
+
+
+def test_many_point_tenant_cannot_starve_small_one():
+    async def scenario():
+        async with SweepScheduler(SerialBackend(), workers=1) as sched:
+            big = await sched.submit("big", [echo(i) for i in range(12)])
+            small = await sched.submit("small", [echo(100), echo(101)])
+            await small.wait()
+            done_when_small_finished = len(big.results)
+            await big.wait()
+            return done_when_small_finished
+
+    big_done = asyncio.run(scenario())
+    # Fair interleaving: the 2-point tenant finished after at most a
+    # handful of the 12-point tenant's points, not after all of them.
+    assert big_done <= 4
+
+
+# ------------------------------------------------- cross-tenant cache hits
+
+
+def test_concurrent_tenants_observe_each_others_hits():
+    """The subsystem acceptance test: two concurrent submissions sharing
+    one cache each hit results the *other* tenant computed."""
+
+    async def scenario():
+        cache = MemoryBackend()
+        async with SweepScheduler(SerialBackend(), cache=cache,
+                                  workers=1) as sched:
+            p1, p2 = echo(1), echo(2)
+            # Same two points, opposite order: round-robin dispatch is
+            # alice:p1, bob:p2, alice:p2, bob:p1 — so each tenant's
+            # second point was computed by the other tenant.
+            sub_a = await sched.submit("alice", [p1, p2])
+            sub_b = await sched.submit("bob", [p2, p1])
+            await sub_a.wait()
+            await sub_b.wait()
+            return sched.stats(), sub_a, sub_b
+
+    stats, sub_a, sub_b = asyncio.run(scenario())
+    assert sub_a.ok and sub_b.ok
+    alice, bob = stats["tenants"]["alice"], stats["tenants"]["bob"]
+    assert alice["hits"] == 1 and alice["misses"] == 1
+    assert bob["hits"] == 1 and bob["misses"] == 1
+    assert alice["hit_rate"] == 0.5 and bob["hit_rate"] == 0.5
+    assert stats["cache_hits"] == 2 and stats["cache_misses"] == 2
+    # Payloads agree regardless of who computed them.
+    assert sub_a.payloads()[0] == sub_b.payloads()[1]
+    assert sub_a.payloads()[1] == sub_b.payloads()[0]
+
+
+def test_inflight_dedup_joins_running_execution():
+    async def scenario():
+        cache = MemoryBackend()
+        async with SweepScheduler(SerialBackend(), cache=cache,
+                                  workers=2) as sched:
+            slow = napping(0, seconds=0.5)
+            sub_a = await sched.submit("alice", [slow])
+            # Let alice's execution get in flight before bob asks for
+            # the same point.
+            await asyncio.sleep(0.15)
+            sub_b = await sched.submit("bob", [slow])
+            await sub_a.wait()
+            await sub_b.wait()
+            return sched.stats(), sub_a, sub_b
+
+    stats, sub_a, sub_b = asyncio.run(scenario())
+    assert sub_a.ok and sub_b.ok
+    # Computed once; bob joined the in-flight execution as a hit.
+    assert stats["inflight_joins"] == 1
+    assert stats["tenants"]["bob"]["hits"] == 1
+    assert stats["tenants"]["alice"]["misses"] == 1
+    assert stats["cache_misses"] == 1
+
+
+# --------------------------------------------------------------- deadlines
+
+
+def test_submission_deadline_times_out_undispatched_points():
+    async def scenario():
+        async with SweepScheduler(SerialBackend(), workers=1) as sched:
+            slow = napping(0, seconds=0.6)
+            quick = echo(1)
+            sub = await sched.submit("t", [slow, quick], timeout=0.2)
+            results = await sub.wait()
+            return sched.stats(), sub, results
+
+    stats, sub, results = asyncio.run(scenario())
+    slow_result = results[sub.points[0]]
+    quick_result = results[sub.points[1]]
+    # The in-flight point still completed; the queued one timed out.
+    assert slow_result.status == "ok"
+    assert quick_result.status == "timeout"
+    assert "deadline" in quick_result.error
+    assert stats["tenants"]["t"]["timeouts"] == 1
+    assert not sub.ok
+
+
+# --------------------------------------------------------------- plumbing
+
+
+def test_empty_submission_completes_immediately():
+    async def scenario():
+        async with SweepScheduler(SerialBackend()) as sched:
+            sub = await sched.submit("t", [])
+            return await asyncio.wait_for(sub.wait(), timeout=1.0), sub.ok
+
+    results, ok = asyncio.run(scenario())
+    assert results == {} and ok
+
+
+def test_duplicate_points_execute_once_but_align_payloads():
+    async def scenario():
+        async with SweepScheduler(SerialBackend()) as sched:
+            p = echo(7)
+            sub = await sched.submit("t", [p, p, p])
+            await sub.wait()
+            return sub, list(sched.dispatch_log)
+
+    sub, log = asyncio.run(scenario())
+    assert len(log) == 1                       # executed once
+    assert len(sub.payloads()) == 3            # reported three times
+    assert all(pl["echo"] == 7 for pl in sub.payloads())
+
+
+def test_error_points_reported_not_raised():
+    async def scenario():
+        async with SweepScheduler(SerialBackend()) as sched:
+            sub = await sched.submit("t", [SweepPoint.selftest("raise")])
+            results = await sub.wait()
+            return list(results.values())[0]
+
+    result = asyncio.run(scenario())
+    assert result.status == "error"
+    assert "deliberate failure" in result.error
+
+
+def test_submit_rejects_bad_input():
+    async def scenario():
+        sched = SweepScheduler(SerialBackend())
+        with pytest.raises(ValueError):
+            await sched.submit("", [echo(1)])
+        await sched.close()
+        with pytest.raises(RuntimeError):
+            await sched.submit("t", [echo(1)])
+
+    asyncio.run(scenario())
+
+
+def test_stats_and_queue_depth_telemetry():
+    async def scenario():
+        async with SweepScheduler(SerialBackend(), workers=1) as sched:
+            sub = await sched.submit("t", [echo(i) for i in range(5)])
+            await sub.wait()
+            return sched.stats()
+
+    stats = asyncio.run(scenario())
+    assert stats["submissions"] == 1
+    t = stats["tenants"]["t"]
+    assert t["points"] == 5
+    assert t["queue_depth_hwm"] == 5
+    assert t["latency"]["count"] == 5
+    assert t["latency"]["total"] >= 0.0

@@ -21,6 +21,7 @@ SUBPACKAGES = [
     "repro.analysis",
     "repro.experiments",
     "repro.jobs",
+    "repro.svc",
 ]
 
 
