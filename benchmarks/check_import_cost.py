@@ -1,0 +1,102 @@
+"""Guard the import cost of the simulation core.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/check_import_cost.py
+
+``import repro.simt`` sits on the critical path of every CLI
+invocation, every cached figure regeneration and every test module —
+the cached-sweep path in particular exists so a warm figure costs
+milliseconds, which an accidental matplotlib import at module scope
+would single-handedly destroy.  This script runs ``python -X
+importtime -c "import repro.simt"`` in a fresh interpreter and fails
+if:
+
+* any **heavy plotting/analysis dependency** (matplotlib, scipy,
+  pandas, PIL) shows up in the import graph — those must stay behind
+  lazy imports inside the figure-rendering functions;
+* the **cumulative import time** exceeds a generous wall-clock budget.
+  The core intentionally depends on numpy (``repro.simt.rng``), so the
+  budget is sized to "numpy plus small pure-Python modules", not to
+  zero.  It is a tripwire for someone adding a heavy module-scope
+  import, not a micro-benchmark — hence the slack for slow CI runners.
+
+Exits non-zero on violation so CI can gate on it.
+"""
+
+import argparse
+import subprocess
+import sys
+
+#: Top-level modules that must never be imported by the core.  Each one
+#: costs hundreds of milliseconds and none is needed before a figure is
+#: actually rendered.
+FORBIDDEN = ("matplotlib", "scipy", "pandas", "PIL")
+
+#: Cumulative import-time budget in milliseconds.  ``import repro.simt``
+#: measures ~250 ms locally (numpy dominates); 1500 ms leaves room for
+#: cold filesystem caches and slow shared runners while still catching
+#: a stray matplotlib (~500+ ms on its own, on top of the core).
+DEFAULT_BUDGET_MS = 1500
+
+TARGET = "repro.simt"
+
+
+def check(budget_ms=DEFAULT_BUDGET_MS):
+    proc = subprocess.run(
+        [sys.executable, "-X", "importtime", "-c", f"import {TARGET}"],
+        capture_output=True, text=True,
+    )
+    if proc.returncode != 0:
+        print(f"import-cost: FAIL - 'import {TARGET}' itself failed:\n"
+              f"{proc.stderr}", file=sys.stderr)
+        return 1
+
+    # -X importtime lines: "import time: <self_us> | <cumulative_us> | <module>"
+    total_us = 0
+    offenders = []
+    for line in proc.stderr.splitlines():
+        if not line.startswith("import time:"):
+            continue
+        try:
+            fields = line.split("|")
+            self_us = int(fields[0].split(":")[1].strip())
+            module = fields[2].strip()
+        except (IndexError, ValueError):
+            continue
+        total_us += self_us
+        if module.split(".")[0] in FORBIDDEN:
+            offenders.append(module)
+
+    total_ms = total_us / 1000.0
+    print(f"import-cost: 'import {TARGET}' = {total_ms:.0f} ms "
+          f"(budget {budget_ms} ms)")
+    ok = True
+    if offenders:
+        roots = sorted({m.split(".")[0] for m in offenders})
+        print(f"import-cost: FAIL - heavy dependencies imported at module "
+              f"scope: {', '.join(roots)} ({len(offenders)} modules). "
+              f"Move the import inside the function that uses it.",
+              file=sys.stderr)
+        ok = False
+    if total_ms > budget_ms:
+        print(f"import-cost: FAIL - {total_ms:.0f} ms exceeds the "
+              f"{budget_ms} ms budget", file=sys.stderr)
+        ok = False
+    if ok:
+        print("import-cost: OK")
+    return 0 if ok else 1
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Fail if the simulation core got expensive to import.")
+    parser.add_argument(
+        "--budget-ms", type=int, default=DEFAULT_BUDGET_MS,
+        help=f"cumulative import-time budget (default {DEFAULT_BUDGET_MS})")
+    args = parser.parse_args(argv)
+    return check(budget_ms=args.budget_ms)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

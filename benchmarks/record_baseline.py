@@ -1,10 +1,11 @@
-"""Record committed performance baselines for the engine and Figure 7.
+"""Record and check committed performance baselines.
 
 Run from the repository root::
 
-    PYTHONPATH=src python benchmarks/record_baseline.py
+    PYTHONPATH=src python benchmarks/record_baseline.py            # record
+    PYTHONPATH=src python benchmarks/record_baseline.py --check    # compare
 
-Writes two small JSON documents next to this script:
+Recording writes two small JSON documents next to this script:
 
 ``BENCH_engine.json``
     Raw simulation throughput — ``simt.events`` processed per second
@@ -19,12 +20,27 @@ Writes two small JSON documents next to this script:
     re-run is the number the service layer exists to protect: a warm
     regeneration should cost milliseconds.
 
-The baselines are committed so a future change that slows the engine or
-breaks cache hits shows up as a diff against a recorded machine, not as
-a vague recollection.  They are *descriptive*, not enforced in CI —
-wall time on shared runners is too noisy to gate on.
+Throughput is reported as the **best of N repeats** (default 5).  The
+minimum wall time over several runs is the standard way to measure a
+deterministic workload on a machine with frequency scaling and noisy
+neighbours: every source of interference only ever makes a run slower,
+so the fastest observation is the closest to the machine's true speed.
+Mean/median would fold scheduler noise into the committed number.
+
+``--check`` re-measures the engine cell and compares against the
+committed ``BENCH_engine.json``:
+
+* the event **count** must match exactly — it is a determinism check,
+  any drift means the simulation itself changed;
+* ``events_per_sec`` must be within ``--tolerance`` (default 0.15,
+  i.e. no more than 15% slower than the committed baseline).
+
+The check exits non-zero on failure so CI can gate on it (the
+``bench-smoke`` job).  The tolerance absorbs runner-to-runner machine
+variance; a real hot-path regression lands well outside it.
 """
 
+import argparse
 import json
 import platform
 import sys
@@ -43,6 +59,8 @@ HERE = Path(__file__).resolve().parent
 ENGINE_CELL = {"app": "sweep3d", "policy": "Full", "procs": 16,
                "scale": 0.1, "seed": 7}
 FIG7 = {"cpu_counts": (1, 4, 16), "scale": 0.05, "seed": 7}
+DEFAULT_REPEATS = 5
+DEFAULT_TOLERANCE = 0.15
 
 
 def _context():
@@ -55,24 +73,46 @@ def _context():
     }
 
 
-def record_engine():
+def measure_engine(repeats=DEFAULT_REPEATS):
+    """Best-of-``repeats`` engine throughput for the representative cell.
+
+    Returns ``(events, best_wall_s, events_per_sec)``.  The event count
+    is asserted identical across repeats — the simulation is seeded, so
+    any variation is a bug worth failing loudly on.
+    """
     app = get_app(ENGINE_CELL["app"])
     # One untimed warm-up run so import costs and allocator warm-up
     # don't land in the measured number.
     run_policy(app, ENGINE_CELL["policy"], ENGINE_CELL["procs"],
                scale=ENGINE_CELL["scale"], seed=ENGINE_CELL["seed"])
-    with obs.collecting() as registry:
-        t0 = time.perf_counter()
-        run_policy(app, ENGINE_CELL["policy"], ENGINE_CELL["procs"],
-                   scale=ENGINE_CELL["scale"], seed=ENGINE_CELL["seed"])
-        wall = time.perf_counter() - t0
-    events = registry.counters.get("simt.events", 0)
+    events = None
+    best = None
+    for _ in range(repeats):
+        with obs.collecting() as registry:
+            t0 = time.perf_counter()
+            run_policy(app, ENGINE_CELL["policy"], ENGINE_CELL["procs"],
+                       scale=ENGINE_CELL["scale"], seed=ENGINE_CELL["seed"])
+            wall = time.perf_counter() - t0
+        n = registry.counters.get("simt.events", 0)
+        if events is None:
+            events = n
+        elif n != events:
+            raise AssertionError(
+                f"non-deterministic event count: {n} != {events}")
+        if best is None or wall < best:
+            best = wall
+    return events, best, round(events / best) if best > 0 else None
+
+
+def record_engine(repeats=DEFAULT_REPEATS):
+    events, wall, eps = measure_engine(repeats)
     doc = {
         "benchmark": "engine-event-throughput",
         "cell": dict(ENGINE_CELL),
         "events": events,
+        "repeats": repeats,
         "wall_time_s": round(wall, 4),
-        "events_per_sec": round(events / wall) if wall > 0 else None,
+        "events_per_sec": eps,
         **_context(),
     }
     (HERE / "BENCH_engine.json").write_text(
@@ -109,10 +149,60 @@ def record_fig7():
     return doc
 
 
-def main():
-    engine = record_engine()
+def check_engine(tolerance=DEFAULT_TOLERANCE, repeats=DEFAULT_REPEATS):
+    """Compare a fresh measurement against the committed baseline.
+
+    Returns 0 on pass, 1 on regression.
+    """
+    path = HERE / "BENCH_engine.json"
+    if not path.exists():
+        print(f"check: no committed baseline at {path}", file=sys.stderr)
+        return 1
+    baseline = json.loads(path.read_text(encoding="utf-8"))
+    events, wall, eps = measure_engine(repeats)
+    floor = baseline["events_per_sec"] * (1.0 - tolerance)
+    print(f"check: measured {events} events in {wall:.4f}s "
+          f"-> {eps} events/sec (best of {repeats})")
+    print(f"check: committed baseline {baseline['events_per_sec']} "
+          f"events/sec, floor at -{tolerance:.0%} = {floor:.0f}")
+    ok = True
+    if events != baseline["events"]:
+        print(f"check: FAIL - event count drifted: {events} != "
+              f"{baseline['events']} (simulation no longer deterministic "
+              f"vs baseline)", file=sys.stderr)
+        ok = False
+    if eps < floor:
+        print(f"check: FAIL - throughput regression: {eps} < {floor:.0f} "
+              f"events/sec", file=sys.stderr)
+        ok = False
+    if ok:
+        print("check: OK")
+    return 0 if ok else 1
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Record or check committed performance baselines.")
+    parser.add_argument(
+        "--check", action="store_true",
+        help="compare a fresh measurement against BENCH_engine.json "
+             "instead of recording; exits 1 on regression")
+    parser.add_argument(
+        "--tolerance", type=float, default=DEFAULT_TOLERANCE,
+        help="allowed fractional events/sec slowdown in --check mode "
+             f"(default {DEFAULT_TOLERANCE})")
+    parser.add_argument(
+        "--repeats", type=int, default=DEFAULT_REPEATS,
+        help=f"timing repeats; the best run counts (default {DEFAULT_REPEATS})")
+    args = parser.parse_args(argv)
+
+    if args.check:
+        return check_engine(tolerance=args.tolerance, repeats=args.repeats)
+
+    engine = record_engine(repeats=args.repeats)
     print(f"engine: {engine['events']} events in {engine['wall_time_s']}s "
-          f"-> {engine['events_per_sec']} events/sec")
+          f"-> {engine['events_per_sec']} events/sec "
+          f"(best of {engine['repeats']})")
     fig7 = record_fig7()
     print(f"fig7:   cold {fig7['cold_wall_time_s']}s, "
           f"cached {fig7['cached_wall_time_s']}s "

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from typing import Generator, List, Optional, Tuple
 
-from ..simt import Environment, Event, Gate, Process
+from ..simt import Environment, Event, Gate, Process, Timeout
 from .machine import MachineSpec
 from .node import Node
 
@@ -155,12 +155,13 @@ class Task:
         takes effect within one quantum of simulated time.
         """
         quantum = self.spec.compute_quantum
+        env = self.env
         while self._pending > 0.0:
             if not self._gate.is_open:
                 yield from self._park()
             dt = self._pending if quantum <= 0 else min(self._pending, quantum)
             self._pending -= dt
-            yield self.env.timeout(dt)
+            yield Timeout(env, dt)
         if not self._gate.is_open:
             yield from self._park()
 

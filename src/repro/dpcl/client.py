@@ -208,6 +208,11 @@ class DpclClient:
         timer = self.env.timeout(timeout)
         yield AnyOf(self.env, [get_ev, timer])
         if get_ev.processed:
+            # The reply won the race: withdraw the loser timer instead
+            # of letting it rot in the event queue until it expires
+            # (lazy deletion — O(1), and the clock is never dragged
+            # forward to a timeout nobody is waiting on).
+            self.env.cancel(timer)
             return get_ev.value
         # The timer won the race.  The get may still have been served in
         # the same instant (put scheduled it behind the timer): cancel()

@@ -99,6 +99,45 @@ class Mailbox:
                 return envelope
         return None
 
+    def cancel_recv(self, event: Event) -> bool:
+        """Withdraw a posted receive (MPI_Cancel on a recv request).
+
+        Two cases:
+
+        * the receive is still posted and unmatched — it is simply
+          removed from the posted queue;
+        * the receive already matched an envelope but the completion
+          event has not been processed yet (it is riding the event
+          queue) — the match is undone: the event is lazily cancelled
+          via :meth:`Environment.cancel` and the envelope is re-filed
+          into the unexpected queue in arrival order, so a different
+          receive can still match it.
+
+        Returns True if the receive was withdrawn; False if it already
+        completed (the caller owns the envelope) or was never ours.
+        """
+        for posted in self._posted:
+            if posted.event is event:
+                self._posted.remove(posted)
+                if self._obs.enabled:
+                    self._obs.inc("mpi.cancelled_recvs")
+                return True
+        if event.triggered and not event.processed:
+            envelope = event._value
+            if isinstance(envelope, Envelope) and self.env.cancel(event):
+                # Re-file preserving arrival order among the unexpected.
+                arrived = envelope.arrived_at or 0.0
+                for i, other in enumerate(self._unexpected):
+                    if (other.arrived_at or 0.0) > arrived:
+                        self._unexpected.insert(i, envelope)
+                        break
+                else:
+                    self._unexpected.append(envelope)
+                if self._obs.enabled:
+                    self._obs.inc("mpi.cancelled_recvs")
+                return True
+        return False
+
 
 class Transport:
     """Moves envelopes between ranks through the interconnect."""

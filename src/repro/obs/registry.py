@@ -92,7 +92,13 @@ class MetricsRegistry:
 
     def inc(self, name: str, n: Union[int, float] = 1) -> None:
         """Add ``n`` to counter ``name`` (created at zero on first use)."""
-        self.counters[name] = self.counters.get(name, 0) + n
+        # try/except beats .get() here: counter names repeat, so the
+        # KeyError path runs once per name and the hot path is a single
+        # dict item operation.
+        try:
+            self.counters[name] += n
+        except KeyError:
+            self.counters[name] = n
 
     def gauge_set(self, name: str, value: float) -> None:
         """Set gauge ``name`` to its latest observed value."""

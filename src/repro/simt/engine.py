@@ -1,17 +1,35 @@
 """The discrete-event simulation engine.
 
 :class:`Environment` owns the event queue and the simulation clock.  The
-queue is a binary heap keyed by ``(time, priority, sequence)``; the
-sequence counter makes ordering total and therefore the whole simulation
-deterministic, which the test suite and the experiment harness rely on.
+queue is a *two-tier* scheduler that preserves the exact
+``(time, priority, sequence)`` total order of the original flat binary
+heap, which is what makes the whole simulation deterministic:
+
+* **Tier 1 — same-key buckets.**  Every distinct ``(time, priority)``
+  key owns a FIFO ring (:class:`collections.deque`) of events.  Because
+  the historical sequence number was assigned at schedule time and only
+  ever broke ties *within* one ``(time, priority)`` key, append order
+  on the bucket *is* sequence order — the counter itself is gone.
+  Same-timestamp events (zero-delay messages, barrier releases, bucket
+  brigades of daemon acks) are drained in one batch without touching
+  the heap at all.
+
+* **Tier 2 — the key heap.**  Distinct keys that are not at the front
+  live in a binary heap.  The heap only sees one entry per key, so a
+  thousand events at one timestamp cost one push/pop instead of a
+  thousand — the far-future overflow tier.
+
+Cancellation is *lazy*: :meth:`Environment.cancel` flips a flag on the
+event and the queue discards it when it surfaces, so withdrawing a
+raced request timeout is O(1) instead of an O(n) heap surgery.
 """
 
 from __future__ import annotations
 
-import heapq
 import math
-from itertools import count
-from typing import Any, List, Optional, Tuple
+from collections import deque
+from heapq import heappop, heappush
+from typing import Any, Deque, Dict, Optional, Tuple
 
 from ..obs import get as _obs_get
 from ..obs.trace import get as _trace_get
@@ -52,13 +70,19 @@ class Environment:
 
     def __init__(self, initial_time: float = 0.0, strict: bool = True) -> None:
         self._now = float(initial_time)
-        self._queue: List[Tuple[float, int, int, Event]] = []
-        self._seq = count()
+        #: Tier 1: (time, priority) -> FIFO ring of events at that key.
+        self._buckets: Dict[Tuple[float, int], Deque[Event]] = {}
+        #: Tier 2: heap over the distinct keys present in ``_buckets``.
+        self._keyheap: list = []
+        #: Scheduled-and-not-cancelled event count (the live queue depth).
+        self._live = 0
         self._active_process: Optional[Process] = None
         self.strict = strict
         self._crash: Optional[Tuple[Process, BaseException]] = None
         #: Total number of events processed (exposed for perf diagnostics).
         self.events_processed = 0
+        #: Events withdrawn via :meth:`cancel` (diagnostics).
+        self.events_cancelled = 0
         self._obs = _obs_get()
         self._trace = _trace_get()
 
@@ -94,29 +118,84 @@ class Environment:
         """Put a triggered event on the queue ``delay`` seconds from now."""
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        heapq.heappush(self._queue, (self._now + delay, priority, next(self._seq), event))
+        key = (self._now + delay, priority)
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            self._buckets[key] = bucket = deque()
+            heappush(self._keyheap, key)
+        bucket.append(event)
+        self._live += 1
+
+    def cancel(self, event: Event) -> bool:
+        """Lazily withdraw a scheduled event from the queue.
+
+        The event stays physically queued but is discarded unprocessed
+        when it surfaces: its callbacks never run and the clock never
+        advances on its account.  Returns True if the event was
+        scheduled and has now been cancelled; False if it was never
+        scheduled (still pending), was already processed, or was
+        already cancelled.
+        """
+        if event._cancelled or event.callbacks is None or event._value is PENDING:
+            return False
+        event._cancelled = True
+        self._live -= 1
+        self.events_cancelled += 1
+        if self._obs.enabled:
+            self._obs.inc("simt.cancelled")
+        return True
 
     def peek(self) -> float:
-        """Time of the next scheduled event, or ``inf`` if the queue is empty."""
-        return self._queue[0][0] if self._queue else Infinity
+        """Time of the next *live* event, or ``inf`` if the queue is empty.
+
+        Cancelled events at the front are purged on the way."""
+        buckets = self._buckets
+        keyheap = self._keyheap
+        while self._live:
+            key = keyheap[0]
+            bucket = buckets[key]
+            while bucket and bucket[0]._cancelled:
+                bucket.popleft()
+            if bucket:
+                return key[0]
+            heappop(keyheap)
+            del buckets[key]
+        return Infinity
+
+    def _pop(self) -> Tuple[float, Event]:
+        """Pop the next live event (skipping cancelled ones)."""
+        buckets = self._buckets
+        keyheap = self._keyheap
+        while self._live:
+            key = keyheap[0]
+            bucket = buckets[key]
+            while bucket:
+                event = bucket.popleft()
+                if not event._cancelled:
+                    if not bucket:
+                        heappop(keyheap)
+                        del buckets[key]
+                    return key[0], event
+            heappop(keyheap)
+            del buckets[key]
+        raise SimtError("step() on an empty event queue")
 
     def step(self) -> None:
         """Process exactly one event (advancing the clock to it)."""
-        if not self._queue:
-            raise SimtError("step() on an empty event queue")
-        if self._obs.enabled:
-            # The queue only ever shrinks inside step(), so its length at
+        if self._obs.enabled and self._live:
+            # The queue only ever shrinks inside step(), so its depth at
             # the top of a step is exactly the running high-water mark.
             self._obs.inc("simt.events")
-            self._obs.gauge_max("simt.queue_depth_hwm", len(self._queue))
-        if self._trace.enabled:
+            self._obs.gauge_max("simt.queue_depth_hwm", self._live)
+        if self._trace.enabled and self._live:
             # Drop-immune kernel-event count: lets a trace document be
             # sanity-checked against the engine's own bookkeeping.
             self._trace.count("simt.events")
-        when, _prio, _seq, event = heapq.heappop(self._queue)
+        when, event = self._pop()
         if when < self._now:  # pragma: no cover - guarded by schedule()
             raise SimtError("event scheduled in the past")
         self._now = when
+        self._live -= 1
         self.events_processed += 1
         callbacks, event.callbacks = event.callbacks, None
         if callbacks:
@@ -164,22 +243,94 @@ class Environment:
                     f"until={stop_time} is in the past (now={self._now})"
                 )
 
+        # The hot loop.  Equivalent to ``while queue: step()`` but with
+        # the per-event costs hoisted: observation/tracing enablement is
+        # captured once per run() call, whole same-key buckets drain
+        # without re-consulting the heap, and per-event counters
+        # accumulate in locals that are flushed per batch.
+        buckets = self._buckets
+        keyheap = self._keyheap
+        obs = self._obs
+        trace = self._trace
+        obs_on = obs.enabled
+        trace_on = trace.enabled
+        total = 0
+        hwm = 0
+        drained = False
         try:
-            while self._queue:
-                if stop_event is not None and stop_event.callbacks is None:
-                    break
-                if self.peek() > stop_time:
-                    self._now = stop_time
-                    break
-                self.step()
-            else:
-                # An identity test against the Infinity alias would let a
-                # caller's own float("inf")/math.inf object through and
-                # corrupt the clock to now == inf once the queue drains.
-                if not math.isinf(stop_time) and stop_time > self._now:
-                    self._now = stop_time
+            try:
+                while self._live:
+                    if stop_event is not None and stop_event.callbacks is None:
+                        break
+                    key = keyheap[0]
+                    bucket = buckets[key]
+                    # Purge cancelled events parked at the front.
+                    while bucket and bucket[0]._cancelled:
+                        bucket.popleft()
+                    if not bucket:
+                        heappop(keyheap)
+                        del buckets[key]
+                        continue
+                    when = key[0]
+                    if when > stop_time:
+                        self._now = stop_time
+                        break
+                    self._now = when
+                    if self._live > hwm:
+                        hwm = self._live
+                    # Drain the bucket.  New same-key schedules append
+                    # behind us (correct: they carry later sequence
+                    # positions); a new *smaller* key can only be same-
+                    # time/lower-priority and shows up as a changed heap
+                    # head, which we check after every event.
+                    n = 0
+                    try:
+                        while bucket:
+                            event = bucket.popleft()
+                            if event._cancelled:
+                                continue
+                            self._live -= 1
+                            n += 1
+                            callbacks, event.callbacks = event.callbacks, None
+                            if callbacks:
+                                for callback in callbacks:
+                                    callback(event)
+                            if self._crash is not None:
+                                proc, exc = self._crash
+                                self._crash = None
+                                raise SimtError(
+                                    f"unobserved process {proc.name!r} crashed "
+                                    f"at t={self._now}"
+                                ) from exc
+                            if stop_event is not None and stop_event.callbacks is None:
+                                break
+                            if keyheap[0] is not key:
+                                break
+                    finally:
+                        if n:
+                            self.events_processed += n
+                            total += n
+                    if not bucket and keyheap[0] is key:
+                        heappop(keyheap)
+                        del buckets[key]
+                else:
+                    drained = True
+            finally:
+                if total:
+                    if obs_on:
+                        obs.inc("simt.events", total)
+                        obs.gauge_max("simt.queue_depth_hwm", hwm)
+                    if trace_on:
+                        trace.count("simt.events", total)
         except StopSimulation as stop:
             return stop.reason
+
+        if drained:
+            # An identity test against the Infinity alias would let a
+            # caller's own float("inf")/math.inf object through and
+            # corrupt the clock to now == inf once the queue drains.
+            if not math.isinf(stop_time) and stop_time > self._now:
+                self._now = stop_time
 
         if stop_event is not None:
             if stop_event._value is PENDING:
@@ -193,4 +344,4 @@ class Environment:
         return None
 
     def __repr__(self) -> str:
-        return f"<Environment now={self._now} queued={len(self._queue)}>"
+        return f"<Environment now={self._now} queued={self._live}>"

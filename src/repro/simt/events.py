@@ -56,7 +56,7 @@ class Event:
     wait on the same event.
     """
 
-    __slots__ = ("env", "callbacks", "_value", "_ok")
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_cancelled")
 
     def __init__(self, env: "Environment") -> None:
         self.env = env
@@ -64,6 +64,9 @@ class Event:
         self.callbacks: Optional[List[Callable[["Event"], None]]] = []
         self._value: Any = PENDING
         self._ok: bool = True
+        #: Set by Environment.cancel(); the queue discards the event
+        #: unprocessed when it surfaces (lazy deletion).
+        self._cancelled: bool = False
 
     # -- state predicates -------------------------------------------------
 
@@ -115,7 +118,20 @@ class Event:
         return self
 
     def trigger(self, event: "Event") -> None:
-        """Trigger this event with the state of another (chaining helper)."""
+        """Trigger this event with the state of another (chaining helper).
+
+        Enforces the same state machine as :meth:`succeed`/:meth:`fail`:
+        the source must already be triggered (otherwise ``self`` would be
+        scheduled with ``_value is PENDING``, corrupting the deadlock
+        detection in ``run(until=...)``) and ``self`` must not be.
+        """
+        if event._value is PENDING:
+            raise ValueError(
+                f"cannot chain from {event!r}: the source event has not "
+                f"been triggered yet"
+            )
+        if self._value is not PENDING:
+            raise EventRescheduleError(f"{self!r} has already been triggered")
         self._ok = event._ok
         self._value = event._value
         self.env.schedule(self)
@@ -137,7 +153,11 @@ class Timeout(Event):
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        super().__init__(env)
+        # Inlined Event.__init__: timeouts are the single most common
+        # event on the hot path, and they are born triggered.
+        self.env = env
+        self.callbacks = []
+        self._cancelled = False
         self.delay = delay
         self._ok = True
         self._value = value
@@ -168,7 +188,7 @@ class Process(Event):
     can therefore ``yield`` a process to join on it.
     """
 
-    __slots__ = ("_generator", "_target", "name")
+    __slots__ = ("_generator", "_target", "name", "_shim")
 
     def __init__(
         self,
@@ -183,6 +203,9 @@ class Process(Event):
         self.name = name or getattr(generator, "__name__", "process")
         #: The event this process is currently waiting on (None if running).
         self._target: Optional[Event] = None
+        #: Pooled zero-delay resume event, reused every time the process
+        #: yields an already-processed event (see _resume).
+        self._shim: Optional[Event] = None
         Initialize(env, self)
 
     @property
@@ -221,11 +244,17 @@ class Process(Event):
         if not self.is_alive:  # terminated between schedule and delivery
             return
         target = self._target
-        if target is not None and target.callbacks is not None:
-            try:
-                target.callbacks.remove(self._resume)
-            except ValueError:  # pragma: no cover - already detached
-                pass
+        if target is not None:
+            if target is self._shim:
+                # The pooled shim is already queued with our resume; it
+                # must neither fire nor be reused while still queued.
+                self.env.cancel(target)
+                self._shim = None
+            elif target.callbacks is not None:
+                try:
+                    target.callbacks.remove(self._resume)
+                except ValueError:  # pragma: no cover - already detached
+                    pass
         self._resume(event)
 
     def _resume(self, event: Event) -> None:
@@ -263,11 +292,18 @@ class Process(Event):
                 f"process {self.name!r} yielded a non-event: {next_event!r}"
             )
         if next_event.callbacks is None:
-            # Already processed: resume immediately via a zero-delay event.
-            shim = Event(env)
+            # Already processed: resume immediately via a zero-delay
+            # shim event.  The shim is pooled per process — by the time
+            # this branch can run again the previous shim has left the
+            # queue (it is what resumed us), so reuse is safe; the
+            # interrupt path cancels and drops a shim that might still
+            # be queued.
+            shim = self._shim
+            if shim is None or shim.callbacks is not None:
+                shim = self._shim = Event(env)
             shim._ok = next_event._ok
             shim._value = next_event._value
-            shim.callbacks.append(self._resume)
+            shim.callbacks = [self._resume]
             env.schedule(shim, priority=URGENT)
             self._target = shim
         else:

@@ -193,14 +193,37 @@ class Resource:
             self._queue.append(event)
         return event
 
+    def cancel(self, event: Event) -> bool:
+        """Withdraw a queued request (mirrors :meth:`Channel.cancel`).
+
+        A process that is interrupted while parked on :meth:`request`
+        must withdraw the request, or a later :meth:`release` would hand
+        the slot to an event nobody is waiting on and leak it forever.
+        Returns True if ``event`` was still queued and has been removed;
+        False if it was never queued or has already been granted — in
+        that case the caller holds the slot and must ``release()`` it.
+        """
+        try:
+            self._queue.remove(event)
+            return True
+        except ValueError:
+            return False
+
     def release(self) -> None:
         if self._in_use <= 0:
             raise RuntimeError(f"release of idle resource {self.name!r}")
-        if self._queue:
-            # Hand the slot directly to the next waiter.
-            self._queue.popleft().succeed()
-        else:
-            self._in_use -= 1
+        # Hand the slot to the oldest waiter that can still take it.
+        # A queued event that is already triggered (its waiter was
+        # interrupted and the event succeeded/failed through some other
+        # path, or it was withdrawn without cancel()) will never
+        # release() the slot back — granting it would leak the slot
+        # forever, so skip such dead waiters.
+        while self._queue:
+            waiter = self._queue.popleft()
+            if not waiter.triggered:
+                waiter.succeed()
+                return
+        self._in_use -= 1
 
 
 class Latch:

@@ -130,6 +130,7 @@ class VTProcessState:
         # Cache cost constants as attributes (hot path).
         self._active_cost = spec.vt_active_event_cost
         self._lookup_cost = spec.vt_lookup_cost
+        self._flush_threshold = spec.vt_flush_threshold_records
         self._obs = _obs_get()
         self._trace = _trace_get()
 
@@ -229,28 +230,32 @@ class VTProcessState:
             # Drop-immune raw-record count: the tracer-side input of the
             # trace-volume model (records x trace_record_bytes).
             self._trace.count("vt.records", k)
-        if self._unflushed_records >= self.spec.vt_flush_threshold_records:
-            n = self._unflushed_records
-            self._unflushed_records = 0
-            t0 = task.now
-            dt = (
-                n * self.spec.trace_record_bytes * self.n_cotracers
-                / self.spec.trace_fs_bandwidth
+        if self._unflushed_records >= self._flush_threshold:
+            self._flush_records(task)
+
+    def _flush_records(self, task: Task) -> None:
+        """Charge the shared-FS flush of every unflushed record."""
+        n = self._unflushed_records
+        self._unflushed_records = 0
+        t0 = task.now
+        dt = (
+            n * self.spec.trace_record_bytes * self.n_cotracers
+            / self.spec.trace_fs_bandwidth
+        )
+        task.charge(dt)
+        self.flush_time_total += dt
+        if self._obs.enabled:
+            self._obs.inc("vt.flushes")
+            self._obs.inc("vt.flush_bytes", n * self.spec.trace_record_bytes)
+            self._obs.span("vt.flush", dt)
+        if self._trace.enabled:
+            buf = self._buffers.get(task)
+            self._trace.complete(
+                self.process_index, buf.thread if buf is not None else 0,
+                "vt.flush", "vt.flush", t0, t0 + dt,
+                args={"records": n,
+                      "bytes": n * self.spec.trace_record_bytes},
             )
-            task.charge(dt)
-            self.flush_time_total += dt
-            if self._obs.enabled:
-                self._obs.inc("vt.flushes")
-                self._obs.inc("vt.flush_bytes", n * self.spec.trace_record_bytes)
-                self._obs.span("vt.flush", dt)
-            if self._trace.enabled:
-                buf = self._buffers.get(task)
-                self._trace.complete(
-                    self.process_index, buf.thread if buf is not None else 0,
-                    "vt.flush", "vt.flush", t0, t0 + dt,
-                    args={"records": n,
-                          "bytes": n * self.spec.trace_record_bytes},
-                )
 
     # -- buffers -----------------------------------------------------------------
 
@@ -280,7 +285,18 @@ class VTProcessState:
                 trace.count("vt.probe_time", self._lookup_cost)
             return
         task.charge(self._active_cost)
-        self._account_records(task, 1)
+        # Inlined single-record fast path of _account_records: this and
+        # probe_end are the two hottest calls in a profiled run.
+        if self.write_fault is None:
+            self._unflushed_records += 1
+            if self._obs.enabled:
+                self._obs.inc("vt.records")
+            if trace.enabled:
+                trace.count("vt.records")
+            if self._unflushed_records >= self._flush_threshold:
+                self._flush_records(task)
+        else:
+            self._account_records(task, 1)
         buf = self._buffers.get(task)
         if buf is None:
             buf = self.buffer_for(task, pctx.thread_id)
@@ -306,7 +322,16 @@ class VTProcessState:
                 trace.count("vt.probe_time", self._lookup_cost)
             return
         task.charge(self._active_cost)
-        self._account_records(task, 1)
+        if self.write_fault is None:
+            self._unflushed_records += 1
+            if self._obs.enabled:
+                self._obs.inc("vt.records")
+            if trace.enabled:
+                trace.count("vt.records")
+            if self._unflushed_records >= self._flush_threshold:
+                self._flush_records(task)
+        else:
+            self._account_records(task, 1)
         buf = self._buffers.get(task)
         if buf is None:
             buf = self.buffer_for(task, pctx.thread_id)

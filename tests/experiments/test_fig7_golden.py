@@ -1,0 +1,42 @@
+"""Figure 7 output is pinned byte-for-byte to the serial seed path.
+
+The engine's queue was rewritten (two-tier buckets, lazy cancellation,
+batch draining) under the promise that the observable schedule — and
+therefore every figure — would not move by a single byte.  This test
+holds that promise with a golden digest: the quick Figure 7a grid,
+seeded, run serially with no cache, must hash to the value recorded on
+the pre-rewrite engine.
+
+If this fails after an intentional semantic change to the simulation,
+re-record the digest (the test prints the new one) and say so loudly in
+the commit; if it fails after an engine/scheduler change, the ordering
+contract is broken — fix the engine, not the digest.
+"""
+
+import hashlib
+
+from repro.experiments.cli import main
+
+#: sha256 of `fig7a --quick --scale 0.02 --json --no-cache` stdout,
+#: recorded on the flat-heapq engine before the two-tier rewrite.
+GOLDEN_SHA256 = "44cd7f9c5b15bf4f15a06c6e7be8aefe21ab8cd897030f9cf255148e84ba5027"
+
+ARGS = ["fig7a", "--quick", "--scale", "0.02", "--json", "--no-cache"]
+
+
+def test_fig7a_quick_json_matches_pre_rewrite_digest(capsys):
+    assert main(list(ARGS)) == 0
+    out = capsys.readouterr().out
+    digest = hashlib.sha256(out.encode("utf-8")).hexdigest()
+    assert digest == GOLDEN_SHA256, (
+        f"fig7a output drifted from the serial seed path: sha256 {digest} "
+        f"!= {GOLDEN_SHA256}"
+    )
+
+
+def test_fig7a_quick_json_deterministic_across_runs(capsys):
+    assert main(list(ARGS)) == 0
+    first = capsys.readouterr().out
+    assert main(list(ARGS)) == 0
+    second = capsys.readouterr().out
+    assert first == second

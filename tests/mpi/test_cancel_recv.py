@@ -1,0 +1,84 @@
+"""Mailbox.cancel_recv: withdrawing posted receives (MPI_Cancel)."""
+
+from repro.mpi.messages import ANY_SOURCE, ANY_TAG, P2P, Envelope
+from repro.mpi.transport import Mailbox
+from repro.simt import Environment
+
+
+def make_envelope(env, src=0, tag=1, payload="x", size=8):
+    return Envelope(src, 1, tag, P2P, payload, size, env.now)
+
+
+def test_cancel_posted_unmatched_recv():
+    env = Environment()
+    box = Mailbox(env, rank=1)
+    ev = box.post_recv(0, 1, P2P)
+    assert box.cancel_recv(ev) is True
+    # A later matching delivery lands in the unexpected queue instead.
+    box.deliver(make_envelope(env))
+    assert not ev.triggered
+    assert box.unexpected_count == 1
+
+
+def test_cancel_matched_unprocessed_recv_refiles_envelope():
+    """Regression: a receive that matched but whose completion event is
+    still riding the queue could not be withdrawn — the envelope rode a
+    cancelled event into oblivion.  Undoing the match must re-file it."""
+    env = Environment()
+    box = Mailbox(env, rank=1)
+    box.deliver(make_envelope(env, payload="precious"))
+    ev = box.post_recv(0, 1, P2P)
+    assert ev.triggered and not ev.processed  # matched the unexpected one
+    assert box.cancel_recv(ev) is True
+    assert box.unexpected_count == 1
+    # The message is not lost: a new receive still matches it.
+    ev2 = box.post_recv(0, 1, P2P)
+    assert ev2.triggered
+    assert ev2._value.payload == "precious"
+    # The cancelled event never completes.
+    env.run()
+    assert not ev.processed
+
+
+def test_cancel_completed_recv_returns_false():
+    env = Environment()
+    box = Mailbox(env, rank=1)
+    box.deliver(make_envelope(env))
+    ev = box.post_recv(0, 1, P2P)
+    env.run()
+    assert ev.processed
+    assert box.cancel_recv(ev) is False
+
+
+def test_cancel_foreign_event_returns_false():
+    env = Environment()
+    box = Mailbox(env, rank=1)
+    assert box.cancel_recv(env.event()) is False
+
+
+def test_refiled_envelope_keeps_arrival_order():
+    """The undone match slots back by arrival time, so wildcard receives
+    still see messages oldest-first."""
+    env = Environment()
+    box = Mailbox(env, rank=1)
+    box.deliver(make_envelope(env, tag=1, payload="first"))
+    env.run(until=1.0)
+    box.deliver(make_envelope(env, tag=2, payload="second"))
+    env.run(until=2.0)
+    box.deliver(make_envelope(env, tag=1, payload="third"))
+
+    ev = box.post_recv(0, 2, P2P)  # matches "second" (arrived at t=1)
+    assert box.cancel_recv(ev) is True
+    got = [box.post_recv(ANY_SOURCE, ANY_TAG, P2P)._value.payload
+           for _ in range(3)]
+    assert got == ["first", "second", "third"]
+
+
+def test_cancel_recv_counts_in_obs():
+    from repro import obs
+
+    env = Environment()
+    with obs.collecting() as registry:
+        box = Mailbox(env, rank=1)
+        box.cancel_recv(box.post_recv(0, 1, P2P))
+    assert registry.counters.get("mpi.cancelled_recvs") == 1

@@ -247,3 +247,92 @@ def test_yield_non_event_is_type_error():
     env.process(bad(env))
     with pytest.raises((TypeError, SimtError)):
         env.run()
+
+
+# ------------------------------------------------------- lazy cancellation
+
+
+def test_cancel_scheduled_event_never_runs_callbacks():
+    env = Environment()
+    fired = []
+    t = env.timeout(1.0)
+    t.callbacks.append(lambda ev: fired.append(ev))
+    assert env.cancel(t) is True
+    env.run()
+    assert fired == []
+    assert env.events_cancelled == 1
+
+
+def test_cancelled_event_does_not_count_as_processed():
+    env = Environment()
+    env.timeout(1.0)
+    cancelled = env.timeout(2.0)
+    env.cancel(cancelled)
+    env.run()
+    assert env.events_processed == 1
+    assert env.events_cancelled == 1
+
+
+def test_cancelled_head_does_not_advance_clock():
+    """A cancelled event is skipped without the clock ever visiting its
+    timestamp — it must not perturb run(until=...) accounting."""
+    env = Environment()
+    done = []
+
+    def proc(env):
+        yield env.timeout(5.0)
+        done.append(env.now)
+
+    env.cancel(env.timeout(1.0))
+    env.process(proc(env))
+    env.run()
+    assert done == [5.0]
+    assert env.now == 5.0
+
+
+def test_peek_purges_cancelled_events():
+    env = Environment()
+    first = env.timeout(1.0)
+    env.timeout(4.0)
+    env.cancel(first)
+    assert env.peek() == 4.0
+
+
+def test_cancel_returns_false_for_untriggered_event():
+    env = Environment()
+    ev = env.event()  # pending: never scheduled
+    assert env.cancel(ev) is False
+
+
+def test_cancel_returns_false_for_processed_event():
+    env = Environment()
+    t = env.timeout(1.0)
+    env.run()
+    assert t.processed
+    assert env.cancel(t) is False
+
+
+def test_cancel_twice_is_idempotent():
+    env = Environment()
+    t = env.timeout(1.0)
+    assert env.cancel(t) is True
+    assert env.cancel(t) is False
+    assert env.events_cancelled == 1
+
+
+def test_run_with_only_cancelled_events_returns_immediately():
+    env = Environment()
+    env.cancel(env.timeout(1.0))
+    env.cancel(env.timeout(2.0))
+    env.run()
+    assert env.events_processed == 0
+    assert env.now == 0.0
+
+
+def test_step_skips_cancelled_events():
+    env = Environment()
+    env.cancel(env.timeout(1.0))
+    live = env.timeout(2.0)
+    env.step()
+    assert live.processed
+    assert env.now == 2.0

@@ -263,3 +263,72 @@ def test_condition_rejects_foreign_events():
     env1, env2 = Environment(), Environment()
     with pytest.raises(ValueError):
         AllOf(env1, [env2.event()])
+
+
+# ---------------------------------------------------- trigger() state machine
+
+
+def test_trigger_copies_success_from_source():
+    env = Environment()
+    source, target = env.event(), env.event()
+    source.succeed("payload")
+    target.trigger(source)
+    env.run()
+    assert target.processed and target.ok and target.value == "payload"
+
+
+def test_trigger_copies_failure_from_source():
+    env = Environment()
+    source, target = env.event(), env.event()
+    exc = KeyError("lost")
+    source.fail(exc)
+    target.trigger(source)
+
+    def watcher(env):
+        try:
+            yield target
+        except KeyError:
+            return "caught"
+
+    w = env.process(watcher(env))
+    assert env.run(until=w) == "caught"
+    assert not target.ok and target.value is exc
+
+
+def test_trigger_rejects_pending_source():
+    """Regression: chaining from an untriggered source scheduled the
+    target with a PENDING value, corrupting deadlock detection."""
+    env = Environment()
+    source, target = env.event(), env.event()
+    with pytest.raises(ValueError, match="not.*triggered"):
+        target.trigger(source)
+    # The target must be untouched and still usable.
+    assert not target.triggered
+    target.succeed("fine")
+    env.run()
+    assert target.value == "fine"
+
+
+def test_trigger_on_already_triggered_self_raises():
+    """Regression: re-triggering silently re-queued the event, running
+    its callbacks twice; it must enforce the succeed()/fail() state
+    machine instead."""
+    env = Environment()
+    source, target = env.event(), env.event()
+    source.succeed(1)
+    target.succeed(2)
+    with pytest.raises(EventRescheduleError):
+        target.trigger(source)
+    env.run()
+    assert target.value == 2  # the original trigger won
+
+
+def test_trigger_on_processed_self_raises():
+    env = Environment()
+    source, target = env.event(), env.event()
+    source.succeed(1)
+    target.succeed(2)
+    env.run()
+    assert target.processed
+    with pytest.raises(EventRescheduleError):
+        target.trigger(source)

@@ -1,0 +1,135 @@
+"""The two-tier event queue vs the flat-heap reference, property-tested.
+
+The engine replaced its flat ``(time, priority, sequence)`` heap with a
+two-tier structure: a dict of ``(time, priority)`` buckets drained FIFO
+plus a heap over the distinct keys.  The refactor is only sound if the
+*observable* schedule is untouched — every figure in the repo is pinned
+byte-for-byte to the old ordering.
+
+These properties pin that contract against a reference implementation
+of the old scheduler kept here in the test: for any program of
+schedules — same-timestamp collisions, URGENT priorities, follow-on
+events scheduled from inside callbacks (the case the batch-drain
+optimisation could plausibly break) — the pop order and the processed
+count are identical.  A third property checks lazy cancellation against
+the reference with the cancelled set simply removed.
+"""
+
+from heapq import heappop, heappush
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simt import NORMAL, URGENT, Environment, Event
+
+# A coarse delay grid, so same-(time, priority) collisions — the whole
+# point of the bucket tier — are common rather than measure-zero.
+delays = st.sampled_from([0.0, 0.25, 0.5, 1.0, 2.0])
+priorities = st.sampled_from([URGENT, NORMAL])
+#: Follow-ons scheduled from inside the parent's callback.
+children = st.lists(st.tuples(delays, priorities), max_size=3)
+#: A program: root events scheduled up front at t=0 + delay.
+programs = st.lists(st.tuples(delays, priorities, children), max_size=15)
+
+
+def reference_order(ops):
+    """Run ``ops`` through the old engine's queue: one flat heap keyed
+    by ``(time, priority, sequence)``.  Returns the pop order as ids:
+    ``i`` for root i, ``(i, j)`` for its j-th follow-on."""
+    heap = []
+    seq = 0
+    for i, (delay, priority, _children) in enumerate(ops):
+        heappush(heap, (delay, priority, seq, i))
+        seq += 1
+    order = []
+    while heap:
+        now, _priority, _seq, ident = heappop(heap)
+        order.append(ident)
+        if isinstance(ident, int):
+            for j, (delay, priority) in enumerate(ops[ident][2]):
+                heappush(heap, (now + delay, priority, seq, (ident, j)))
+                seq += 1
+    return order
+
+
+def _schedule_bare(env, ident, child_ops, order):
+    """Schedule a bare triggered event the way Timeout does, recording
+    ``ident`` and scheduling ``child_ops`` when its callback runs."""
+    event = Event(env)
+    event._ok = True
+    event._value = None
+
+    def callback(_event):
+        order.append(ident)
+        for j, (delay, priority) in enumerate(child_ops):
+            child = _schedule_bare(env, (ident, j), (), order)
+            env.schedule(child, delay=delay, priority=priority)
+
+    event.callbacks.append(callback)
+    return event
+
+
+@given(programs)
+@settings(max_examples=200)
+def test_pop_order_matches_flat_heap_reference(ops):
+    env = Environment()
+    order = []
+    for i, (delay, priority, child_ops) in enumerate(ops):
+        event = _schedule_bare(env, i, child_ops, order)
+        env.schedule(event, delay=delay, priority=priority)
+    env.run()
+    expected = reference_order(ops)
+    assert order == expected
+    assert env.events_processed == len(expected)
+
+
+@given(programs)
+@settings(max_examples=100)
+def test_clock_advance_matches_reference(ops):
+    """The final clock equals the last pop time of the reference heap."""
+    heap, seq = [], 0
+    for i, (delay, priority, _c) in enumerate(ops):
+        heappush(heap, (delay, priority, seq, i))
+        seq += 1
+    last = 0.0
+    while heap:
+        now, _p, _s, ident = heappop(heap)
+        last = now
+        if isinstance(ident, int):
+            for j, (delay, priority) in enumerate(ops[ident][2]):
+                heappush(heap, (now + delay, priority, seq, (ident, j)))
+                seq += 1
+
+    env = Environment()
+    order = []
+    for i, (delay, priority, child_ops) in enumerate(ops):
+        env.schedule(_schedule_bare(env, i, child_ops, order), delay=delay,
+                     priority=priority)
+    env.run()
+    assert env.now == last
+
+
+@given(st.lists(st.tuples(delays, priorities), min_size=1, max_size=20),
+       st.data())
+@settings(max_examples=200)
+def test_lazy_cancellation_matches_reference_minus_cancelled(ops, data):
+    cancelled = {
+        i for i in range(len(ops))
+        if data.draw(st.booleans(), label=f"cancel[{i}]")
+    }
+    env = Environment()
+    order = []
+    events = []
+    for i, (delay, priority) in enumerate(ops):
+        event = _schedule_bare(env, i, (), order)
+        env.schedule(event, delay=delay, priority=priority)
+        events.append(event)
+    for i in cancelled:
+        assert env.cancel(events[i])
+    env.run()
+
+    expected = [i for i in reference_order([(d, p, ()) for d, p in ops])
+                if i not in cancelled]
+    assert order == expected
+    assert env.events_processed == len(expected)
+    assert env.events_cancelled == len(cancelled)

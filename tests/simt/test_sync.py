@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.simt import Channel, Environment, Gate, Latch, Resource
+from repro.simt import Channel, Environment, Gate, Interrupt, Latch, Resource
 
 
 # ---------------------------------------------------------------- Channel
@@ -267,6 +267,98 @@ def test_resource_queue_length():
     env.process(waiter(env))
     env.run(until=5.0)
     assert res.queued == 1 and res.in_use == 1
+
+
+def test_resource_cancel_withdraws_queued_request():
+    """A process interrupted while parked on request() must be able to
+    withdraw; the slot then goes to the next live waiter, not to the
+    abandoned event."""
+    env = Environment()
+    res = Resource(env, capacity=1)
+    log = []
+
+    def holder(env):
+        req = res.request()
+        yield req
+        yield env.timeout(5.0)
+        res.release()
+
+    def impatient(env):
+        req = res.request()
+        try:
+            yield req
+        except Interrupt:
+            assert res.cancel(req) is True
+            log.append(("gave-up", env.now))
+            return
+        res.release()
+        log.append(("impatient-got-it", env.now))
+
+    def patient(env):
+        req = res.request()
+        yield req
+        log.append(("patient-got-it", env.now))
+        res.release()
+
+    env.process(holder(env))
+    imp = env.process(impatient(env))
+    env.process(patient(env))
+
+    def attacker(env):
+        yield env.timeout(2.0)
+        imp.interrupt("timeout")
+
+    env.process(attacker(env))
+    env.run()
+    assert log == [("gave-up", 2.0), ("patient-got-it", 5.0)]
+    assert res.in_use == 0 and res.queued == 0
+
+
+def test_resource_cancel_granted_request_returns_false():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    req = res.request()  # granted immediately
+    assert res.cancel(req) is False
+    assert res.in_use == 1
+
+
+def test_resource_release_skips_dead_triggered_waiter():
+    """Regression for the slot leak: release() handed the slot to a
+    queued event that was already triggered through another path, so
+    nobody ever released it and capacity shrank forever."""
+    env = Environment()
+    res = Resource(env, capacity=1)
+    res.request()  # hold the only slot
+    dead = res.request()  # queued...
+    dead.succeed()  # ...then triggered out-of-band, never cancelled
+    live_got_it = []
+
+    def live_waiter(env):
+        req = res.request()
+        yield req
+        live_got_it.append(env.now)
+        res.release()
+
+    env.process(live_waiter(env))
+    env.run()
+    assert live_got_it == []  # still queued behind the held slot
+    res.release()
+    env.run()
+    assert live_got_it == [0.0]
+    assert res.in_use == 0 and res.queued == 0
+
+
+def test_resource_release_with_only_dead_waiters_frees_slot():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    res.request()
+    dead = res.request()
+    dead.succeed()
+    res.release()
+    assert res.in_use == 0 and res.queued == 0
+    # The slot is genuinely free again.
+    assert res.request().triggered
+    assert res.in_use == 1
 
 
 # ---------------------------------------------------------------- Latch
