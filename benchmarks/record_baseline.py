@@ -20,6 +20,14 @@ Recording writes two small JSON documents next to this script:
     re-run is the number the service layer exists to protect: a warm
     regeneration should cost milliseconds.
 
+``BENCH_trace.json``
+    Trace-compaction trajectory — for each ASCI app's small Full cell:
+    raw records, VGVZ compact bytes, bytes/record, the compression
+    ratio against the analytic ``records x 24`` volume model, and the
+    codec's encode throughput over a capped expanded (unbatched)
+    record stream.  Records and compact bytes are exact (the codec is
+    deterministic); throughput carries the tolerance.
+
 Throughput is reported as the **best of N repeats** (default 5).  The
 minimum wall time over several runs is the standard way to measure a
 deterministic workload on a machine with frequency scaling and noisy
@@ -27,13 +35,17 @@ neighbours: every source of interference only ever makes a run slower,
 so the fastest observation is the closest to the machine's true speed.
 Mean/median would fold scheduler noise into the committed number.
 
-``--check`` re-measures the engine cell and compares against the
-committed ``BENCH_engine.json``:
+``--check`` re-measures the engine cell and the trace-compaction
+trajectory and compares against the committed ``BENCH_engine.json``
+and ``BENCH_trace.json``:
 
 * the event **count** must match exactly — it is a determinism check,
   any drift means the simulation itself changed;
-* ``events_per_sec`` must be within ``--tolerance`` (default 0.15,
-  i.e. no more than 15% slower than the committed baseline).
+* per app, the trace **record count** and **compact bytes** must match
+  exactly (codec determinism: same records, byte-identical stream);
+* ``events_per_sec`` and the per-app encode throughput must be within
+  ``--tolerance`` (default 0.15, i.e. no more than 15% slower than the
+  committed baseline).
 
 The check exits non-zero on failure so CI can gate on it (the
 ``bench-smoke`` job).  The tolerance absorbs runner-to-runner machine
@@ -59,6 +71,10 @@ HERE = Path(__file__).resolve().parent
 ENGINE_CELL = {"app": "sweep3d", "policy": "Full", "procs": 16,
                "scale": 0.1, "seed": 7}
 FIG7 = {"cpu_counts": (1, 4, 16), "scale": 0.05, "seed": 7}
+TRACE_CELL = {"policy": "Full", "procs": 4, "scale": 0.05, "seed": 7}
+TRACE_APPS = ("smg98", "sppm", "sweep3d", "umt98")
+#: Encode-throughput stream length (expanded records per app).
+TRACE_STREAM_CAP = 100_000
 DEFAULT_REPEATS = 5
 DEFAULT_TOLERANCE = 0.15
 
@@ -149,6 +165,120 @@ def record_fig7():
     return doc
 
 
+def measure_trace_app(app_name, repeats=DEFAULT_REPEATS):
+    """Compaction metrics + best-of-``repeats`` encode throughput.
+
+    The full cell's trace is compressed twice and the outputs must be
+    byte-identical (codec determinism).  Throughput is measured over a
+    capped *expanded* stream (batch records unrolled into their raw
+    enter/leave pairs) so the number reflects genuine per-record encode
+    cost rather than a handful of aggregate objects.
+    """
+    import io
+
+    from repro.compact import (CompactWriter, compress_trace_bytes,
+                               expand_batch_pairs)
+    from repro.dynprof import run_policy_job
+
+    app = get_app(app_name)
+    _result, job = run_policy_job(
+        app, TRACE_CELL["policy"], TRACE_CELL["procs"],
+        scale=TRACE_CELL["scale"], seed=TRACE_CELL["seed"],
+    )
+    trace = job.trace
+    data, stats = compress_trace_bytes(trace)
+    data2, _ = compress_trace_bytes(trace)
+    if data != data2:
+        raise AssertionError(f"{app_name}: non-deterministic VGVZ encode")
+
+    stream = []
+    for key in sorted(trace.buffers):
+        for rec in expand_batch_pairs(trace.buffers[key].records):
+            stream.append(rec)
+            if len(stream) >= TRACE_STREAM_CAP:
+                break
+        if len(stream) >= TRACE_STREAM_CAP:
+            break
+    best = None
+    for _ in range(repeats):
+        fh = io.BytesIO()
+        writer = CompactWriter(fh)
+        writer.begin_buffer(0, 0)
+        t0 = time.perf_counter()
+        for rec in stream:
+            writer.write(rec)
+        writer.close()
+        wall = time.perf_counter() - t0
+        if best is None or wall < best:
+            best = wall
+    return {
+        "raw_records": stats.raw_records,
+        "record_objects": stats.record_objects,
+        "compact_bytes": stats.compact_bytes,
+        "bytes_per_record": round(stats.bytes_per_record, 4),
+        "ratio": round(stats.ratio, 1),
+        "stream_records": len(stream),
+        "encode_wall_s": round(best, 4),
+        "encode_records_per_sec": round(len(stream) / best),
+        "encode_mb_per_s": round(len(stream) * 24 / 1e6 / best, 2),
+    }
+
+
+def record_trace(repeats=DEFAULT_REPEATS):
+    doc = {
+        "benchmark": "trace-compaction",
+        "cell": dict(TRACE_CELL),
+        "stream_cap": TRACE_STREAM_CAP,
+        "repeats": repeats,
+        "apps": {name: measure_trace_app(name, repeats)
+                 for name in TRACE_APPS},
+        **_context(),
+    }
+    (HERE / "BENCH_trace.json").write_text(
+        json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+    return doc
+
+
+def check_trace(tolerance=DEFAULT_TOLERANCE, repeats=DEFAULT_REPEATS):
+    """Compare fresh trace-compaction metrics against the baseline.
+
+    Returns 0 on pass, 1 on regression.
+    """
+    path = HERE / "BENCH_trace.json"
+    if not path.exists():
+        print(f"check: no committed baseline at {path}", file=sys.stderr)
+        return 1
+    baseline = json.loads(path.read_text(encoding="utf-8"))
+    ok = True
+    for name in TRACE_APPS:
+        want = baseline["apps"][name]
+        got = measure_trace_app(name, repeats)
+        floor = want["encode_records_per_sec"] * (1.0 - tolerance)
+        print(f"check[{name}]: {got['raw_records']} records -> "
+              f"{got['compact_bytes']} B (x{got['ratio']}), encode "
+              f"{got['encode_records_per_sec']} rec/s "
+              f"(floor {floor:.0f})")
+        if got["raw_records"] != want["raw_records"]:
+            print(f"check[{name}]: FAIL - record count drifted: "
+                  f"{got['raw_records']} != {want['raw_records']}",
+                  file=sys.stderr)
+            ok = False
+        if got["compact_bytes"] != want["compact_bytes"]:
+            print(f"check[{name}]: FAIL - compact stream drifted: "
+                  f"{got['compact_bytes']} B != {want['compact_bytes']} B "
+                  f"(codec output changed; re-record if intentional)",
+                  file=sys.stderr)
+            ok = False
+        if got["encode_records_per_sec"] < floor:
+            print(f"check[{name}]: FAIL - encode throughput regression: "
+                  f"{got['encode_records_per_sec']} < {floor:.0f} rec/s",
+                  file=sys.stderr)
+            ok = False
+    if ok:
+        print("check: trace OK")
+    return 0 if ok else 1
+
+
 def check_engine(tolerance=DEFAULT_TOLERANCE, repeats=DEFAULT_REPEATS):
     """Compare a fresh measurement against the committed baseline.
 
@@ -197,7 +327,10 @@ def main(argv=None):
     args = parser.parse_args(argv)
 
     if args.check:
-        return check_engine(tolerance=args.tolerance, repeats=args.repeats)
+        rc = check_engine(tolerance=args.tolerance, repeats=args.repeats)
+        rc_trace = check_trace(tolerance=args.tolerance,
+                               repeats=args.repeats)
+        return rc or rc_trace
 
     engine = record_engine(repeats=args.repeats)
     print(f"engine: {engine['events']} events in {engine['wall_time_s']}s "
@@ -207,6 +340,12 @@ def main(argv=None):
     print(f"fig7:   cold {fig7['cold_wall_time_s']}s, "
           f"cached {fig7['cached_wall_time_s']}s "
           f"(x{fig7['cached_speedup']}, hit rate {fig7['cached_hit_rate']})")
+    trace = record_trace(repeats=args.repeats)
+    for name, row in trace["apps"].items():
+        print(f"trace:  {name}: {row['raw_records']} records -> "
+              f"{row['compact_bytes']} B (x{row['ratio']}), "
+              f"{row['bytes_per_record']} B/rec, encode "
+              f"{row['encode_mb_per_s']} MB/s")
     return 0
 
 

@@ -1,0 +1,227 @@
+"""Streaming repeat suppression over per-(process, thread) item streams.
+
+The paper's trace volume problem is overwhelmingly *structural
+redundancy*: an application's timestep loop emits the same
+enter/leave/message shape thousands of times, differing only in
+timestamps.  :class:`RepeatSuppressor` detects such tandem repeats
+on-line — generalising the executor's :class:`~repro.vt.records.\
+BatchPairRecord` idea (one function's enter/leave pairs) to *arbitrary*
+repeated subsequences (whole loop bodies, mixed record kinds) — and
+folds them into :class:`Fold` groups that carry every constituent item,
+so downstream encoding stays lossless: the structure is stored once,
+only the per-iteration payloads (timestamps) repeat.
+
+The detector is windowed run-length encoding over *structural keys*
+(caller-supplied; timestamps excluded): when the last ``2w`` keys form
+two identical ``w``-long sequences, a fold opens and keeps absorbing
+iterations while the keys keep matching and time keeps moving forward.
+Out-of-order timestamps are rejected *from suppression* (never from
+the stream): a backwards step closes the fold and the items pass
+through verbatim, so compaction can never reorder or corrupt a trace.
+
+Memory and output lag are bounded by ``2 * max_window`` items, which is
+what makes the suppressor safe to put inside a streaming writer or a
+fixed-capacity ring buffer (:func:`fold_ring`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Tuple, Union
+
+__all__ = ["Fold", "RepeatSuppressor", "fold_ring", "DEFAULT_MAX_WINDOW"]
+
+#: Longest repeated-subsequence body the detector looks for.
+DEFAULT_MAX_WINDOW = 16
+
+
+class Fold:
+    """``n`` consecutive iterations of one repeated item subsequence.
+
+    ``iterations[k][j]`` is iteration ``k``'s item at body position
+    ``j``; every iteration has the same structural key sequence, so the
+    body structure need only be stored once.
+    """
+
+    __slots__ = ("iterations",)
+
+    def __init__(self, iterations: List[List[Any]]) -> None:
+        self.iterations = iterations
+
+    @property
+    def n(self) -> int:
+        """Number of iterations folded."""
+        return len(self.iterations)
+
+    @property
+    def width(self) -> int:
+        """Items per iteration (the repeated body's length)."""
+        return len(self.iterations[0])
+
+    @property
+    def items(self) -> int:
+        """Total items the fold stands for."""
+        return self.n * self.width
+
+    def __iter__(self):
+        for iteration in self.iterations:
+            yield from iteration
+
+    def __repr__(self) -> str:
+        return f"<Fold {self.n}x{self.width} items>"
+
+
+class RepeatSuppressor:
+    """On-line tandem-repeat detector over one item stream.
+
+    ``key(item)`` must return a hashable structural key (timestamps and
+    other per-occurrence payloads excluded); two items fold together
+    only when their keys are equal.  ``time(item)``, when given, must
+    return the item's timestamp: folds only form and grow while
+    timestamps are non-decreasing.
+
+    :meth:`push` returns the items (and :class:`Fold` groups) that are
+    now final, in input order; :meth:`flush` drains the tail.  The
+    concatenation of all outputs, with folds expanded in order, is
+    exactly the input stream.
+    """
+
+    def __init__(
+        self,
+        key: Callable[[Any], Any],
+        time: Optional[Callable[[Any], float]] = None,
+        max_window: int = DEFAULT_MAX_WINDOW,
+    ) -> None:
+        if max_window < 1:
+            raise ValueError(f"max_window must be >= 1, got {max_window}")
+        self._key = key
+        self._time = time
+        self.max_window = max_window
+        #: Items not yet emitted and not inside the active fold.
+        self._pending: List[Any] = []
+        self._pending_keys: List[Any] = []
+        #: Active fold state (None when no repeat is in progress).
+        self._body_keys: Optional[Tuple[Any, ...]] = None
+        self._iterations: List[List[Any]] = []
+        self._partial: List[Any] = []
+        self._last_time: float = float("-inf")
+        #: Folds emitted / items absorbed into them (monitoring).
+        self.folds = 0
+        self.folded_items = 0
+
+    # -- the streaming interface ----------------------------------------------
+
+    def push(self, item: Any) -> List[Union[Any, Fold]]:
+        """Feed one item; returns everything that became final."""
+        out: List[Union[Any, Fold]] = []
+        k = self._key(item)
+        t = self._time(item) if self._time is not None else None
+        if self._body_keys is not None:
+            pos = len(self._partial)
+            if k == self._body_keys[pos] and (t is None or t >= self._last_time):
+                self._partial.append(item)
+                if t is not None:
+                    self._last_time = t
+                if len(self._partial) == len(self._body_keys):
+                    self._iterations.append(self._partial)
+                    self._partial = []
+                return out
+            # The repeat broke: emit the fold, requeue the partial match.
+            requeued = self._close_fold(out)
+            for prev in requeued:
+                self._absorb(prev, self._key(prev), out)
+        self._absorb(item, k, out)
+        return out
+
+    def flush(self) -> List[Union[Any, Fold]]:
+        """Drain the active fold and every pending item, in order."""
+        out: List[Union[Any, Fold]] = []
+        if self._body_keys is not None:
+            out.extend(self._close_fold(out) or [])
+        out.extend(self._pending)
+        self._pending = []
+        self._pending_keys = []
+        self._last_time = float("-inf")
+        return out
+
+    # -- internals --------------------------------------------------------------
+
+    def _close_fold(self, out: List[Union[Any, Fold]]) -> List[Any]:
+        """Emit the active fold into ``out``; returns the partial tail."""
+        fold = Fold(self._iterations)
+        self.folds += 1
+        self.folded_items += fold.items
+        out.append(fold)
+        partial = self._partial
+        self._body_keys = None
+        self._iterations = []
+        self._partial = []
+        return partial
+
+    def _absorb(self, item: Any, k: Any, out: List[Union[Any, Fold]]) -> None:
+        """Append to pending, then look for a fresh tandem repeat."""
+        pending = self._pending
+        keys = self._pending_keys
+        pending.append(item)
+        keys.append(k)
+        n = len(pending)
+        time_fn = self._time
+        for w in range(1, min(self.max_window, n // 2) + 1):
+            if keys[n - 2 * w:n - w] != keys[n - w:]:
+                continue
+            region = pending[n - 2 * w:]
+            if time_fn is not None and not _non_decreasing(region, time_fn):
+                continue
+            # Everything before the repeat region is final now.
+            out.extend(pending[:n - 2 * w])
+            self._body_keys = tuple(keys[n - w:])
+            self._iterations = [region[:w], region[w:]]
+            if time_fn is not None:
+                self._last_time = time_fn(region[-1])
+            pending.clear()
+            keys.clear()
+            return
+        # Bound memory/lag: the head can no longer join any repeat the
+        # window could still detect.
+        while len(pending) > 2 * self.max_window:
+            out.append(pending.pop(0))
+            keys.pop(0)
+
+
+def _non_decreasing(items: List[Any], time_fn: Callable[[Any], float]) -> bool:
+    prev = float("-inf")
+    for item in items:
+        t = time_fn(item)
+        if t < prev:
+            return False
+        prev = t
+    return True
+
+
+def fold_ring(
+    items: List[Any],
+    key: Callable[[Any], Any],
+    merge: Callable[[Fold], List[Any]],
+    max_window: int = 8,
+) -> List[Any]:
+    """One batch compaction pass over a bounded buffer's contents.
+
+    Runs the suppressor over ``items`` and replaces every detected
+    :class:`Fold` with ``merge(fold)`` — typically the first iteration's
+    items annotated with the fold count — so a full ring can shed
+    *redundancy* before it has to shed *information*.  Items that did
+    not fold pass through unchanged, in order.
+    """
+    suppressor = RepeatSuppressor(key, max_window=max_window)
+    out: List[Any] = []
+    for item in items:
+        for element in suppressor.push(item):
+            if isinstance(element, Fold):
+                out.extend(merge(element))
+            else:
+                out.append(element)
+    for element in suppressor.flush():
+        if isinstance(element, Fold):
+            out.extend(merge(element))
+        else:
+            out.append(element)
+    return out

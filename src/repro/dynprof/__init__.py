@@ -21,7 +21,8 @@ from .bootstrap import (
 from .commands import Command, CommandError, HELP_TEXT, parse_command, parse_script
 from .control import BreakpointVisit, DynamicControlMonitor
 from .ephemeral import EphemeralProfiler, SamplingReport
-from .policies import POLICIES, PolicyResult, policy_description, run_policy
+from .policies import (POLICIES, PolicyResult, policy_description,
+                       run_policy, run_policy_job)
 from .timefile import Timefile, TimedPhase
 from .tool import DynProf, DynProfError
 
@@ -39,6 +40,7 @@ __all__ = [
     "PolicyResult",
     "policy_description",
     "run_policy",
+    "run_policy_job",
     "DynamicControlMonitor",
     "BreakpointVisit",
     "EphemeralProfiler",

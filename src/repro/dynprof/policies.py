@@ -33,7 +33,8 @@ from ..simt import Environment
 from ..vt import VTConfig
 from .tool import DynProf
 
-__all__ = ["POLICIES", "PolicyResult", "run_policy", "policy_description"]
+__all__ = ["POLICIES", "PolicyResult", "run_policy", "run_policy_job",
+           "policy_description"]
 
 POLICIES = ("Full", "Full-Off", "Subset", "None", "Dynamic")
 
@@ -110,6 +111,30 @@ def run_policy(
     faults: Optional[FaultPlan] = None,
 ) -> PolicyResult:
     """Run one (app, policy, CPUs) cell and collect the measurements."""
+    result, _job = run_policy_job(
+        app, policy, n_cpus, scale=scale, machine=machine, seed=seed,
+        faults=faults,
+    )
+    return result
+
+
+def run_policy_job(
+    app: AppSpec,
+    policy: str,
+    n_cpus: int,
+    scale: float = 1.0,
+    machine: MachineSpec = POWER3_SP,
+    seed: int = 0,
+    faults: Optional[FaultPlan] = None,
+):
+    """Like :func:`run_policy`, but also returns the finished job.
+
+    The job exposes artifacts the summary :class:`PolicyResult` cannot
+    carry through the cache (its payload is the JSON ``asdict`` form):
+    most importantly ``job.trace``, the merged postmortem
+    :class:`~repro.vt.buffer.TraceFile` the compaction experiments
+    compress and cross-check.  Returns ``(result, job)``.
+    """
     if n_cpus not in app.cpu_counts and n_cpus > max(app.cpu_counts):
         raise ValueError(f"{app.name} was not evaluated beyond {max(app.cpu_counts)} CPUs")
     env = Environment()
@@ -159,7 +184,7 @@ def run_policy(
     else:
         per_rank = [job.proc.value]
 
-    return PolicyResult(
+    result = PolicyResult(
         app=app.name,
         policy=policy,
         n_cpus=n_cpus,
@@ -171,3 +196,4 @@ def run_policy(
         instrument_time=instrument_time,
         faults=fault_report,
     )
+    return result, job

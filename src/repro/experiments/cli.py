@@ -65,7 +65,12 @@ from .fig8 import IA32_PROC_COUNTS, IBM_PROC_COUNTS, run_fig8a, run_fig8b, run_f
 from .fig9 import run_fig9
 from .results import FigureResult
 from .tables import render_table1, render_table2, render_table3
-from .tracevol import render_tracevol, run_tracevol
+from .tracevol import (
+    render_compression,
+    render_tracevol,
+    run_tracevol,
+    run_tracevol_compression,
+)
 
 __all__ = ["main", "run_experiment", "EXPERIMENTS", "ExperimentOutput"]
 
@@ -75,6 +80,7 @@ EXPERIMENTS = (
     "fig8a", "fig8b", "fig8c", "fig8",
     "fig9",
     "tracevol",
+    "tracevol-compress",
     "all",
 )
 
@@ -145,6 +151,13 @@ def run_experiment(
             run_tracevol(n_cpus=n, scale=scale, seed=seed, runner=runner,
                          faults=faults)
         ))
+    elif name == "tracevol-compress":
+        # In-process only: the compactor needs the postmortem TraceFile
+        # itself, which never travels through the cache/worker envelope.
+        n = 2 if quick else 4
+        out.append(render_compression(
+            run_tracevol_compression(n_cpus=n, scale=scale, seed=seed)
+        ))
     elif name == "all":
         for exp in ("table1", "table2", "table3", "fig7", "fig8", "fig9", "tracevol"):
             out.extend(run_experiment(exp, scale, seed, quick, runner,
@@ -188,6 +201,11 @@ def _add_runner_args(parser: argparse.ArgumentParser) -> None:
                         help="per-track trace ring-buffer bound in events "
                              "(default 65536; evictions are counted, not "
                              "silent)")
+    parser.add_argument("--trace-compact", action="store_true",
+                        help="fold repeated event subsequences when a trace "
+                             "ring fills instead of dropping immediately "
+                             "(repro.compact); figure outputs are "
+                             "unaffected")
     parser.add_argument("--backend", metavar="SPEC", default=None,
                         help="executor backend: serial, process[:N], or "
                              "socket:HOST:PORT (remote `worker` processes "
@@ -219,6 +237,7 @@ def _build_runner(args: argparse.Namespace) -> SweepRunner:
         collect_obs=bool(args.obs),
         collect_trace=bool(args.trace),
         trace_detail=args.trace_detail,
+        trace_compact=bool(args.trace_compact),
         executor=args.backend,
         **kwargs,
     )
@@ -452,6 +471,142 @@ def _load_fault_plan(
     return None
 
 
+# -- the `trace compact` subcommand ---------------------------------------------
+
+
+def _compact_inputs(paths: List[str], suffixes: tuple) -> List[str]:
+    """Expand files/directories into trace files with given suffixes."""
+    import os as _os
+
+    found: List[str] = []
+    for path in paths:
+        if _os.path.isdir(path):
+            for entry in sorted(_os.listdir(path)):
+                if entry.endswith(suffixes):
+                    found.append(_os.path.join(path, entry))
+        else:
+            found.append(path)
+    return found
+
+
+def trace_compact_main(argv: List[str]) -> int:
+    """``repro-experiments trace compact`` — compress, decompress or
+    inspect on-disk trace files (VGVTRACE text <-> VGVZ binary)."""
+    import json as _json
+    import os as _os
+
+    from ..compact import CompactReader, compress_trace_bytes
+    from ..vt import load_trace, save_trace, save_trace_compact
+
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments trace compact",
+        description="Streaming trace compaction: convert VGVTRACE text "
+                    "files (save_trace) to/from the compact VGVZ binary "
+                    "format, or report compression statistics.  The "
+                    "round trip is lossless, record for record.",
+    )
+    parser.add_argument("action", choices=("compress", "decompress", "stats"),
+                        help="compress text->VGVZ, decompress VGVZ->text, "
+                             "or report per-file compaction statistics")
+    parser.add_argument("paths", nargs="+", metavar="PATH",
+                        help="trace files, or directories to scan "
+                             "(*.vgv/*.trace for compress, *.vgvz for "
+                             "decompress, both for stats)")
+    parser.add_argument("--out-dir", metavar="DIR", default=None,
+                        help="write outputs here instead of next to inputs")
+    parser.add_argument("--no-suppress", action="store_true",
+                        help="disable repeat suppression (keep only the "
+                             "delta/varint framing) when compressing")
+    parser.add_argument("--json", action="store_true",
+                        help="print one JSON document instead of a table")
+    args = parser.parse_args(argv)
+
+    text_suffixes = (".vgv", ".trace", ".txt")
+    if args.action == "compress":
+        suffixes: tuple = text_suffixes
+    elif args.action == "decompress":
+        suffixes = (".vgvz",)
+    else:
+        suffixes = text_suffixes + (".vgvz",)
+    inputs = _compact_inputs(args.paths, suffixes)
+    if not inputs:
+        print("trace compact: no trace files found", file=sys.stderr)
+        return 2
+
+    def _out_path(src: str, new_suffix: str) -> str:
+        stem = _os.path.basename(src)
+        for sfx in text_suffixes + (".vgvz",):
+            if stem.endswith(sfx):
+                stem = stem[: -len(sfx)]
+                break
+        directory = args.out_dir or _os.path.dirname(src) or "."
+        if args.out_dir:
+            _os.makedirs(args.out_dir, exist_ok=True)
+        return _os.path.join(directory, stem + new_suffix)
+
+    rows: List[dict] = []
+    for src in inputs:
+        try:
+            if args.action == "compress":
+                trace = load_trace(src)
+                dst = _out_path(src, ".vgvz")
+                stats = save_trace_compact(trace, dst,
+                                           suppress=not args.no_suppress)
+                row = {"file": src, "out": dst, **stats.to_dict(),
+                       "text_bytes": _os.path.getsize(src)}
+            elif args.action == "decompress":
+                reader = CompactReader.from_file(src)
+                trace = reader.read_trace()
+                dst = _out_path(src, ".vgv")
+                save_trace(trace, dst)
+                row = {"file": src, "out": dst,
+                       "raw_records": trace.raw_record_count,
+                       "model_bytes": trace.size_bytes,
+                       "compact_bytes": _os.path.getsize(src)}
+            else:
+                if src.endswith(".vgvz"):
+                    reader = CompactReader.from_file(src)
+                    trace = reader.read_trace()
+                    compact_size = _os.path.getsize(src)
+                else:
+                    trace = load_trace(src)
+                    data, _stats = compress_trace_bytes(
+                        trace, suppress=not args.no_suppress)
+                    compact_size = len(data)
+                model = trace.size_bytes
+                row = {
+                    "file": src,
+                    "raw_records": trace.raw_record_count,
+                    "model_bytes": model,
+                    "compact_bytes": compact_size,
+                    "bytes_per_record": round(
+                        compact_size / trace.raw_record_count, 3
+                    ) if trace.raw_record_count else 0.0,
+                    "ratio": round(model / compact_size, 2)
+                    if compact_size else 0.0,
+                }
+        except (OSError, ValueError) as exc:
+            print(f"trace compact: {src}: {exc}", file=sys.stderr)
+            return 1
+        rows.append(row)
+
+    if args.json:
+        print(_json.dumps({"action": args.action, "files": rows}, indent=2))
+        return 0
+    for row in rows:
+        parts = [row["file"]]
+        if "out" in row:
+            parts.append(f"-> {row['out']}")
+        parts.append(f"{row['raw_records']:,} records")
+        parts.append(f"model {row['model_bytes']:,} B")
+        if "compact_bytes" in row:
+            parts.append(f"compact {row['compact_bytes']:,} B")
+        if "ratio" in row:
+            parts.append(f"x{row['ratio']:.1f}")
+        print("  ".join(str(p) for p in parts))
+    return 0
+
+
 # -- the `trace` subcommand -----------------------------------------------------
 
 
@@ -459,6 +614,8 @@ def trace_main(argv: List[str]) -> int:
     """``repro-experiments trace`` — run one (app, policy, CPUs) point
     with causal tracing on and print its critical-path / perturbation
     summary."""
+    if argv and argv[0] == "compact":
+        return trace_compact_main(argv[1:])
     from ..obs.analysis import render_trace_summary
     from ..obs.export import save_trace_svg, write_chrome_trace
     from ..obs.trace import DEFAULT_CAPACITY
@@ -489,6 +646,9 @@ def trace_main(argv: List[str]) -> int:
     parser.add_argument("--capacity", type=int, default=DEFAULT_CAPACITY,
                         metavar="N", help="per-track ring-buffer bound "
                                           f"(default {DEFAULT_CAPACITY})")
+    parser.add_argument("--compact", action="store_true",
+                        help="fold repeated event subsequences when a ring "
+                             "fills instead of dropping immediately")
     parser.add_argument("--out", metavar="FILE", default=None,
                         help="also write the raw trace document (JSON)")
     parser.add_argument("--chrome", metavar="FILE", default=None,
@@ -496,6 +656,12 @@ def trace_main(argv: List[str]) -> int:
                              "(chrome://tracing / Perfetto)")
     parser.add_argument("--svg", metavar="FILE", default=None,
                         help="also render a static SVG timeline")
+    parser.add_argument("--vgv", metavar="FILE", default=None,
+                        help="also save the postmortem VT trace as a "
+                             "VGVTRACE text file (see `trace compact`)")
+    parser.add_argument("--vgvz", metavar="FILE", default=None,
+                        help="also save the postmortem VT trace in the "
+                             "compact VGVZ binary format")
     args = parser.parse_args(argv)
 
     try:
@@ -512,7 +678,8 @@ def trace_main(argv: List[str]) -> int:
     )
     envelope = execute_point(point, collect_trace=True,
                              trace_detail=args.detail,
-                             trace_capacity=args.capacity)
+                             trace_capacity=args.capacity,
+                             trace_compact=args.compact)
     if envelope["status"] != "ok":
         print(f"repro-experiments trace: {point.label}: "
               f"{envelope.get('error', envelope['status'])}",
@@ -520,6 +687,27 @@ def trace_main(argv: List[str]) -> int:
         return 1
     doc = envelope["trace"]
     elapsed = envelope["payload"].get("time")
+
+    if args.vgv or args.vgvz:
+        # The postmortem VT TraceFile never travels through the worker
+        # envelope, so re-run the (deterministic) point in-process.
+        from ..dynprof import run_policy_job
+        from ..vt import save_trace, save_trace_compact
+
+        _result, job = run_policy_job(
+            get_app(args.app), args.policy, args.cpus,
+            scale=args.scale, machine=get_machine(args.machine),
+            seed=args.seed,
+        )
+        if args.vgv:
+            save_trace(job.trace, args.vgv)
+            print(f"wrote VGVTRACE text to {args.vgv}", file=sys.stderr)
+        if args.vgvz:
+            stats = save_trace_compact(job.trace, args.vgvz)
+            print(f"wrote VGVZ trace to {args.vgvz} "
+                  f"({stats.raw_records:,} records, "
+                  f"{stats.compact_bytes:,} B, x{stats.ratio:.1f} vs the "
+                  f"volume model)", file=sys.stderr)
 
     if args.out:
         import json as _json
@@ -536,8 +724,10 @@ def trace_main(argv: List[str]) -> int:
                        title=f"{args.app} {args.policy} @{args.cpus}")
         print(f"wrote SVG timeline to {args.svg}", file=sys.stderr)
 
+    folded = doc.get("folded_events", 0)
+    folded_note = f", folded={folded}" if folded else ""
     print(f"trace: {point.label} (detail={args.detail}, "
-          f"dropped={doc['dropped_events']})")
+          f"dropped={doc['dropped_events']}{folded_note})")
     print()
     print(render_trace_summary(doc, elapsed=elapsed))
     return 0

@@ -29,6 +29,8 @@ __all__ = [
     "render_tracevol",
     "tracer_trace_bytes",
     "run_tracevol_crosscheck",
+    "run_tracevol_compression",
+    "render_compression",
 ]
 
 #: Bytes per raw trace record (the :class:`repro.vt.TraceFile` default).
@@ -129,36 +131,59 @@ def run_tracevol_crosscheck(
     scale: float = 0.05,
     machine: MachineSpec = POWER3_SP,
     seed: int = 0,
+    batched: bool = True,
 ) -> List[Dict[str, Any]]:
     """Run one traced cell per app and compare the tracer-derived trace
     volume against the analytic model's.
 
     Returns one row per app: ``{"app", "policy", "analytic_bytes",
-    "tracer_bytes", "rel_err"}``.  ``rel_err`` excludes the handful of
+    "tracer_bytes", "rel_err", "batched", "raw_records",
+    "expanded_records"}``.  ``rel_err`` excludes the handful of
     finalisation markers (suspension intervals) the analytic count
     includes but the runtime counter cannot see; it stays well under a
     few percent on every app, which is the acceptance tolerance the
     test suite pins.
+
+    Two knobs make the :class:`~repro.vt.records.BatchPairRecord`
+    accounting fully exercised rather than assumed:
+
+    * ``batched=False`` re-runs the same workload with the executor's
+      batch fast path off (:func:`repro.program.set_batching`), so the
+      stream carries raw enter/leave pairs where the batched stream
+      carries aggregate records — both must match the analytic model
+      to the same tolerance;
+    * every row expands the trace's batch records explicitly
+      (:func:`repro.compact.expand_batch_pairs`) and reports the
+      expanded stream's length, which must equal ``raw_records``
+      exactly — the 2n-per-batch identity the volume model rests on.
     """
-    from ..runner.worker import execute_point
+    from ..compact import expand_batch_pairs
+    from ..dynprof import run_policy_job
+    from ..obs import trace as obs_trace
+    from ..program import set_batching
 
     rows: List[Dict[str, Any]] = []
     for name in (apps if apps is not None else list(ALL_APPS)):
-        point = SweepPoint.policy_cell(
-            name, policy, n_cpus, scale=scale, machine=machine, seed=seed,
-        )
-        envelope = execute_point(point, collect_trace=True,
-                                 trace_detail="coarse")
-        if envelope["status"] != "ok":
-            raise RuntimeError(
-                f"tracevol crosscheck: {point.label}: "
-                f"{envelope.get('error', envelope['status'])}"
-            )
-        analytic = int(envelope["payload"]["trace_bytes"])
-        derived = tracer_trace_bytes(envelope["trace"])
+        previous = set_batching(batched)
+        try:
+            with obs_trace.tracing(detail="coarse") as tracer:
+                result, job = run_policy_job(
+                    get_app(name), policy, n_cpus,
+                    scale=scale, machine=machine, seed=seed,
+                )
+            trace_doc = tracer.snapshot()
+        finally:
+            set_batching(previous)
+        analytic = int(result.trace_bytes)
+        derived = tracer_trace_bytes(trace_doc)
         rel_err = (
             abs(derived - analytic) / analytic if analytic else
             (0.0 if derived == 0 else float("inf"))
+        )
+        raw_records = job.trace.raw_record_count
+        expanded = sum(
+            sum(1 for _ in expand_batch_pairs(buf.records))
+            for buf in job.trace.buffers.values()
         )
         rows.append({
             "app": name,
@@ -166,5 +191,105 @@ def run_tracevol_crosscheck(
             "analytic_bytes": analytic,
             "tracer_bytes": derived,
             "rel_err": rel_err,
+            "batched": batched,
+            "raw_records": raw_records,
+            "expanded_records": expanded,
         })
     return rows
+
+
+# -- compression-ratio curve -------------------------------------------------------
+
+
+def run_tracevol_compression(
+    apps: Optional[List[str]] = None,
+    policy: str = "Full",
+    n_cpus: int = 4,
+    scale: float = 0.05,
+    machine: MachineSpec = POWER3_SP,
+    seed: int = 0,
+) -> List[Dict[str, Any]]:
+    """Per-app compression curve of the VGVZ codec, model-cross-checked.
+
+    Runs one policy cell per app, compresses the postmortem
+    :class:`~repro.vt.buffer.TraceFile` with suppression on and off,
+    and returns one row per app::
+
+        {"app", "policy", "n_cpus", "raw_records", "analytic_bytes",
+         "compact_bytes", "unsuppressed_bytes", "bytes_per_record",
+         "ratio", "folds", "lossless"}
+
+    ``analytic_bytes`` is the volume model (``raw_records x
+    record_bytes``) and is asserted equal to the codec's own
+    ``model_bytes`` accounting; ``lossless`` is a per-app round-trip
+    verification (decode equals input, record for record).
+    """
+    from ..compact import compress_trace_bytes, decompress_trace
+    from ..dynprof import run_policy_job
+
+    rows: List[Dict[str, Any]] = []
+    for name in (apps if apps is not None else list(ALL_APPS)):
+        result, job = run_policy_job(
+            get_app(name), policy, n_cpus,
+            scale=scale, machine=machine, seed=seed,
+        )
+        trace = job.trace
+        data, stats = compress_trace_bytes(trace)
+        if stats.model_bytes != trace.size_bytes:
+            raise RuntimeError(
+                f"{name}: codec model accounting {stats.model_bytes} != "
+                f"analytic volume {trace.size_bytes}"
+            )
+        _data_off, stats_off = compress_trace_bytes(trace, suppress=False)
+        decoded = decompress_trace(data)
+        lossless = _same_records(trace, decoded)
+        rows.append({
+            "app": name,
+            "policy": policy,
+            "n_cpus": int(result.n_cpus),
+            "raw_records": stats.raw_records,
+            "analytic_bytes": stats.model_bytes,
+            "compact_bytes": stats.compact_bytes,
+            "unsuppressed_bytes": stats_off.compact_bytes,
+            "bytes_per_record": stats.bytes_per_record,
+            "ratio": stats.ratio,
+            "folds": stats.folds,
+            "lossless": lossless,
+        })
+    return rows
+
+
+def _same_records(a: Any, b: Any) -> bool:
+    """Record-for-record, field-for-field equality of two TraceFiles."""
+    if sorted(a.buffers) != sorted(b.buffers):
+        return False
+    for key, buf in a.buffers.items():
+        other = b.buffers[key].records
+        if len(buf.records) != len(other):
+            return False
+        for x, y in zip(buf.records, other):
+            if type(x) is not type(y):
+                return False
+            if any(getattr(x, s) != getattr(y, s) for s in x.__slots__):
+                return False
+    return True
+
+
+def render_compression(rows: List[Dict[str, Any]]) -> str:
+    """Text table of the per-app compression curve."""
+    lines = [
+        "VGVZ compression vs the analytic volume model "
+        "(records x 24 bytes)",
+        f"{'app':<9s} {'cpus':>4s} {'records':>12s} {'model MB':>9s} "
+        f"{'VGVZ KB':>9s} {'B/rec':>7s} {'ratio':>8s} {'folds':>6s}",
+        "-" * 72,
+    ]
+    for r in rows:
+        lines.append(
+            f"{r['app']:<9s} {r['n_cpus']:>4d} {r['raw_records']:>12,} "
+            f"{r['analytic_bytes'] / 1e6:>9.2f} "
+            f"{r['compact_bytes'] / 1e3:>9.1f} "
+            f"{r['bytes_per_record']:>7.3f} {r['ratio']:>7.1f}x "
+            f"{r['folds']:>6d}"
+        )
+    return "\n".join(lines) + "\n"

@@ -116,9 +116,11 @@ class TraceEvent:
 class TrackBuffer:
     """The bounded event ring of one (pid, tid) track."""
 
-    __slots__ = ("pid", "tid", "name", "capacity", "events", "dropped", "_stack")
+    __slots__ = ("pid", "tid", "name", "capacity", "events", "dropped",
+                 "compact", "folded", "_stack")
 
-    def __init__(self, pid: int, tid: int, name: str, capacity: int) -> None:
+    def __init__(self, pid: int, tid: int, name: str, capacity: int,
+                 compact: bool = False) -> None:
         if capacity < 1:
             raise ValueError(f"track capacity must be >= 1, got {capacity}")
         self.pid = pid
@@ -128,13 +130,40 @@ class TrackBuffer:
         self.events: Deque[TraceEvent] = deque(maxlen=capacity)
         #: Events evicted from the ring (the paper's lost-data honesty).
         self.dropped = 0
+        #: Compact-on-full: fold repeated event subsequences before
+        #: evicting anything (see :mod:`repro.compact.suppress`).
+        self.compact = compact
+        #: Events absorbed into folds (their counts live on in the
+        #: survivors' ``args["folded"]``) — degraded, not lost.
+        self.folded = 0
         #: Open begin() marks awaiting their end() (name, cat, ts, args).
         self._stack: List[Tuple[str, str, float, Optional[Dict[str, Any]]]] = []
 
     def append(self, event: TraceEvent) -> None:
         if len(self.events) == self.capacity:
-            self.dropped += 1
+            if not self.compact or self._fold() == 0:
+                self.dropped += 1
         self.events.append(event)
+
+    def _fold(self) -> int:
+        """Compact the ring in place; returns the number of slots freed.
+
+        Repeated subsequences of span/instant events (same name and
+        category) collapse into their first iteration's events, each
+        annotated with ``args["folded"]`` = the total occurrence count
+        and, for spans, stretched to cover the folded extent — so a
+        full ring sheds redundancy before it sheds information.
+        """
+        from ..compact.suppress import fold_ring
+
+        events = list(self.events)
+        folded = fold_ring(events, _fold_key, _merge_fold)
+        freed = len(events) - len(folded)
+        if freed:
+            self.folded += freed
+            self.events.clear()
+            self.events.extend(folded)
+        return freed
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -142,6 +171,7 @@ class TrackBuffer:
             "tid": self.tid,
             "name": self.name,
             "dropped": self.dropped,
+            "folded": self.folded,
             "open_spans": len(self._stack),
             "events": [e.to_dict() for e in self.events],
         }
@@ -156,14 +186,65 @@ class TrackBuffer:
         )
 
 
+def _fold_key(event: TraceEvent) -> Tuple[Any, ...]:
+    """Structural identity for ring folding (timestamps excluded).
+
+    Flow edge ids are deliberately *not* part of the key: a timestep
+    loop emits a fresh id per iteration, so keying on them would block
+    every fold containing communication.  The merged survivor keeps the
+    first iteration's id; later edges dissolve into the fold count —
+    the same information loss eviction would cause, minus the survivor.
+    """
+    return (event.ph, event.name, event.cat)
+
+
+def _fold_count(event: TraceEvent) -> int:
+    args = event.args
+    if args is not None:
+        folded = args.get("folded")
+        if isinstance(folded, int):
+            return folded
+    return 1
+
+
+def _merge_fold(fold) -> List[TraceEvent]:
+    """Collapse a fold to its first iteration, counts preserved.
+
+    Each surviving event carries ``args["folded"]`` = how many
+    occurrences it stands for (re-folding an already-folded survivor
+    sums the counts); spans stretch to the folded extent so the
+    timeline still covers the right interval.
+    """
+    iterations = fold.iterations
+    first, last = iterations[0], iterations[-1]
+    merged: List[TraceEvent] = []
+    for j, event in enumerate(first):
+        count = sum(_fold_count(it[j]) for it in iterations)
+        args = dict(event.args) if event.args else {}
+        args["folded"] = count
+        # Batch spans carry their iteration count in args["n"]; keep
+        # the total exact across a fold.
+        if isinstance(args.get("n"), int):
+            args["n"] = sum(
+                it[j].args["n"] for it in iterations
+                if it[j].args and isinstance(it[j].args.get("n"), int)
+            )
+        dur = event.dur
+        if event.ph == SPAN:
+            dur = max(dur, last[j].end - event.ts)
+        merged.append(TraceEvent(event.ph, event.name, event.cat,
+                                 event.ts, dur, args, event.flow))
+    return merged
+
+
 class Tracer:
     """Process-local causal tracer (the live backend)."""
 
-    __slots__ = ("enabled", "detail", "fine", "capacity", "tracks",
-                 "totals", "counts", "_next_flow")
+    __slots__ = ("enabled", "detail", "fine", "capacity", "compact",
+                 "tracks", "totals", "counts", "_next_flow")
 
     def __init__(self, capacity: int = DEFAULT_CAPACITY,
-                 detail: str = "fine") -> None:
+                 detail: str = "fine", compact: bool = False) -> None:
         if detail not in ("fine", "coarse"):
             raise ValueError(f"detail must be 'fine' or 'coarse': {detail!r}")
         if capacity < 1:
@@ -174,6 +255,9 @@ class Tracer:
         #: Pre-resolved detail flag so per-function sites pay one load.
         self.fine = detail == "fine"
         self.capacity = capacity
+        #: Fold repeated event subsequences when a ring fills, instead
+        #: of evicting immediately (repro.compact ring compaction).
+        self.compact = compact
         self.tracks: Dict[Tuple[int, int], TrackBuffer] = {}
         #: category -> [span_count, total_duration]; immune to ring drops.
         self.totals: Dict[str, List[float]] = {}
@@ -191,7 +275,8 @@ class Tracer:
         if buf is None:
             if name is None:
                 name = f"rank {pid}" if tid == 0 else f"rank {pid}.t{tid}"
-            buf = self.tracks[key] = TrackBuffer(pid, tid, name, self.capacity)
+            buf = self.tracks[key] = TrackBuffer(pid, tid, name, self.capacity,
+                                                 compact=self.compact)
         elif name is not None:
             buf.name = name
         return buf
@@ -279,6 +364,11 @@ class Tracer:
         """Total events evicted from all ring buffers."""
         return sum(b.dropped for b in self.tracks.values())
 
+    @property
+    def folded_events(self) -> int:
+        """Total events absorbed into ring folds (degraded, not lost)."""
+        return sum(b.folded for b in self.tracks.values())
+
     def snapshot(self) -> Dict[str, Any]:
         """JSON-safe trace document (the worker-envelope payload)."""
         return {
@@ -287,7 +377,9 @@ class Tracer:
             "clock": "simulated-seconds",
             "detail": self.detail,
             "capacity": self.capacity,
+            "compact": self.compact,
             "dropped_events": self.dropped_events,
+            "folded_events": self.folded_events,
             "tracks": [
                 self.tracks[k].to_dict() for k in sorted(self.tracks)
             ],
@@ -327,6 +419,8 @@ class NullTracer:
     fine = False
     detail = "off"
     dropped_events = 0
+    folded_events = 0
+    compact = False
 
     def track(self, pid: int, tid: int = 0,
               name: Optional[str] = None) -> None:
@@ -369,7 +463,9 @@ class NullTracer:
             "clock": "simulated-seconds",
             "detail": "off",
             "capacity": 0,
+            "compact": False,
             "dropped_events": 0,
+            "folded_events": 0,
             "tracks": [],
             "totals": {},
             "counts": {},
@@ -422,7 +518,8 @@ def is_enabled() -> bool:
 @contextmanager
 def tracing(tracer: Optional[Tracer] = None, *,
             capacity: int = DEFAULT_CAPACITY,
-            detail: str = "fine") -> Iterator[Tracer]:
+            detail: str = "fine",
+            compact: bool = False) -> Iterator[Tracer]:
     """Run a block with a (fresh by default) tracer installed.
 
     Restores whatever was active before on exit, so a worker process
@@ -431,7 +528,8 @@ def tracing(tracer: Optional[Tracer] = None, *,
     global _active
     previous = _active
     _active = tracer if tracer is not None else Tracer(capacity=capacity,
-                                                       detail=detail)
+                                                       detail=detail,
+                                                       compact=compact)
     try:
         yield _active
     finally:

@@ -7,7 +7,7 @@ The substrate for dynamic instrumentation: symbol tables
 runs application call trees with both static and dynamic probes applied.
 """
 
-from .executor import ProgramContext
+from .executor import ProgramContext, set_batching, unbatched
 from .image import (
     ENTRY,
     EXIT,
@@ -43,6 +43,8 @@ __all__ = [
     "FunctionInstance",
     "VariableCell",
     "ProgramContext",
+    "set_batching",
+    "unbatched",
     "Snippet",
     "SnippetError",
     "Const",

@@ -24,13 +24,43 @@ cost model:
 
 from __future__ import annotations
 
-from typing import Any, Callable, Generator, Optional, Union
+from contextlib import contextmanager
+from typing import Any, Callable, Generator, Iterator, Optional, Union
 
 from ..cluster import MachineSpec, Task
 from ..simt import Environment
 from .image import FunctionInstance, ProcessImage
 
-__all__ = ["ProgramContext"]
+__all__ = ["ProgramContext", "set_batching", "unbatched"]
+
+#: When False, :meth:`ProgramContext.call_batch` takes the per-call
+#: loop instead of the aggregate fast path (so every enter/leave pair
+#: is emitted raw instead of as one BatchPairRecord).
+_BATCHING = True
+
+
+def set_batching(enabled: bool) -> bool:
+    """Turn the batch fast path on or off; returns the previous state.
+
+    Batching is exact for cost and count purposes, so this exists for
+    *verification*, not tuning: the trace-volume cross-check runs the
+    same workload batched and unbatched and demands both match the
+    analytic model (and each other) — see ``experiments/tracevol.py``.
+    """
+    global _BATCHING
+    previous = _BATCHING
+    _BATCHING = bool(enabled)
+    return previous
+
+
+@contextmanager
+def unbatched() -> Iterator[None]:
+    """Run a block with the batch fast path disabled."""
+    previous = set_batching(False)
+    try:
+        yield
+    finally:
+        set_batching(previous)
 
 
 class ProgramContext:
@@ -165,6 +195,9 @@ class ProgramContext:
                 f"call_batch target {fi.name!r} has a body; only cost-only "
                 f"leaf functions can be batched"
             )
+        if not _BATCHING:
+            yield from self._call_loop(fi, n, per_call_cost, work)
+            return None
         entry_cost = 0.0
         exit_cost = 0.0
         if fi.entry is not None:

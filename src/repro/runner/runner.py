@@ -131,9 +131,10 @@ class SweepRunner:
         kept in :attr:`traces` keyed by point label.  Like obs
         snapshots, traces ride the worker envelope and never enter the
         cached payload.
-    trace_detail / trace_capacity:
-        Passed through to the per-point tracer (``"fine"``/``"coarse"``
-        and the per-track ring-buffer bound).
+    trace_detail / trace_capacity / trace_compact:
+        Passed through to the per-point tracer (``"fine"``/``"coarse"``,
+        the per-track ring-buffer bound, and whether a full ring folds
+        repeated event subsequences before dropping).
     executor:
         A :class:`repro.svc.executors.ExecutorBackend` or a spec string
         (``"serial"``, ``"process[:N]"``, ``"socket:HOST:PORT"``).
@@ -155,6 +156,7 @@ class SweepRunner:
         collect_trace: bool = False,
         trace_detail: str = "fine",
         trace_capacity: int = DEFAULT_TRACE_CAPACITY,
+        trace_compact: bool = False,
         executor: Any = None,
     ) -> None:
         if jobs < 0:
@@ -178,6 +180,7 @@ class SweepRunner:
         self.collect_trace = collect_trace
         self.trace_detail = trace_detail
         self.trace_capacity = trace_capacity
+        self.trace_compact = trace_compact
         self._obs = _obs_get()
         #: Simulator metrics merged across every computed point.
         self.obs = MetricsRegistry()
@@ -248,6 +251,7 @@ class SweepRunner:
             collect_trace=self.collect_trace,
             trace_detail=self.trace_detail,
             trace_capacity=self.trace_capacity,
+            trace_compact=self.trace_compact,
             retry=self.retry,
             jobs=self.jobs,
             on_retry=self._on_retry,

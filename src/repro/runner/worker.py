@@ -127,6 +127,7 @@ def execute_point(
     collect_trace: bool = False,
     trace_detail: str = "fine",
     trace_capacity: int = obs_trace.DEFAULT_CAPACITY,
+    trace_compact: bool = False,
 ) -> Dict[str, Any]:
     """Run one point under an optional wall-clock budget.
 
@@ -138,7 +139,8 @@ def execute_point(
     fresh :mod:`repro.obs.trace` tracer and the envelope carries the
     trace document under ``"trace"`` (both partial on timeout/error) —
     outside the cached payload, so cache entries stay identical with or
-    without observation.
+    without observation.  ``trace_compact`` turns on ring compaction
+    (fold repeated event subsequences before dropping) in that tracer.
     """
     start = time.perf_counter()
     use_alarm = (
@@ -163,6 +165,7 @@ def execute_point(
                 if collect_trace:
                     tracer = stack.enter_context(obs_trace.tracing(
                         capacity=trace_capacity, detail=trace_detail,
+                        compact=trace_compact,
                     ))
                 payload = _dispatch(point)
             envelope = {

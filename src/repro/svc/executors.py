@@ -71,6 +71,7 @@ class ExecSpec:
     collect_trace: bool = False
     trace_detail: str = "fine"
     trace_capacity: int = DEFAULT_TRACE_CAPACITY
+    trace_compact: bool = False
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     jobs: int = 1
     #: Called as (label, key, next_attempt, delay) when a crashed point
@@ -80,7 +81,7 @@ class ExecSpec:
     def worker_args(self) -> Tuple[Any, ...]:
         """Positional args of :func:`execute_point` after the point."""
         return (self.timeout, self.collect_obs, self.collect_trace,
-                self.trace_detail, self.trace_capacity)
+                self.trace_detail, self.trace_capacity, self.trace_compact)
 
     def to_wire(self) -> Dict[str, Any]:
         """The JSON-safe subset a socket worker needs."""
@@ -90,6 +91,7 @@ class ExecSpec:
             "collect_trace": self.collect_trace,
             "trace_detail": self.trace_detail,
             "trace_capacity": self.trace_capacity,
+            "trace_compact": self.trace_compact,
         }
 
     def notify_retry(self, point: SweepPoint, attempts: int) -> float:

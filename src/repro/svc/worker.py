@@ -60,6 +60,7 @@ def _serve_connection(
             collect_trace=bool(spec.get("collect_trace", False)),
             trace_detail=spec.get("trace_detail", "fine"),
             trace_capacity=int(spec.get("trace_capacity", 65536)),
+            trace_compact=bool(spec.get("trace_compact", False)),
         )
         wire.send_message(sock, {"op": "result", "envelope": envelope})
         done += 1

@@ -7,7 +7,7 @@ snippets, the MPI wrapper interface, runtime statistics, and
 ``VT_confsync`` — the dynamic-control synchronisation API of Section 5.
 """
 
-from .buffer import ThreadTraceBuffer, TraceFile
+from .buffer import DEFAULT_RECORD_BYTES, ThreadTraceBuffer, TraceFile
 from .config import VTConfig, VTConfigError
 from .confsync import vt_confsync
 from .mpiwrap import VTMpiWrapper
@@ -21,8 +21,19 @@ from .records import (
     MsgRecord,
     TraceRecord,
 )
-from .state import FunctionRegistry, FunctionStats, VTProcessState
-from .tracefile_io import load_trace, save_trace
+from .state import (
+    FunctionRegistry,
+    FunctionStats,
+    VTProcessState,
+    compact_accounting,
+    set_compact_accounting,
+)
+from .tracefile_io import (
+    load_trace,
+    load_trace_compact,
+    save_trace,
+    save_trace_compact,
+)
 
 __all__ = [
     "VTConfig",
@@ -39,6 +50,11 @@ __all__ = [
     "vt_confsync",
     "save_trace",
     "load_trace",
+    "save_trace_compact",
+    "load_trace_compact",
+    "DEFAULT_RECORD_BYTES",
+    "set_compact_accounting",
+    "compact_accounting",
     "TraceRecord",
     "EnterRecord",
     "LeaveRecord",

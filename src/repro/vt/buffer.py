@@ -21,19 +21,26 @@ from .records import (
     TraceRecord,
 )
 
-__all__ = ["ThreadTraceBuffer", "TraceFile"]
+__all__ = ["ThreadTraceBuffer", "TraceFile", "DEFAULT_RECORD_BYTES"]
+
+#: Bytes one raw on-disk record costs in the analytic volume model
+#: (the :class:`TraceFile` default; machine specs carry the same 24).
+DEFAULT_RECORD_BYTES = 24
 
 
 class ThreadTraceBuffer:
     """Append-only record buffer of one thread of one process."""
 
-    __slots__ = ("process", "thread", "records", "_raw_count")
+    __slots__ = ("process", "thread", "records", "_raw_count",
+                 "_compact_cache")
 
     def __init__(self, process: int, thread: int) -> None:
         self.process = process
         self.thread = thread
         self.records: List[TraceRecord] = []
         self._raw_count = 0
+        #: (record-object count, compact bytes) memo for compact_bytes.
+        self._compact_cache: Optional[Tuple[int, int]] = None
 
     # Hot-path append helpers (avoid isinstance dispatch later).
 
@@ -65,6 +72,30 @@ class ThreadTraceBuffer:
     def raw_record_count(self) -> int:
         """Number of raw (on-disk) records this buffer stands for."""
         return self._raw_count
+
+    @property
+    def raw_bytes(self) -> int:
+        """Analytic on-disk size: ``raw_record_count x record bytes``."""
+        return self._raw_count * DEFAULT_RECORD_BYTES
+
+    @property
+    def compact_bytes(self) -> int:
+        """Bytes this buffer's records cost in the compact VGVZ codec.
+
+        Computed on demand by running the streaming compactor over the
+        records (and memoized until the buffer grows), so the append
+        hot path pays nothing; ``raw_bytes / compact_bytes`` is the
+        per-rank compression ratio the ``vt.trace_*_bytes`` observation
+        counters mirror.
+        """
+        cache = self._compact_cache
+        if cache is not None and cache[0] == len(self.records):
+            return cache[1]
+        from ..compact import measure_compact_bytes
+
+        size = measure_compact_bytes(self.records)
+        self._compact_cache = (len(self.records), size)
+        return size
 
     def __len__(self) -> int:
         return len(self.records)

@@ -16,7 +16,8 @@ Dynamic separation of Figure 7:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set, Tuple
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Callable, Dict, Iterator, List, Optional, Set, Tuple
 
 from ..cluster import MachineSpec, Task
 from ..obs import get as _obs_get
@@ -28,7 +29,39 @@ from .config import VTConfig
 if TYPE_CHECKING:  # pragma: no cover
     from ..program import FunctionInstance, ProcessImage, ProgramContext
 
-__all__ = ["FunctionRegistry", "VTProcessState", "FunctionStats"]
+__all__ = [
+    "FunctionRegistry",
+    "VTProcessState",
+    "FunctionStats",
+    "set_compact_accounting",
+    "compact_accounting",
+]
+
+#: When True (and an obs registry is live), ``flush_to`` also encodes
+#: every buffer through the VGVZ codec and mirrors the result as the
+#: ``vt.trace_compact_bytes`` counter.  The encode is a real O(records)
+#: pass over the whole postmortem trace, far above the registry's
+#: few-dict-ops-per-site budget, so it is opt-in — the cheap analytic
+#: ``vt.trace_raw_bytes`` counter is mirrored unconditionally.
+_COMPACT_ACCOUNTING = False
+
+
+def set_compact_accounting(enabled: bool) -> bool:
+    """Turn flush-time VGVZ size mirroring on or off; returns the previous state."""
+    global _COMPACT_ACCOUNTING
+    previous = _COMPACT_ACCOUNTING
+    _COMPACT_ACCOUNTING = bool(enabled)
+    return previous
+
+
+@contextmanager
+def compact_accounting() -> Iterator[None]:
+    """Run a block with ``vt.trace_compact_bytes`` mirroring enabled."""
+    previous = set_compact_accounting(True)
+    try:
+        yield
+    finally:
+        set_compact_accounting(previous)
 
 
 class FunctionRegistry:
@@ -510,6 +543,17 @@ class VTProcessState:
                     )
         for buf in self._buffers.values():
             trace.add_buffer(buf)
+        if self._obs.enabled:
+            # Per-rank trace-volume observability.  The analytic raw
+            # size is an O(1) memoized count; the VGVZ compact size is
+            # a full codec pass over the buffer, so it stays behind the
+            # explicit ``set_compact_accounting`` knob to keep plain
+            # obs-enabled runs at dict-op cost (the engine benchmark
+            # cell runs under a live registry and gates this).
+            for buf in self._buffers.values():
+                self._obs.inc("vt.trace_raw_bytes", buf.raw_bytes)
+                if _COMPACT_ACCOUNTING:
+                    self._obs.inc("vt.trace_compact_bytes", buf.compact_bytes)
 
     # -- runtime-registry entry points (for snippets that call by name) -------------------
 

@@ -1,10 +1,11 @@
-"""On-disk trace-file format: save/load for postmortem inspection.
+"""On-disk trace-file formats: save/load for postmortem inspection.
 
 The paper's model assumes "the collected data is dumped to a tracefile
 at program termination to allow postmortem inspection".  This module
-gives :class:`~repro.vt.buffer.TraceFile` a concrete on-disk form — a
-line-oriented text format (header, function table, one record per
-line) that round-trips exactly and is trivially greppable:
+gives :class:`~repro.vt.buffer.TraceFile` two concrete on-disk forms.
+
+The line-oriented text format (header, function table, one record per
+line) round-trips exactly and is trivially greppable:
 
 .. code-block:: text
 
@@ -17,10 +18,18 @@ line) that round-trips exactly and is trivially greppable:
     M <kind> <peer> <tag> <size> <t>
     C <op> <comm_size> <t0> <t1>
     K <name> <t0> <t1>          # marker
+
+The *compact* binary format (``.vgvz``, :mod:`repro.compact`) applies
+streaming repeat suppression and delta-encoded timestamps; it also
+round-trips exactly (:func:`save_trace_compact` /
+:func:`load_trace_compact` are the streaming writer/reader pair) while
+costing a small fraction of the analytic model's
+``records x record_bytes`` — see ``docs/compaction.md``.
 """
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
 
 from .buffer import ThreadTraceBuffer, TraceFile
 from .records import (
@@ -32,7 +41,11 @@ from .records import (
     MsgRecord,
 )
 
-__all__ = ["save_trace", "load_trace"]
+if TYPE_CHECKING:  # pragma: no cover
+    from ..compact import CompactionStats
+
+__all__ = ["save_trace", "load_trace", "save_trace_compact",
+           "load_trace_compact"]
 
 _MAGIC = "VGVTRACE"
 _VERSION = 1
@@ -123,3 +136,31 @@ def load_trace(path: str) -> TraceFile:
             except (IndexError, ValueError) as e:
                 raise ValueError(f"{path}:{line_no}: {e}") from None
     return trace
+
+
+def save_trace_compact(trace: TraceFile, path: str,
+                       suppress: bool = True) -> "CompactionStats":
+    """Write ``trace`` to ``path`` in the compact VGVZ binary format.
+
+    Streams buffer by buffer through the repeat suppressor (``suppress=
+    False`` disables folding but keeps the delta/varint framing) and
+    returns the :class:`~repro.compact.CompactionStats` accounting —
+    raw records, compact bytes, and the ratio against the analytic
+    ``records x record_bytes`` volume model.
+    """
+    from ..compact import compress_trace
+
+    with open(path, "wb") as fh:
+        return compress_trace(trace, fh, suppress=suppress)
+
+
+def load_trace_compact(path: str) -> TraceFile:
+    """Read a VGVZ file written by :func:`save_trace_compact`.
+
+    The decode is record-streaming and verifies the END trailer's
+    object/record counts, so truncation raises instead of silently
+    shortening the trace.
+    """
+    from ..compact import CompactReader
+
+    return CompactReader.from_file(path).read_trace()

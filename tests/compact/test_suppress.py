@@ -1,0 +1,166 @@
+"""Tests for the streaming tandem-repeat suppressor."""
+
+import pytest
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compact import Fold, RepeatSuppressor, fold_ring
+
+
+def key_of(item):
+    return item[0]
+
+
+def time_of(item):
+    return item[1]
+
+
+def drain(suppressor, items):
+    """Push everything, flush, return the flat element list."""
+    out = []
+    for item in items:
+        out.extend(suppressor.push(item))
+    out.extend(suppressor.flush())
+    return out
+
+
+def expand(elements):
+    """The stream the elements stand for (folds expanded in order)."""
+    flat = []
+    for element in elements:
+        if isinstance(element, Fold):
+            flat.extend(element)
+        else:
+            flat.append(element)
+    return flat
+
+
+def test_fold_geometry():
+    fold = Fold([["a0", "b0"], ["a1", "b1"], ["a2", "b2"]])
+    assert fold.n == 3
+    assert fold.width == 2
+    assert fold.items == 6
+    assert list(fold) == ["a0", "b0", "a1", "b1", "a2", "b2"]
+
+
+def test_rejects_bad_window():
+    with pytest.raises(ValueError, match="max_window"):
+        RepeatSuppressor(key_of, max_window=0)
+
+
+def test_simple_period_one_repeat_folds():
+    items = [("x", float(t)) for t in range(10)]
+    sup = RepeatSuppressor(key_of, time=time_of)
+    out = drain(sup, items)
+    folds = [e for e in out if isinstance(e, Fold)]
+    assert len(folds) == 1
+    assert folds[0].width == 1
+    assert folds[0].n == 10
+    assert expand(out) == items
+    assert sup.folds == 1
+    assert sup.folded_items == 10
+
+
+def test_wider_loop_body_folds_as_a_unit():
+    # enter/msg/leave repeated 20 times: one fold of width 3.
+    body = ["enter", "msg", "leave"]
+    items = []
+    t = 0.0
+    for _ in range(20):
+        for k in body:
+            items.append((k, t))
+            t += 0.25
+    out = drain(RepeatSuppressor(key_of, time=time_of), items)
+    folds = [e for e in out if isinstance(e, Fold)]
+    assert len(folds) == 1
+    assert folds[0].width == 3
+    assert folds[0].n == 20
+    assert expand(out) == items
+
+
+def test_non_repeating_stream_passes_through():
+    items = [(f"k{i}", float(i)) for i in range(30)]
+    out = drain(RepeatSuppressor(key_of, time=time_of), items)
+    assert out == items
+
+
+def test_backwards_time_blocks_folding():
+    # Same structural keys but time runs backwards: suppression must
+    # refuse (folding would reorder the timeline) and pass items through.
+    items = [("x", float(-t)) for t in range(10)]
+    out = drain(RepeatSuppressor(key_of, time=time_of), items)
+    assert out == items
+
+
+def test_backwards_time_mid_stream_closes_the_fold():
+    items = [("x", float(t)) for t in range(8)]
+    items.append(("x", 0.5))  # jumps backwards
+    items.extend(("x", 10.0 + t) for t in range(3))
+    out = drain(RepeatSuppressor(key_of, time=time_of), items)
+    assert expand(out) == items
+    # The pre-jump run folded; the jump item was not absorbed into it.
+    first_fold = next(e for e in out if isinstance(e, Fold))
+    assert all(time_of(i) < 8.0 for i in first_fold)
+
+
+def test_without_time_fn_any_order_folds():
+    items = [("x", float(-t)) for t in range(10)]
+    out = drain(RepeatSuppressor(key_of), items)
+    folds = [e for e in out if isinstance(e, Fold)]
+    assert len(folds) == 1
+    assert expand(out) == items
+
+
+def test_output_lag_is_bounded():
+    # Non-repeating stream: the suppressor may hold back at most
+    # 2 * max_window items at any moment.
+    sup = RepeatSuppressor(key_of, time=time_of, max_window=4)
+    emitted = 0
+    for i in range(100):
+        emitted += len(sup.push((f"k{i}", float(i))))
+        held = (i + 1) - emitted
+        assert held <= 2 * sup.max_window
+
+
+def test_repeat_longer_than_window_is_not_detected():
+    body = [f"k{j}" for j in range(6)]
+    items = []
+    t = 0.0
+    for _ in range(5):
+        for k in body:
+            items.append((k, t))
+            t += 1.0
+    out = drain(RepeatSuppressor(key_of, time=time_of, max_window=3), items)
+    assert out == items  # body is wider than the window: untouched
+    folded = drain(RepeatSuppressor(key_of, time=time_of, max_window=6), items)
+    assert any(isinstance(e, Fold) for e in folded)
+
+
+def test_fold_ring_merges_and_preserves_order():
+    items = [("a", 0.0)] + [("x", float(t)) for t in range(50)] + [("b", 99.0)]
+
+    def merge(fold):
+        first = list(fold.iterations[0])
+        return [(k, t, fold.n) for k, t in first]
+
+    out = fold_ring(items, key_of, merge, max_window=4)
+    assert out[0] == ("a", 0.0)
+    assert out[-1] == ("b", 99.0)
+    merged = [e for e in out if len(e) == 3]
+    assert sum(e[2] for e in merged) == 50  # every occurrence accounted
+
+
+@given(
+    keys=st.lists(st.sampled_from("abc"), max_size=60),
+    window=st.integers(min_value=1, max_value=8),
+)
+@settings(max_examples=150, deadline=None)
+def test_concatenation_identity_property(keys, window):
+    """Outputs with folds expanded are exactly the input stream."""
+    items = [(k, float(i)) for i, k in enumerate(keys)]
+    sup = RepeatSuppressor(key_of, time=time_of, max_window=window)
+    out = drain(sup, items)
+    assert expand(out) == items
+    folded_items = sum(e.items for e in out if isinstance(e, Fold))
+    assert folded_items == sup.folded_items

@@ -395,3 +395,92 @@ def test_telemetry_reports_full_cache_key():
     pt = next(e for e in events if e["event"] == "point")
     assert len(pt["cache_key"]) == 64
     assert pt["cache_key"].startswith(pt["key"])
+
+
+# ------------------------------------------------------------ ring compaction
+
+
+def _looping_tracer(capacity, compact, iterations=400):
+    """A synthetic timestep loop against a tight ring."""
+    tracer = Tracer(capacity=capacity, compact=compact)
+    t = 0.0
+    for _ in range(iterations):
+        tracer.complete(0, 0, "kernel", "vt.func", t, t + 0.4)
+        tracer.instant(0, 0, "tick", "app", t + 0.5)
+        t += 1.0
+    return tracer
+
+
+def test_compact_ring_folds_instead_of_dropping():
+    plain = _looping_tracer(capacity=16, compact=False)
+    folding = _looping_tracer(capacity=16, compact=True)
+    # Same capacity, same stream: folding sheds redundancy, not data.
+    assert plain.dropped_events > 0
+    assert folding.dropped_events < plain.dropped_events
+    assert folding.folded_events > 0
+    assert plain.folded_events == 0
+
+
+def test_compact_ring_preserves_occurrence_counts():
+    tracer = _looping_tracer(capacity=16, compact=True, iterations=400)
+    assert tracer.dropped_events == 0
+    buf = tracer.tracks[(0, 0)]
+    by_name = {"kernel": 0, "tick": 0}
+    for event in buf.events:
+        count = (event.args or {}).get("folded", 1)
+        by_name[event.name] += count
+    # Every one of the 400 iterations is accounted for: survivors carry
+    # args["folded"] sums, nothing was evicted.
+    assert by_name == {"kernel": 400, "tick": 400}
+
+
+def test_folded_span_stretches_to_cover_the_interval():
+    tracer = _looping_tracer(capacity=16, compact=True, iterations=100)
+    spans = [e for e in tracer.tracks[(0, 0)].events if e.ph == "span"]
+    widest = max(spans, key=lambda e: e.dur)
+    folded = (widest.args or {}).get("folded", 1)
+    assert folded > 1
+    # A fold of k iterations starting at its first ts must span to the
+    # last iteration's end: (k - 1) whole periods plus the span body.
+    assert widest.dur == pytest.approx((folded - 1) * 1.0 + 0.4)
+
+
+def test_unfoldable_stream_still_drops_honestly():
+    tracer = Tracer(capacity=8, compact=True)
+    for i in range(50):
+        tracer.complete(0, 0, f"unique{i}", "app", float(i), i + 0.5)
+    assert tracer.folded_events == 0
+    assert tracer.dropped_events == 50 - 8
+
+
+def test_snapshot_reports_compaction_state():
+    doc = _looping_tracer(capacity=16, compact=True).snapshot()
+    assert doc["compact"] is True
+    assert doc["folded_events"] == doc["tracks"][0]["folded"] > 0
+    plain = Tracer().snapshot()
+    assert plain["compact"] is False and plain["folded_events"] == 0
+    null = NullTracer().snapshot()
+    assert null["compact"] is False and null["folded_events"] == 0
+
+
+def test_tracing_context_threads_compact_through():
+    with obs_trace.tracing(capacity=16, compact=True) as tracer:
+        assert tracer.compact
+        assert obs_trace.get() is tracer
+    with obs_trace.tracing(capacity=16) as tracer:
+        assert not tracer.compact
+
+
+def test_real_run_drops_less_with_ring_compaction():
+    point = SweepPoint.policy_cell("smg98", "Full", 2, scale=0.05)
+    plain = execute_point(point, collect_trace=True, trace_capacity=256)
+    folding = execute_point(point, collect_trace=True, trace_capacity=256,
+                            trace_compact=True)
+    assert plain["status"] == folding["status"] == "ok"
+    d_plain = plain["trace"]["dropped_events"]
+    d_fold = folding["trace"]["dropped_events"]
+    assert d_plain > 0
+    assert d_fold < d_plain
+    assert folding["trace"]["folded_events"] > 0
+    # The simulation itself is untouched: identical payloads.
+    assert plain["payload"] == folding["payload"]

@@ -222,3 +222,32 @@ def test_leaf_batch_cost_equals_loop_cost(env, make_pctx, spec):
 
     t_batch, t_loop = run_ctx(env, pctx, driver())
     assert t_batch == pytest.approx(t_loop)
+
+
+def test_unbatched_charges_identical_time(env, make_pctx):
+    from repro.program import set_batching, unbatched
+
+    exe = ExecutableImage("app")
+    exe.define("leaf")
+    pctx = make_pctx(exe)
+
+    def driver():
+        with unbatched():
+            yield from pctx.call_batch("leaf", 500, 2e-6)
+        yield from pctx.flush()
+
+    run_ctx(env, pctx, driver())
+    assert env.now == pytest.approx(500 * 2e-6)
+    assert pctx.fn("leaf").call_count == 500
+    # The context manager restored the fast path.
+    assert set_batching(True) is True
+
+
+def test_set_batching_returns_previous_state():
+    from repro.program import set_batching
+
+    assert set_batching(False) is True
+    try:
+        assert set_batching(False) is False
+    finally:
+        assert set_batching(True) is False

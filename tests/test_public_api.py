@@ -15,6 +15,7 @@ SUBPACKAGES = [
     "repro.mpi",
     "repro.openmp",
     "repro.vt",
+    "repro.compact",
     "repro.dpcl",
     "repro.dynprof",
     "repro.apps",

@@ -93,3 +93,39 @@ def test_all_records_iterates_everything():
     seen = list(trace.all_records())
     assert len(seen) == 3
     assert {p for p, _t, _r in seen} == {0, 1, 2}
+
+
+# --------------------------------------------------- compaction accounting
+
+
+def repetitive_buffer(iterations=200):
+    buf = ThreadTraceBuffer(0, 0)
+    t = 0.0
+    for _ in range(iterations):
+        buf.enter(7, t)
+        buf.leave(7, t + 0.5)
+        t += 1.0
+    return buf
+
+
+def test_buffer_raw_bytes_follows_the_analytic_model():
+    buf = repetitive_buffer(10)
+    assert buf.raw_bytes == buf.raw_record_count * 24
+    buf.batch_pair(7, 50, 100.0, 1e-6, 5e-7)
+    assert buf.raw_bytes == (20 + 100) * 24
+
+
+def test_buffer_compact_bytes_reflects_redundancy():
+    buf = repetitive_buffer()
+    assert 0 < buf.compact_bytes < buf.raw_bytes / 5
+    # An empty buffer still has framing, but almost none.
+    assert ThreadTraceBuffer(1, 0).compact_bytes < 16
+
+
+def test_buffer_compact_bytes_memo_invalidates_on_append():
+    buf = repetitive_buffer()
+    first = buf.compact_bytes
+    assert buf.compact_bytes == first  # memoized, same value
+    buf.message("send", 1, 3, 4096, 500.0)
+    grown = buf.compact_bytes
+    assert grown > first
