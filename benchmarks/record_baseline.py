@@ -11,7 +11,13 @@ Recording writes two small JSON documents next to this script:
     Raw simulation throughput — ``simt.events`` processed per second
     for one representative Figure 7 cell, measured under a live
     :mod:`repro.obs` registry (so the number includes the enabled-
-    observation overhead a profiled run actually pays).
+    observation overhead a profiled run actually pays), plus a
+    ``sampler`` cell: the same run with metric sampling enabled
+    (:mod:`repro.obs.timeseries`), recording the event and sample
+    counts and the throughput the sampler costs.  The sampler-off cell
+    staying inside the tolerance band is the "sampling off is free"
+    gate; the sampler-on cell makes the enabled cost a visible,
+    determinism-checked number.
 
 ``BENCH_fig7.json``
     End-to-end sweep cost — wall time of the quick Figure 7a grid cold
@@ -70,6 +76,8 @@ HERE = Path(__file__).resolve().parent
 
 ENGINE_CELL = {"app": "sweep3d", "policy": "Full", "procs": 16,
                "scale": 0.1, "seed": 7}
+#: Sampling interval for the enabled-sampler cell (simulated seconds).
+SAMPLER_INTERVAL = 0.25
 FIG7 = {"cpu_counts": (1, 4, 16), "scale": 0.05, "seed": 7}
 TRACE_CELL = {"policy": "Full", "procs": 4, "scale": 0.05, "seed": 7}
 TRACE_APPS = ("smg98", "sppm", "sweep3d", "umt98")
@@ -120,8 +128,47 @@ def measure_engine(repeats=DEFAULT_REPEATS):
     return events, best, round(events / best) if best > 0 else None
 
 
+def measure_sampler_on(interval=SAMPLER_INTERVAL, repeats=DEFAULT_REPEATS):
+    """Best-of-``repeats`` throughput for the same cell with the metric
+    sampler enabled.
+
+    Returns ``(events, samples, best_wall_s, events_per_sec)``.  The
+    event count *includes* the sampler's own wakeups (they are real
+    simulated events), so comparing it to the sampler-off count is the
+    exact cost accounting; both counts are determinism-gated.
+    """
+    from repro.obs import timeseries
+
+    app = get_app(ENGINE_CELL["app"])
+    events = None
+    samples = None
+    best = None
+    for _ in range(repeats + 1):  # first iteration is the warm-up
+        with obs.collecting() as registry:
+            with timeseries.sampling(interval=interval) as recorder:
+                t0 = time.perf_counter()
+                run_policy(app, ENGINE_CELL["policy"], ENGINE_CELL["procs"],
+                           scale=ENGINE_CELL["scale"],
+                           seed=ENGINE_CELL["seed"])
+                wall = time.perf_counter() - t0
+        n = registry.counters.get("simt.events", 0)
+        s = recorder.samples
+        if events is None:
+            events, samples = n, s
+            continue  # warm-up run: seed the expectation, skip timing
+        if n != events or s != samples:
+            raise AssertionError(
+                f"non-deterministic sampled run: {n}/{s} != "
+                f"{events}/{samples} (events/samples)")
+        if best is None or wall < best:
+            best = wall
+    return events, samples, best, round(events / best) if best > 0 else None
+
+
 def record_engine(repeats=DEFAULT_REPEATS):
     events, wall, eps = measure_engine(repeats)
+    on_events, on_samples, on_wall, on_eps = measure_sampler_on(
+        repeats=repeats)
     doc = {
         "benchmark": "engine-event-throughput",
         "cell": dict(ENGINE_CELL),
@@ -129,6 +176,13 @@ def record_engine(repeats=DEFAULT_REPEATS):
         "repeats": repeats,
         "wall_time_s": round(wall, 4),
         "events_per_sec": eps,
+        "sampler": {
+            "interval": SAMPLER_INTERVAL,
+            "on_events": on_events,
+            "on_samples": on_samples,
+            "on_wall_time_s": round(on_wall, 4),
+            "on_events_per_sec": on_eps,
+        },
         **_context(),
     }
     (HERE / "BENCH_engine.json").write_text(
@@ -310,6 +364,48 @@ def check_engine(tolerance=DEFAULT_TOLERANCE, repeats=DEFAULT_REPEATS):
     return 0 if ok else 1
 
 
+def check_sampler(tolerance=DEFAULT_TOLERANCE, repeats=DEFAULT_REPEATS):
+    """Compare a fresh enabled-sampler measurement against the baseline.
+
+    The sampler-off cell is ``check_engine``'s job (it must stay inside
+    the tolerance band — sampling off costs nothing); this cell gates
+    the *enabled* path: event and sample counts exactly (determinism —
+    the sampler's wakeups are part of the simulation when it is on),
+    throughput within the tolerance band.  Returns 0 on pass.
+    """
+    path = HERE / "BENCH_engine.json"
+    if not path.exists():
+        print(f"check: no committed baseline at {path}", file=sys.stderr)
+        return 1
+    baseline = json.loads(path.read_text(encoding="utf-8"))
+    want = baseline.get("sampler")
+    if not want:
+        print("check[sampler]: no sampler cell in BENCH_engine.json "
+              "(re-record to add one)", file=sys.stderr)
+        return 1
+    events, samples, wall, eps = measure_sampler_on(
+        interval=want["interval"], repeats=repeats)
+    floor = want["on_events_per_sec"] * (1.0 - tolerance)
+    print(f"check[sampler]: {events} events / {samples} samples in "
+          f"{wall:.4f}s -> {eps} events/sec (floor {floor:.0f})")
+    ok = True
+    if events != want["on_events"]:
+        print(f"check[sampler]: FAIL - event count drifted: {events} != "
+              f"{want['on_events']}", file=sys.stderr)
+        ok = False
+    if samples != want["on_samples"]:
+        print(f"check[sampler]: FAIL - sample count drifted: {samples} != "
+              f"{want['on_samples']}", file=sys.stderr)
+        ok = False
+    if eps < floor:
+        print(f"check[sampler]: FAIL - throughput regression: {eps} < "
+              f"{floor:.0f} events/sec", file=sys.stderr)
+        ok = False
+    if ok:
+        print("check: sampler OK")
+    return 0 if ok else 1
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(
         description="Record or check committed performance baselines.")
@@ -328,14 +424,20 @@ def main(argv=None):
 
     if args.check:
         rc = check_engine(tolerance=args.tolerance, repeats=args.repeats)
+        rc_sampler = check_sampler(tolerance=args.tolerance,
+                                   repeats=args.repeats)
         rc_trace = check_trace(tolerance=args.tolerance,
                                repeats=args.repeats)
-        return rc or rc_trace
+        return rc or rc_sampler or rc_trace
 
     engine = record_engine(repeats=args.repeats)
     print(f"engine: {engine['events']} events in {engine['wall_time_s']}s "
           f"-> {engine['events_per_sec']} events/sec "
           f"(best of {engine['repeats']})")
+    sampler = engine["sampler"]
+    print(f"sampler:{sampler['on_events']} events / "
+          f"{sampler['on_samples']} samples at {sampler['interval']}s "
+          f"-> {sampler['on_events_per_sec']} events/sec")
     fig7 = record_fig7()
     print(f"fig7:   cold {fig7['cold_wall_time_s']}s, "
           f"cached {fig7['cached_wall_time_s']}s "

@@ -29,6 +29,7 @@ from ..apps import AppSpec
 from ..cluster import Cluster, MachineSpec, POWER3_SP
 from ..faults import FaultInjector, FaultPlan
 from ..jobs import MpiJob, OmpJob
+from ..obs.timeseries import MetricsSampler
 from ..simt import Environment
 from ..vt import VTConfig
 from .tool import DynProf
@@ -101,6 +102,46 @@ def _policy_build(app: AppSpec, policy: str):
     raise ValueError(f"unknown policy {policy!r}; known: {POLICIES}")
 
 
+def _probe_stats_provider(job):
+    """A cumulative per-probe cost reader for the metrics sampler.
+
+    Returns a callable yielding ``(name, pairs, inclusive_time,
+    overhead_time)`` rows aggregated over the job's live VT states.
+    Each recorded (begin, end) pair of an active probe charges
+    ``2 × vt_active_event_cost`` of instrumentation time to its
+    function — the direct trampoline/probe perturbation the paper's
+    overhead numbers measure (buffer-flush and patch time are tracked
+    separately as obs spans).
+    """
+
+    def probe_stats():
+        totals: Dict[str, List[float]] = {}
+        # MPI jobs carry one VT state per rank; OpenMP jobs a single
+        # process-wide one (same duality the fault injector handles).
+        vt_states = getattr(job, "vt_states", None)
+        if vt_states is None:
+            single = getattr(job, "vt", None)
+            vt_states = [single] if single is not None else []
+        for vt in vt_states:
+            if vt is None:
+                continue
+            pair_cost = 2.0 * vt.spec.vt_active_event_cost
+            for fid, st in vt.stats.items():
+                name = vt.registry.name_of(fid)
+                row = totals.get(name)
+                if row is None:
+                    row = totals[name] = [0.0, 0.0, 0.0]
+                row[0] += st.count
+                row[1] += st.inclusive_time
+                row[2] += st.count * pair_cost
+        return [
+            (name, int(row[0]), row[1], row[2])
+            for name, row in sorted(totals.items())
+        ]
+
+    return probe_stats
+
+
 def run_policy(
     app: AppSpec,
     policy: str,
@@ -157,6 +198,12 @@ def run_policy_job(
             start_suspended=(policy == "Dynamic"),
         )
 
+    # Sampled telemetry: a no-op (None — zero events scheduled) unless
+    # obs.timeseries sampling is enabled for this run.  The sampler
+    # only reads simulation state, so payloads are identical either
+    # way; install it before the run so the first window starts at 0.
+    sampler = MetricsSampler.install(env, probe_stats=_probe_stats_provider(job))
+
     instrument_time: Optional[float] = None
     fault_report: Optional[Dict[str, Any]] = None
     if policy == "Dynamic":
@@ -175,7 +222,11 @@ def run_policy_job(
     else:
         job.start()
         env.run(until=job.completion())
+    if sampler is not None:
+        sampler.stop()  # withdraw the pending wakeup so the queue can drain
     env.run()  # drain (finalize flushes, daemons idle)
+    if sampler is not None:
+        sampler.finish()  # terminal sample: series telescope to the snapshot
     if injector is not None and fault_report is None:
         fault_report = {"injected": injector.summary()}
 

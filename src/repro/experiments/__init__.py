@@ -21,6 +21,7 @@ from .fig8 import (
     run_fig8c,
 )
 from .fig9 import measure_create_and_instrument, run_fig9
+from .overhead import OverheadTimeline, run_overhead_timeline
 from .results import FigureResult, Series
 from .tables import render_table1, render_table2, render_table3
 from .tracevol import TraceVolumeRow, render_tracevol, run_tracevol
@@ -45,4 +46,6 @@ __all__ = [
     "run_tracevol",
     "render_tracevol",
     "TraceVolumeRow",
+    "run_overhead_timeline",
+    "OverheadTimeline",
 ]

@@ -28,8 +28,20 @@ stderr; ``--timeout`` bounds each point's wall-clock time; ``--obs
 FILE`` additionally collects :mod:`repro.obs` simulator metrics for
 every computed point and writes one merged JSON document; ``--trace
 DIR`` collects a :mod:`repro.obs.trace` causal trace per computed
-point and writes one ``<label>.trace.json`` each (figure outputs stay
-bit-identical with or without either).
+point and writes one ``<label>.trace.json`` each; ``--obs-sample SEC``
+samples the metrics registry every SEC simulated seconds into
+per-metric time series that ride the obs document (figure outputs
+stay bit-identical with or without any of these).  ``--obs`` and
+``--trace`` accept ``-`` to stream to stdout.
+
+The ``obs`` subcommand post-processes a ``--obs`` document:
+``obs report FILE`` pretty-prints the metrics, sampled series and
+per-probe overhead profile (``--csv``/``--prom`` export CSV and
+Prometheus text exposition); ``obs serve FILE`` exposes the document
+live on HTTP ``/metrics`` + ``/stats`` endpoints.  The
+``overhead-timeline`` experiment plots instrumentation overhead
+versus simulated time for the four ASCI apps under Full vs. Dynamic
+(sampled in-process; not part of ``all``).
 
 The ``trace`` subcommand runs a single (app, policy, CPUs) point with
 tracing on and prints the critical-path / perturbation summary —
@@ -81,10 +93,13 @@ EXPERIMENTS = (
     "fig9",
     "tracevol",
     "tracevol-compress",
+    "overhead-timeline",
     "all",
 )
 
-#: What one experiment id produces: rendered text blocks and/or figures.
+#: What one experiment id produces: rendered text blocks and/or
+#: figure-likes (anything with render/to_csv/to_dict, e.g.
+#: FigureResult or OverheadTimeline).
 ExperimentOutput = Union[str, FigureResult]
 
 
@@ -158,6 +173,19 @@ def run_experiment(
         out.append(render_compression(
             run_tracevol_compression(n_cpus=n, scale=scale, seed=seed)
         ))
+    elif name == "overhead-timeline":
+        # In-process and cache-bypassing, like tracevol-compress: a
+        # cached point carries no sampled series (no simulation ran),
+        # so every cell is executed fresh with the sampler on.
+        from .overhead import run_overhead_timeline
+
+        interval = None
+        if runner is not None and runner.obs_sample:
+            interval = runner.obs_sample
+        out.append(run_overhead_timeline(
+            n_cpus=4 if quick else 8, scale=scale, seed=seed,
+            interval=interval,
+        ))
     elif name == "all":
         for exp in ("table1", "table2", "table3", "fig7", "fig8", "fig9", "tracevol"):
             out.extend(run_experiment(exp, scale, seed, quick, runner,
@@ -187,11 +215,20 @@ def _add_runner_args(parser: argparse.ArgumentParser) -> None:
                         help="collect simulator metrics (events, messages, "
                              "trace records, probe patches) per computed "
                              "point and write one merged JSON document to "
-                             "FILE; figure outputs are unaffected")
+                             "FILE ('-' = stdout); figure outputs are "
+                             "unaffected")
+    parser.add_argument("--obs-sample", type=float, default=None,
+                        metavar="SEC",
+                        help="sample the metrics registry every SEC "
+                             "simulated seconds into per-metric time "
+                             "series (riding the --obs document and "
+                             "runner.timeseries); figure outputs are "
+                             "unaffected")
     parser.add_argument("--trace", metavar="DIR", default=None,
                         help="collect a causal trace per computed point and "
-                             "write one <label>.trace.json each into DIR; "
-                             "figure outputs are unaffected")
+                             "write one <label>.trace.json each into DIR "
+                             "('-' = JSON lines on stdout); figure outputs "
+                             "are unaffected")
     parser.add_argument("--trace-detail", choices=("fine", "coarse"),
                         default="fine",
                         help="trace detail: 'fine' includes per-function "
@@ -229,6 +266,8 @@ def _build_runner(args: argparse.Namespace) -> SweepRunner:
     kwargs = {}
     if args.trace_capacity is not None:
         kwargs["trace_capacity"] = args.trace_capacity
+    if getattr(args, "obs_sample", None) is not None and args.obs_sample <= 0:
+        raise SystemExit("repro-experiments: --obs-sample must be > 0")
     runner = SweepRunner(
         jobs=args.jobs,
         cache=cache,
@@ -239,6 +278,7 @@ def _build_runner(args: argparse.Namespace) -> SweepRunner:
         trace_detail=args.trace_detail,
         trace_compact=bool(args.trace_compact),
         executor=args.backend,
+        obs_sample=getattr(args, "obs_sample", None),
         **kwargs,
     )
     if args.backend:
@@ -274,6 +314,26 @@ def _close_runner(runner: SweepRunner) -> None:
             pass
 
 
+def _open_text_output(path: str, what: str):
+    """Open ``path`` for text writing; ``-`` yields stdout (not closed).
+
+    Every subcommand's writable-output option funnels through here so
+    an unwritable path fails with one consistent message::
+
+        repro-experiments: cannot write <what> <path>: <reason>
+    """
+    import contextlib as _contextlib
+
+    if path == "-":
+        return _contextlib.nullcontext(sys.stdout)
+    try:
+        return open(path, "w", encoding="utf-8")
+    except OSError as exc:
+        print(f"repro-experiments: cannot write {what} {path}: {exc}",
+              file=sys.stderr)
+        raise SystemExit(1)
+
+
 def _write_obs_document(
     args: argparse.Namespace, runner: SweepRunner, quiet: bool = False
 ) -> Optional[str]:
@@ -281,7 +341,9 @@ def _write_obs_document(
 
     Returns the path written (for the JSON document's output map);
     ``quiet`` suppresses the stderr note so ``--json`` runs emit
-    nothing but the document itself.
+    nothing but the document itself.  ``FILE`` may be ``-`` for
+    stdout.  With ``--obs-sample`` the document also carries the
+    per-point sampled series under ``"timeseries"``.
     """
     if not args.obs:
         return None
@@ -294,10 +356,12 @@ def _write_obs_document(
         "obs": runner.obs.snapshot(),
         "telemetry": runner.telemetry.summary(),
     }
-    with open(args.obs, "w", encoding="utf-8") as fh:
+    if runner.timeseries:
+        doc["timeseries"] = runner.timeseries
+    with _open_text_output(args.obs, "obs document") as fh:
         _json.dump(doc, fh, indent=2)
         fh.write("\n")
-    if not quiet:
+    if not quiet and args.obs != "-":
         print(f"wrote obs metrics to {args.obs}", file=sys.stderr)
     return args.obs
 
@@ -313,17 +377,29 @@ def _write_trace_documents(
     args: argparse.Namespace, runner: SweepRunner, quiet: bool = False
 ) -> List[str]:
     """Write one ``<label>.trace.json`` per computed point into
-    ``--trace DIR``; returns the paths written."""
+    ``--trace DIR``; returns the paths written.  ``DIR`` may be ``-``:
+    traces then stream to stdout as JSON lines
+    (``{"label": ..., "trace": {...}}``) for piping."""
     if not args.trace:
         return []
     import json as _json
     import os as _os
 
-    _os.makedirs(args.trace, exist_ok=True)
+    if args.trace == "-":
+        for label in sorted(runner.traces):
+            sys.stdout.write(_json.dumps(
+                {"label": label, "trace": runner.traces[label]}) + "\n")
+        return ["-"] if runner.traces else []
+    try:
+        _os.makedirs(args.trace, exist_ok=True)
+    except OSError as exc:
+        print(f"repro-experiments: cannot write trace documents "
+              f"{args.trace}: {exc}", file=sys.stderr)
+        raise SystemExit(1)
     paths: List[str] = []
     for label in sorted(runner.traces):
         path = _os.path.join(args.trace, f"{_safe_label(label)}.trace.json")
-        with open(path, "w", encoding="utf-8") as fh:
+        with _open_text_output(path, "trace document") as fh:
             _json.dump(runner.traces[label], fh, indent=1)
             fh.write("\n")
         paths.append(path)
@@ -712,10 +788,11 @@ def trace_main(argv: List[str]) -> int:
     if args.out:
         import json as _json
 
-        with open(args.out, "w", encoding="utf-8") as fh:
+        with _open_text_output(args.out, "trace document") as fh:
             _json.dump(doc, fh, indent=1)
             fh.write("\n")
-        print(f"wrote trace document to {args.out}", file=sys.stderr)
+        if args.out != "-":
+            print(f"wrote trace document to {args.out}", file=sys.stderr)
     if args.chrome:
         write_chrome_trace(doc, args.chrome)
         print(f"wrote Chrome trace to {args.chrome}", file=sys.stderr)
@@ -773,8 +850,19 @@ def chaos_main(argv: List[str]) -> int:
                              "payloads are bit-identical")
     parser.add_argument("--json", action="store_true",
                         help="print the payload as a JSON document")
+    parser.add_argument("--obs", metavar="FILE", default=None,
+                        help="collect simulator metrics during the run and "
+                             "write them as a JSON document to FILE "
+                             "('-' = stdout)")
+    parser.add_argument("--obs-sample", type=float, default=None,
+                        metavar="SEC",
+                        help="sample the metrics registry every SEC "
+                             "simulated seconds; the series ride the "
+                             "--obs document")
     _add_faults_args(parser)
     args = parser.parse_args(argv)
+    if args.obs_sample is not None and args.obs_sample <= 0:
+        parser.error("--obs-sample must be > 0")
 
     try:
         get_app(args.app)
@@ -802,7 +890,11 @@ def chaos_main(argv: List[str]) -> int:
     # No cache: the whole purpose is to exercise the recovery paths,
     # and --check-determinism needs two real executions.
     runs = 2 if args.check_determinism else 1
-    envelopes = [execute_point(point) for _ in range(runs)]
+    envelopes = [
+        execute_point(point, collect_obs=bool(args.obs),
+                      obs_sample=args.obs_sample)
+        for _ in range(runs)
+    ]
     for envelope in envelopes:
         if envelope["status"] != "ok":
             print(f"repro-experiments chaos: {point.label}: "
@@ -820,6 +912,22 @@ def chaos_main(argv: List[str]) -> int:
                   f"{point.label} under the same plan and seed differ",
                   file=sys.stderr)
             return 1
+
+    if args.obs:
+        from .. import __version__
+
+        obs_doc = {
+            "version": __version__,
+            "point": point.canonical(),
+            "obs": envelopes[0].get("obs", {}),
+        }
+        if envelopes[0].get("timeseries"):
+            obs_doc["timeseries"] = {point.label: envelopes[0]["timeseries"]}
+        with _open_text_output(args.obs, "obs document") as fh:
+            _json.dump(obs_doc, fh, indent=2)
+            fh.write("\n")
+        if not args.json and args.obs != "-":
+            print(f"wrote obs metrics to {args.obs}", file=sys.stderr)
 
     payload = payloads[0]
     report = payload.get("faults") or {}
@@ -863,17 +971,19 @@ def _render_items(
     csv_chunks: List[str],
 ) -> None:
     for item in items:
-        if isinstance(item, FigureResult):
+        if isinstance(item, str):
+            if args.json:
+                json_items.append({"type": "text", "text": item})
+            else:
+                print(item)
+        else:
+            # Anything figure-like: FigureResult, OverheadTimeline, …
+            # — the render/to_csv/to_dict trio is the contract.
             csv_chunks.append(item.to_csv())
             if args.json:
                 json_items.append({"type": "figure", **item.to_dict()})
             else:
                 print(item.render())
-        else:
-            if args.json:
-                json_items.append({"type": "text", "text": item})
-            else:
-                print(item)
 
 
 # -- entry point ----------------------------------------------------------------
@@ -887,6 +997,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return trace_main(argv[1:])
     if argv and argv[0] == "chaos":
         return chaos_main(argv[1:])
+    if argv and argv[0] == "obs":
+        from .obscmd import obs_main
+
+        return obs_main(argv[1:])
     if argv and argv[0] in ("serve-cache", "serve"):
         from ..svc.httpcache import serve_cache_main
 

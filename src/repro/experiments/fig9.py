@@ -55,6 +55,13 @@ def measure_create_and_instrument_detail(
         job = MpiJob(env, cluster, exe, n_cpus, program, start_suspended=True)
     else:
         job = OmpJob(env, cluster, exe, n_cpus, program, start_suspended=True)
+    # Same sampled-telemetry hook as run_policy_job: a no-op (None)
+    # unless obs.timeseries sampling is enabled for this run.
+    from ..dynprof.policies import _probe_stats_provider
+    from ..obs.timeseries import MetricsSampler
+
+    sampler = MetricsSampler.install(env,
+                                     probe_stats=_probe_stats_provider(job))
     tool = DynProf(
         env, cluster, job,
         file_contents={"targets.txt": "\n".join(app.dynamic_targets)},
@@ -64,7 +71,11 @@ def measure_create_and_instrument_detail(
     assert tool.create_and_instrument_time is not None
     # Let the job drain so the environment ends cleanly.
     env.run(until=job.completion())
+    if sampler is not None:
+        sampler.stop()
     env.run()
+    if sampler is not None:
+        sampler.finish()
     report = tool.fault_report() if injector is not None else None
     return {"time": tool.create_and_instrument_time, "faults": report}
 

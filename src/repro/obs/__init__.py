@@ -35,11 +35,20 @@ Chrome trace-event JSON (Perfetto-loadable) or a static SVG timeline;
 path over the span + flow-edge DAG, and the perturbation-attribution
 report.
 
+:mod:`repro.obs.timeseries` adds the time dimension: a
+``MetricsSampler`` simt process samples the live registry at a
+configurable simulated-time interval into bounded, delta-encoded
+per-metric series (``timeseries.sampling()`` / ``--obs-sample SEC`` on
+the CLI), with per-probe overhead attribution for the dynamic
+policies.  :mod:`repro.obs.prom` renders any snapshot in Prometheus
+text exposition format for the svc daemons' live ``/metrics``
+endpoints.
+
 See ``docs/observability.md`` for the metric name catalogue and
 ``docs/tracing.md`` for the trace event model.
 """
 
-from . import trace
+from . import prom, timeseries, trace
 from .registry import (
     NULL,
     Histogram,
@@ -65,4 +74,6 @@ __all__ = [
     "collecting",
     "merge_snapshots",
     "trace",
+    "timeseries",
+    "prom",
 ]

@@ -1,0 +1,179 @@
+"""Prometheus text exposition, dependency-free.
+
+Renders a :class:`~repro.obs.registry.MetricsRegistry` snapshot (and
+ad-hoc metric families) in the text exposition format version 0.0.4 —
+the `# TYPE` / `# HELP` comment lines plus one sample per line — so
+any Prometheus-compatible scraper can consume the simulator's metrics
+without this repo growing a client-library dependency.
+
+Mapping from the registry's four instrument kinds:
+
+* **counter** ``a.b.c`` → counter ``repro_a_b_c_total``
+* **gauge** → gauge ``repro_a_b_c``
+* **histogram** → classic histogram: cumulative ``_bucket{le="..."}``
+  series ending in ``le="+Inf"``, plus ``_sum`` / ``_count``
+* **span** ``(count, total, max)`` → summary-shaped ``_count`` /
+  ``_sum`` plus a companion ``_max`` gauge
+
+Metric names are sanitised to ``[a-zA-Z_][a-zA-Z0-9_]*`` (dots and
+other separators become underscores) and prefixed — default
+``repro_`` — to keep the namespace collision-free on a shared
+scrape target.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+__all__ = [
+    "CONTENT_TYPE",
+    "sanitize_name",
+    "format_value",
+    "render_family",
+    "render_snapshot",
+]
+
+#: The Content-Type header value for HTTP exposition.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_]")
+_INVALID_LABEL_CHARS = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def sanitize_name(name: str, prefix: str = "repro_") -> str:
+    """A valid Prometheus metric name for a dotted registry name."""
+    out = prefix + _INVALID_CHARS.sub("_", name)
+    if out[0].isdigit():
+        out = "_" + out
+    return out
+
+
+def _sanitize_label(name: str) -> str:
+    out = _INVALID_LABEL_CHARS.sub("_", name)
+    if not out or out[0].isdigit():
+        out = "_" + out
+    return out
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace("\"", "\\\"").replace("\n", "\\n")
+
+
+def format_value(value: float) -> str:
+    """A float in exposition form (integers render without a dot)."""
+    f = float(value)
+    if f == float("inf"):
+        return "+Inf"
+    if f == float("-inf"):
+        return "-Inf"
+    if f != f:  # NaN
+        return "NaN"
+    if f == int(f) and abs(f) < 1e15:
+        return str(int(f))
+    return repr(f)
+
+
+def _sample_line(
+    name: str,
+    labels: Optional[Mapping[str, str]],
+    value: float,
+) -> str:
+    if labels:
+        body = ",".join(
+            f'{_sanitize_label(k)}="{_escape_label_value(str(v))}"'
+            for k, v in labels.items()
+        )
+        return f"{name}{{{body}}} {format_value(value)}"
+    return f"{name} {format_value(value)}"
+
+
+def render_family(
+    name: str,
+    kind: str,
+    help_text: str,
+    samples: Iterable[Tuple[str, Optional[Mapping[str, str]], float]],
+) -> List[str]:
+    """One metric family: HELP + TYPE comments, then its sample lines.
+
+    ``samples`` yields ``(suffix, labels, value)`` triples; the suffix
+    (possibly empty) is appended to the family name, so a histogram
+    family can emit ``_bucket``/``_count`` children under one TYPE.
+    """
+    lines = [f"# HELP {name} {help_text}", f"# TYPE {name} {kind}"]
+    for suffix, labels, value in samples:
+        lines.append(_sample_line(name + suffix, labels, value))
+    return lines
+
+
+def render_snapshot(
+    snapshot: Dict[str, Any],
+    prefix: str = "repro_",
+    extra_help: Optional[Mapping[str, str]] = None,
+) -> str:
+    """The full exposition document for one registry snapshot.
+
+    ``snapshot`` is the dict ``MetricsRegistry.snapshot()`` returns
+    (``counters`` / ``gauges`` / ``histograms`` / ``spans``).
+    ``extra_help`` optionally maps *dotted* registry names to HELP
+    strings; names without an entry get a generic line.
+    """
+    helps = extra_help or {}
+    out: List[str] = []
+
+    for name, value in snapshot.get("counters", {}).items():
+        fam = sanitize_name(name, prefix) + "_total"
+        out.extend(render_family(
+            fam, "counter",
+            helps.get(name, f"repro counter {name}"),
+            [("", None, float(value))],
+        ))
+
+    for name, value in snapshot.get("gauges", {}).items():
+        fam = sanitize_name(name, prefix)
+        out.extend(render_family(
+            fam, "gauge",
+            helps.get(name, f"repro gauge {name}"),
+            [("", None, float(value))],
+        ))
+
+    for name, hist in snapshot.get("histograms", {}).items():
+        fam = sanitize_name(name, prefix)
+        edges = list(hist["edges"])
+        counts = list(hist["counts"])
+        samples: List[Tuple[str, Optional[Mapping[str, str]], float]] = []
+        cumulative = 0.0
+        for edge, count in zip(edges, counts[:-1]):
+            cumulative += count
+            samples.append(("_bucket", {"le": format_value(edge)}, cumulative))
+        cumulative += counts[-1] if counts else 0.0
+        samples.append(("_bucket", {"le": "+Inf"}, cumulative))
+        samples.append(("_sum", None, float(hist.get("total", 0.0))))
+        samples.append(("_count", None, cumulative))
+        out.extend(render_family(
+            fam, "histogram",
+            helps.get(name, f"repro histogram {name}"),
+            samples,
+        ))
+
+    for name, agg in snapshot.get("spans", {}).items():
+        fam = sanitize_name(name, prefix)
+        # snapshot() emits {"count", "total", "max"}; live registries
+        # hold [count, total, max] lists — accept both.
+        if isinstance(agg, Mapping):
+            count, total, mx = (float(agg["count"]), float(agg["total"]),
+                                float(agg["max"]))
+        else:
+            count, total, mx = float(agg[0]), float(agg[1]), float(agg[2])
+        out.extend(render_family(
+            fam, "summary",
+            helps.get(name, f"repro span {name}"),
+            [("_count", None, count), ("_sum", None, total)],
+        ))
+        out.extend(render_family(
+            fam + "_max", "gauge",
+            helps.get(name, f"max single duration of span {name}"),
+            [("", None, mx)],
+        ))
+
+    return "\n".join(out) + "\n" if out else ""

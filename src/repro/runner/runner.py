@@ -135,6 +135,14 @@ class SweepRunner:
         Passed through to the per-point tracer (``"fine"``/``"coarse"``,
         the per-track ring-buffer bound, and whether a full ring folds
         repeated event subsequences before dropping).
+    obs_sample:
+        A simulated-seconds interval; when set each computed point runs
+        under a fresh :mod:`repro.obs.timeseries` recorder sampled at
+        that interval, and the per-point series document is kept in
+        :attr:`timeseries` keyed by point label.  Rides the worker
+        envelope like obs/trace — never the cached payload, and not
+        part of the point key, so cache entries are shared between
+        sampled and unsampled sweeps.
     executor:
         A :class:`repro.svc.executors.ExecutorBackend` or a spec string
         (``"serial"``, ``"process[:N]"``, ``"socket:HOST:PORT"``).
@@ -158,6 +166,7 @@ class SweepRunner:
         trace_capacity: int = DEFAULT_TRACE_CAPACITY,
         trace_compact: bool = False,
         executor: Any = None,
+        obs_sample: Optional[float] = None,
     ) -> None:
         if jobs < 0:
             raise ValueError("jobs must be >= 0")
@@ -181,12 +190,18 @@ class SweepRunner:
         self.trace_detail = trace_detail
         self.trace_capacity = trace_capacity
         self.trace_compact = trace_compact
+        if obs_sample is not None and obs_sample <= 0:
+            raise ValueError("obs_sample interval must be > 0")
+        self.obs_sample = obs_sample
         self._obs = _obs_get()
         #: Simulator metrics merged across every computed point.
         self.obs = MetricsRegistry()
         #: Per-point trace documents (label -> trace dict), computed
         #: points only — cached points ran no simulation to trace.
         self.traces: Dict[str, Dict[str, Any]] = {}
+        #: Per-point sampled time-series documents (label -> snapshot),
+        #: computed points only, populated when ``obs_sample`` is set.
+        self.timeseries: Dict[str, Dict[str, Any]] = {}
 
     @property
     def retries(self) -> int:
@@ -252,6 +267,7 @@ class SweepRunner:
             trace_detail=self.trace_detail,
             trace_capacity=self.trace_capacity,
             trace_compact=self.trace_compact,
+            obs_sample=self.obs_sample,
             retry=self.retry,
             jobs=self.jobs,
             on_retry=self._on_retry,
@@ -337,6 +353,9 @@ class SweepRunner:
         trace_doc = envelope.get("trace")
         if trace_doc:
             self.traces[point.label] = trace_doc
+        ts_doc = envelope.get("timeseries")
+        if ts_doc:
+            self.timeseries[point.label] = ts_doc
         self._report(result, obs_snapshot=obs_snapshot)
 
     def _report(

@@ -6,10 +6,16 @@ Every event is a single JSON object on its own line, written to the
 given stream (e.g. stderr for ``--progress``) and retained in
 ``.events`` for tests and programmatic inspection:
 
-``{"event": "sweep_start", "total": 25, "cached": 20, "jobs": 4}``
-``{"event": "point", "label": ..., "key": ..., "cache_key": ...,
-  "status": "ok", "cached": false, "sim_time": 12.81, "wall_time": 0.42,
-  "attempts": 1, "done": 3, "of": 25}``
+``{"event": "sweep_start", "seq": 1, "total": 25, "cached": 20,
+  "jobs": 4}``
+``{"event": "point", "seq": 2, "label": ..., "key": ..., "cache_key":
+  ..., "status": "ok", "cached": false, "sim_time": 12.81,
+  "wall_time": 0.42, "attempts": 1, "done": 3, "of": 25}``
+
+``seq`` is a monotonic per-run sequence number (1-based, no gaps), so
+consumers that aggregate, filter or interleave multiple streams can
+re-establish emission order without relying on file position.  The
+full event schema is documented in ``docs/runner.md``.
 
 (``key`` is the 12-character short form for human eyes; ``cache_key``
 is the full content hash, usable directly against the result cache.)
@@ -46,11 +52,13 @@ class SweepTelemetry:
         #: runner from the cache backend's counter before ``sweep_end``).
         self.corrupt_discards = 0
         self._t0: Optional[float] = None
+        self._seq = 0
 
     # -- emission -------------------------------------------------------------
 
     def emit(self, event: str, **fields: Any) -> Dict[str, Any]:
-        record = {"event": event, **fields}
+        self._seq += 1
+        record = {"event": event, "seq": self._seq, **fields}
         self.events.append(record)
         if self.stream is not None:
             self.stream.write(json.dumps(record) + "\n")

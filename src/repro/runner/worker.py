@@ -32,6 +32,7 @@ from dataclasses import asdict
 from typing import Any, Dict, Optional
 
 from .. import obs
+from ..obs import timeseries as obs_timeseries
 from ..obs import trace as obs_trace
 from .point import SweepPoint
 
@@ -128,6 +129,7 @@ def execute_point(
     trace_detail: str = "fine",
     trace_capacity: int = obs_trace.DEFAULT_CAPACITY,
     trace_compact: bool = False,
+    obs_sample: Optional[float] = None,
 ) -> Dict[str, Any]:
     """Run one point under an optional wall-clock budget.
 
@@ -141,6 +143,11 @@ def execute_point(
     outside the cached payload, so cache entries stay identical with or
     without observation.  ``trace_compact`` turns on ring compaction
     (fold repeated event subsequences before dropping) in that tracer.
+    With ``obs_sample`` (a simulated-seconds interval) the point also
+    runs under a fresh :mod:`repro.obs.timeseries` recorder — a
+    registry is opened even without ``collect_obs``, since the sampler
+    needs something to sample — and the envelope carries the sampled
+    series under ``"timeseries"``.
     """
     start = time.perf_counter()
     use_alarm = (
@@ -158,15 +165,19 @@ def execute_point(
             signal.setitimer(signal.ITIMER_REAL, timeout)
         registry: Optional[obs.MetricsRegistry] = None
         tracer: Optional[obs_trace.Tracer] = None
+        recorder: Optional[obs_timeseries.TimeSeriesRecorder] = None
         try:
             with contextlib.ExitStack() as stack:
-                if collect_obs:
+                if collect_obs or obs_sample:
                     registry = stack.enter_context(obs.collecting())
                 if collect_trace:
                     tracer = stack.enter_context(obs_trace.tracing(
                         capacity=trace_capacity, detail=trace_detail,
                         compact=trace_compact,
                     ))
+                if obs_sample:
+                    recorder = stack.enter_context(
+                        obs_timeseries.sampling(interval=obs_sample))
                 payload = _dispatch(point)
             envelope = {
                 "status": "ok",
@@ -185,10 +196,12 @@ def execute_point(
                 "error": traceback.format_exc(limit=20),
                 "wall_time": time.perf_counter() - start,
             }
-        if registry is not None:
+        if registry is not None and collect_obs:
             envelope["obs"] = registry.snapshot()
         if tracer is not None:
             envelope["trace"] = tracer.snapshot()
+        if recorder is not None:
+            envelope["timeseries"] = recorder.snapshot()
         return envelope
     finally:
         if use_alarm:

@@ -43,7 +43,7 @@ from .executors import (
 )
 from .httpcache import CacheDaemon, serve_cache
 from .scheduler import Submission, SweepScheduler
-from .worker import run_worker
+from .worker import fetch_stats, run_worker
 
 __all__ = [
     "CacheBackend",
@@ -63,4 +63,5 @@ __all__ = [
     "CacheDaemon",
     "serve_cache",
     "run_worker",
+    "fetch_stats",
 ]

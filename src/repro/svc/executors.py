@@ -42,6 +42,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
+from ..obs import get as _obs_get
 from ..obs.trace import DEFAULT_CAPACITY as DEFAULT_TRACE_CAPACITY
 from ..runner.cache import point_key
 from ..runner.point import SweepPoint
@@ -72,6 +73,7 @@ class ExecSpec:
     trace_detail: str = "fine"
     trace_capacity: int = DEFAULT_TRACE_CAPACITY
     trace_compact: bool = False
+    obs_sample: Optional[float] = None
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     jobs: int = 1
     #: Called as (label, key, next_attempt, delay) when a crashed point
@@ -81,7 +83,8 @@ class ExecSpec:
     def worker_args(self) -> Tuple[Any, ...]:
         """Positional args of :func:`execute_point` after the point."""
         return (self.timeout, self.collect_obs, self.collect_trace,
-                self.trace_detail, self.trace_capacity, self.trace_compact)
+                self.trace_detail, self.trace_capacity, self.trace_compact,
+                self.obs_sample)
 
     def to_wire(self) -> Dict[str, Any]:
         """The JSON-safe subset a socket worker needs."""
@@ -92,6 +95,7 @@ class ExecSpec:
             "trace_detail": self.trace_detail,
             "trace_capacity": self.trace_capacity,
             "trace_compact": self.trace_compact,
+            "obs_sample": self.obs_sample,
         }
 
     def notify_retry(self, point: SweepPoint, attempts: int) -> float:
@@ -307,6 +311,9 @@ class SocketWorkerBackend(ExecutorBackend):
         self._lock = threading.Lock()
         self._workers = 0
         self._worker_seq = 0
+        self._served = 0
+        self._stats_requests = 0
+        self._obs = _obs_get()
         self._threads: List[threading.Thread] = []
         self._accept_thread = threading.Thread(
             target=self._accept_loop, name="repro-svc-accept", daemon=True
@@ -331,6 +338,16 @@ class SocketWorkerBackend(ExecutorBackend):
         while self.workers < n and time.monotonic() < deadline:
             time.sleep(0.02)
         return self.workers
+
+    def stats(self) -> Dict[str, Any]:
+        """Live server-side counters (what the ``stats`` frame returns)."""
+        with self._lock:
+            return {
+                "workers": self._workers,
+                "queued": self._tasks.qsize(),
+                "served": self._served,
+                "stats_requests": self._stats_requests,
+            }
 
     # -- server side ----------------------------------------------------------
 
@@ -361,6 +378,14 @@ class SocketWorkerBackend(ExecutorBackend):
                 msg = wire.recv_message(conn)
                 if msg is None:
                     return  # clean disconnect while idle
+                if msg.get("op") == "stats":
+                    with self._lock:
+                        self._stats_requests += 1
+                    if self._obs.enabled:
+                        self._obs.inc("svc.stats_requests")
+                    wire.send_message(conn, {"op": "stats",
+                                             "stats": self.stats()})
+                    continue
                 if msg.get("op") != "pull":
                     return
                 task = self._next_task()
@@ -380,6 +405,10 @@ class SocketWorkerBackend(ExecutorBackend):
                     (task.point, reply["envelope"], task.attempts)
                 )
                 task = None
+                with self._lock:
+                    self._served += 1
+                if self._obs.enabled:
+                    self._obs.inc("svc.points_served")
         except (wire.WireError, OSError):
             pass
         finally:

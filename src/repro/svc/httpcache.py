@@ -13,6 +13,7 @@ Routes::
     PUT    /cache/<key>   store entry JSON (body), 204
     DELETE /cache/<key>   drop one entry, 204
     GET    /stats         {"entries": N, "gets": ..., "puts": ..., ...}
+    GET    /metrics       the same counters in Prometheus text exposition
     POST   /clear         {"cleared": N}
     GET    /healthz       "ok"
 
@@ -30,6 +31,7 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, List, Optional
 
+from ..obs import prom
 from .backends import CacheBackend, MemoryBackend, make_cache_backend, validate_entry
 
 __all__ = ["CacheDaemon", "serve_cache", "serve_cache_main", "DEFAULT_PORT"]
@@ -60,6 +62,15 @@ class _Handler(BaseHTTPRequestHandler):
         if body:
             self.wfile.write(body)
 
+    def _reply_text(self, status: int, text: str, content_type: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        if body:
+            self.wfile.write(body)
+
     def _key(self) -> Optional[str]:
         if not self.path.startswith("/cache/"):
             return None
@@ -75,6 +86,9 @@ class _Handler(BaseHTTPRequestHandler):
             return
         if self.path == "/stats":
             self._reply(200, srv.stats())
+            return
+        if self.path == "/metrics":
+            self._reply_text(200, srv.metrics_text(), prom.CONTENT_TYPE)
             return
         key = self._key()
         if key is None:
@@ -152,6 +166,42 @@ class CacheDaemon(ThreadingHTTPServer):
         doc["entries"] = len(self.backend)  # type: ignore[arg-type]
         doc["backend"] = self.backend.stats()
         return doc
+
+    def metrics_text(self) -> str:
+        """The daemon's counters in Prometheus text exposition format.
+
+        Request counters become ``repro_cache_<verb>_total``, the entry
+        count a gauge, and any numeric backend stats gauges under
+        ``repro_cache_backend_*`` — scrapable straight off
+        ``GET /metrics`` with no client library on either side.
+        """
+        doc = self.stats()
+        backend_stats = doc.pop("backend", {}) or {}
+        entries = doc.pop("entries", 0)
+        lines: List[str] = []
+        for name in sorted(doc):
+            value = doc[name]
+            if not isinstance(value, (int, float)):
+                continue
+            fam = prom.sanitize_name(name, "repro_cache_") + "_total"
+            lines.extend(prom.render_family(
+                fam, "counter", f"cache daemon requests: {name}",
+                [("", None, float(value))],
+            ))
+        lines.extend(prom.render_family(
+            "repro_cache_entries", "gauge", "entries in the backing store",
+            [("", None, float(entries))],
+        ))
+        for name in sorted(backend_stats):
+            value = backend_stats[name]
+            if not isinstance(value, (int, float)):
+                continue
+            fam = prom.sanitize_name(name, "repro_cache_backend_")
+            lines.extend(prom.render_family(
+                fam, "gauge", f"backing store stat: {name}",
+                [("", None, float(value))],
+            ))
+        return "\n".join(lines) + "\n" if lines else ""
 
     def serve_in_thread(self) -> threading.Thread:
         """Run the daemon on a background thread (tests, embedded use)."""

@@ -26,7 +26,35 @@ from ..runner.point import SweepPoint
 from ..runner.worker import execute_point
 from . import wire
 
-__all__ = ["run_worker", "worker_main"]
+__all__ = ["run_worker", "worker_main", "fetch_stats"]
+
+
+def fetch_stats(
+    host: str, port: int, connect_timeout: float = 10.0
+) -> dict:
+    """Ask a running socket backend for its live server-side counters.
+
+    Speaks the same hello/welcome handshake as a worker, then a single
+    ``stats`` frame; returns the server's stats dict (workers, queued,
+    served, stats_requests).  Used by monitoring scripts that want the
+    sweep server's state without joining it as a worker.
+    """
+    sock = socket.create_connection((host, port), timeout=connect_timeout)
+    try:
+        wire.send_message(sock, {"op": "hello", "version": 1})
+        welcome = wire.recv_message(sock)
+        if not welcome or welcome.get("op") != "welcome":
+            raise wire.WireError("server did not welcome us")
+        wire.send_message(sock, {"op": "stats"})
+        reply = wire.recv_message(sock)
+        if not reply or reply.get("op") != "stats":
+            raise wire.WireError("server did not answer the stats frame")
+        return reply["stats"]
+    finally:
+        try:
+            sock.close()
+        except OSError:
+            pass
 
 
 def _serve_connection(
@@ -61,6 +89,7 @@ def _serve_connection(
             trace_detail=spec.get("trace_detail", "fine"),
             trace_capacity=int(spec.get("trace_capacity", 65536)),
             trace_compact=bool(spec.get("trace_compact", False)),
+            obs_sample=spec.get("obs_sample"),
         )
         wire.send_message(sock, {"op": "result", "envelope": envelope})
         done += 1

@@ -1,0 +1,163 @@
+"""repro.obs.prom: the text exposition renderer, checked by a
+dependency-free validator of format 0.0.4 (no prometheus client
+library — the parser below is the test's own)."""
+
+import re
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.obs.prom import (
+    CONTENT_TYPE,
+    format_value,
+    render_family,
+    render_snapshot,
+    sanitize_name,
+)
+
+_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>-?\d+(?:\.\d+)?(?:e[+-]?\d+)?|[+]Inf|-Inf|NaN)$"
+)
+_LABEL = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$')
+
+
+def parse_exposition(text):
+    """Validate an exposition document; returns {family: (type, {name+labels: value})}.
+
+    Enforces the 0.0.4 shape: every sample line parses, every sample's
+    family was TYPE-declared above it, names are valid, no family is
+    declared twice.
+    """
+    families = {}
+    types = {}
+    current = None
+    assert text == "" or text.endswith("\n"), "document must end in newline"
+    for line in text.splitlines():
+        if line.startswith("# HELP "):
+            name = line.split()[2]
+            assert _NAME.match(name), f"bad family name {name!r}"
+            continue
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split(None, 3)
+            assert kind in ("counter", "gauge", "histogram", "summary",
+                            "untyped"), f"bad type {kind!r}"
+            assert name not in types, f"family {name} TYPE-declared twice"
+            types[name] = kind
+            families[name] = {}
+            current = name
+            continue
+        assert not line.startswith("#"), f"unknown comment {line!r}"
+        m = _SAMPLE.match(line)
+        assert m, f"unparseable sample line {line!r}"
+        sample_name = m.group("name")
+        if m.group("labels"):
+            for pair in m.group("labels").split(","):
+                assert _LABEL.match(pair), f"bad label pair {pair!r}"
+        # A sample belongs to the most recent TYPE'd family (suffixes
+        # _bucket/_sum/_count/_max included).
+        assert current is not None and sample_name.startswith(current.rstrip(
+            "_")) or any(sample_name.startswith(f) for f in families), \
+            f"sample {sample_name} precedes any TYPE declaration"
+        value = m.group("value")
+        v = {"Inf": float("inf"), "+Inf": float("inf"),
+             "-Inf": float("-inf")}.get(value, None)
+        if v is None:
+            v = float("nan") if value == "NaN" else float(value)
+        key = sample_name + ("{" + m.group("labels") + "}"
+                             if m.group("labels") else "")
+        families.setdefault(current, {})[key] = v
+    return {name: (types[name], families.get(name, {})) for name in types}
+
+
+# ------------------------------------------------------------------ helpers
+
+
+def test_sanitize_name_and_values():
+    assert sanitize_name("vt.flush") == "repro_vt_flush"
+    assert sanitize_name("svc.cache.http.degraded") == \
+        "repro_svc_cache_http_degraded"
+    assert sanitize_name("9lives", prefix="") == "_9lives"
+    assert format_value(3.0) == "3"
+    assert format_value(0.25) == "0.25"
+    assert format_value(float("inf")) == "+Inf"
+    assert format_value(float("nan")) == "NaN"
+    assert "version=0.0.4" in CONTENT_TYPE
+
+
+def test_render_family_shape():
+    lines = render_family("repro_x", "counter", "help text",
+                          [("_total", None, 2.0)])
+    assert lines == ["# HELP repro_x help text",
+                     "# TYPE repro_x counter",
+                     "repro_x_total 2"]
+
+
+# ----------------------------------------------------------- full snapshots
+
+
+@pytest.fixture
+def registry():
+    reg = MetricsRegistry()
+    reg.inc("vt.records", 1200)
+    reg.inc("svc.points_served", 3)
+    reg.gauge_max("svc.queue_depth", 7)
+    reg.observe("msg.bytes", 8.0, edges=(16, 256))
+    reg.observe("msg.bytes", 300.0, edges=(16, 256))
+    reg.observe("msg.bytes", 20.0, edges=(16, 256))
+    reg.span("vt.flush", 0.5)
+    reg.span("vt.flush", 1.5)
+    return reg
+
+
+def test_snapshot_renders_and_validates(registry):
+    text = render_snapshot(registry.snapshot())
+    fams = parse_exposition(text)
+    assert fams["repro_vt_records_total"] == (
+        "counter", {"repro_vt_records_total": 1200.0})
+    assert fams["repro_svc_queue_depth"] == (
+        "gauge", {"repro_svc_queue_depth": 7.0})
+
+
+def test_histogram_buckets_are_cumulative_and_end_at_inf(registry):
+    text = render_snapshot(registry.snapshot())
+    fams = parse_exposition(text)
+    kind, samples = fams["repro_msg_bytes"]
+    assert kind == "histogram"
+    assert samples['repro_msg_bytes_bucket{le="16"}'] == 1.0
+    assert samples['repro_msg_bytes_bucket{le="256"}'] == 2.0
+    assert samples['repro_msg_bytes_bucket{le="+Inf"}'] == 3.0
+    # +Inf bucket == _count (the format's own invariant).
+    assert samples["repro_msg_bytes_count"] == 3.0
+    assert samples["repro_msg_bytes_sum"] == 328.0
+
+
+def test_spans_render_as_summary_plus_max_gauge(registry):
+    text = render_snapshot(registry.snapshot())
+    fams = parse_exposition(text)
+    kind, samples = fams["repro_vt_flush"]
+    assert kind == "summary"
+    assert samples["repro_vt_flush_count"] == 2.0
+    assert samples["repro_vt_flush_sum"] == 2.0
+    assert fams["repro_vt_flush_max"] == (
+        "gauge", {"repro_vt_flush_max": 1.5})
+
+
+def test_spans_accept_live_list_form():
+    text = render_snapshot({"spans": {"w": [2, 3.5, 2.5]}})
+    fams = parse_exposition(text)
+    assert fams["repro_w"][1]["repro_w_sum"] == 3.5
+    assert fams["repro_w_max"][1]["repro_w_max"] == 2.5
+
+
+def test_empty_snapshot_renders_empty_document():
+    assert render_snapshot({}) == ""
+    assert parse_exposition("") == {}
+
+
+def test_extra_help_overrides_generic_line():
+    text = render_snapshot({"counters": {"a.b": 1}},
+                           extra_help={"a.b": "my help"})
+    assert "# HELP repro_a_b_total my help" in text

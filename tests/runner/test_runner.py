@@ -99,8 +99,10 @@ def test_telemetry_json_lines_and_hit_rate(tmp_path):
     SweepRunner(jobs=1, cache=tmp_path, telemetry=out1).run_grid(points)
     events1 = [json.loads(line) for line in out1.getvalue().splitlines()]
     assert events1[0]["event"] == "sweep_start"
-    assert events1[0] == {"event": "sweep_start", "total": 2, "cached": 0,
-                          "jobs": 1}
+    assert events1[0] == {"event": "sweep_start", "seq": 1, "total": 2,
+                          "cached": 0, "jobs": 1}
+    # seq is monotonic and gap-free across the whole run.
+    assert [e["seq"] for e in events1] == list(range(1, len(events1) + 1))
     point_events = [e for e in events1 if e["event"] == "point"]
     assert len(point_events) == 2
     assert all(e["status"] == "ok" and e["cached"] is False

@@ -120,3 +120,36 @@ def test_sweep_socket_backend_announces_address(capsys):
 def test_unknown_backend_spec_is_an_error(capsys):
     with pytest.raises(SystemExit):
         main(GRID + ["--backend", "carrier-pigeon"])
+
+
+# ------------------------------------------------------- sampled telemetry
+
+
+def test_obs_sample_documents_identical_across_executor_backends(
+        tmp_path, capsys):
+    """The sampler rides the envelope, so the sampled series — like the
+    payloads — must be bit-identical whether points ran in-process, in
+    a pool, or on a socket worker."""
+    import json
+
+    port = free_port()
+    worker = threading.Thread(
+        target=run_worker,
+        args=("127.0.0.1", port),
+        kwargs={"max_points": 2, "reconnect": True},
+        daemon=True,
+    )
+    worker.start()
+    docs = {}
+    for name, spec in (("serial", "serial"), ("process", "process:2"),
+                       ("socket", f"socket:127.0.0.1:{port}")):
+        path = tmp_path / f"{name}.json"
+        run_cli(capsys, "--no-cache", "--backend", spec,
+                "--obs", str(path), "--obs-sample", "0.5")
+        docs[name] = json.loads(path.read_text())
+    worker.join(timeout=15)
+    assert not worker.is_alive()
+    baseline = docs.pop("serial")
+    assert baseline["timeseries"]  # the sampler actually sampled
+    for name, doc in docs.items():
+        assert doc == baseline, f"{name} obs document diverged"
