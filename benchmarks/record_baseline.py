@@ -17,7 +17,11 @@ Recording writes two small JSON documents next to this script:
     counts and the throughput the sampler costs.  The sampler-off cell
     staying inside the tolerance band is the "sampling off is free"
     gate; the sampler-on cell makes the enabled cost a visible,
-    determinism-checked number.
+    determinism-checked number.  A ``recorder`` cell does the same for
+    order recording (:mod:`repro.replay`): the plain cell is the
+    "recording off is free" gate, the recorder-on cell pins the event
+    and order-log decision counts exactly and the enabled throughput
+    within tolerance.
 
 ``BENCH_fig7.json``
     End-to-end sweep cost — wall time of the quick Figure 7a grid cold
@@ -165,9 +169,49 @@ def measure_sampler_on(interval=SAMPLER_INTERVAL, repeats=DEFAULT_REPEATS):
     return events, samples, best, round(events / best) if best > 0 else None
 
 
+def measure_recorder_on(repeats=DEFAULT_REPEATS):
+    """Best-of-``repeats`` throughput for the same cell with order
+    recording (:mod:`repro.replay`) enabled.
+
+    Returns ``(events, decisions, best_wall_s, events_per_sec)``.  Both
+    the event count and the order-log decision count are asserted
+    identical across repeats — recording a deterministic run must
+    itself be deterministic.  The plain engine cell doubles as the
+    "recording off is free" gate: it runs with no recorder installed.
+    """
+    from repro.replay import hooks
+
+    app = get_app(ENGINE_CELL["app"])
+    events = None
+    decisions = None
+    best = None
+    for _ in range(repeats + 1):  # first iteration is the warm-up
+        with obs.collecting() as registry:
+            with hooks.recording() as recorder:
+                t0 = time.perf_counter()
+                run_policy(app, ENGINE_CELL["policy"], ENGINE_CELL["procs"],
+                           scale=ENGINE_CELL["scale"],
+                           seed=ENGINE_CELL["seed"])
+                wall = time.perf_counter() - t0
+        n = registry.counters.get("simt.events", 0)
+        d = len(recorder.log)
+        if events is None:
+            events, decisions = n, d
+            continue  # warm-up run: seed the expectation, skip timing
+        if n != events or d != decisions:
+            raise AssertionError(
+                f"non-deterministic recorded run: {n}/{d} != "
+                f"{events}/{decisions} (events/decisions)")
+        if best is None or wall < best:
+            best = wall
+    return events, decisions, best, round(events / best) if best > 0 else None
+
+
 def record_engine(repeats=DEFAULT_REPEATS):
     events, wall, eps = measure_engine(repeats)
     on_events, on_samples, on_wall, on_eps = measure_sampler_on(
+        repeats=repeats)
+    rec_events, decisions, rec_wall, rec_eps = measure_recorder_on(
         repeats=repeats)
     doc = {
         "benchmark": "engine-event-throughput",
@@ -182,6 +226,12 @@ def record_engine(repeats=DEFAULT_REPEATS):
             "on_samples": on_samples,
             "on_wall_time_s": round(on_wall, 4),
             "on_events_per_sec": on_eps,
+        },
+        "recorder": {
+            "on_events": rec_events,
+            "decisions": decisions,
+            "on_wall_time_s": round(rec_wall, 4),
+            "on_events_per_sec": rec_eps,
         },
         **_context(),
     }
@@ -406,6 +456,47 @@ def check_sampler(tolerance=DEFAULT_TOLERANCE, repeats=DEFAULT_REPEATS):
     return 0 if ok else 1
 
 
+def check_recorder(tolerance=DEFAULT_TOLERANCE, repeats=DEFAULT_REPEATS):
+    """Compare a fresh recording-enabled measurement against the baseline.
+
+    The recording-off cost is ``check_engine``'s job (the plain cell
+    runs with no recorder installed); this cell gates the *enabled*
+    path: event and order-log decision counts exactly (recording a
+    deterministic run is deterministic), throughput within the
+    tolerance band.  Returns 0 on pass.
+    """
+    path = HERE / "BENCH_engine.json"
+    if not path.exists():
+        print(f"check: no committed baseline at {path}", file=sys.stderr)
+        return 1
+    baseline = json.loads(path.read_text(encoding="utf-8"))
+    want = baseline.get("recorder")
+    if not want:
+        print("check[recorder]: no recorder cell in BENCH_engine.json "
+              "(re-record to add one)", file=sys.stderr)
+        return 1
+    events, decisions, wall, eps = measure_recorder_on(repeats=repeats)
+    floor = want["on_events_per_sec"] * (1.0 - tolerance)
+    print(f"check[recorder]: {events} events / {decisions} decisions in "
+          f"{wall:.4f}s -> {eps} events/sec (floor {floor:.0f})")
+    ok = True
+    if events != want["on_events"]:
+        print(f"check[recorder]: FAIL - event count drifted: {events} != "
+              f"{want['on_events']}", file=sys.stderr)
+        ok = False
+    if decisions != want["decisions"]:
+        print(f"check[recorder]: FAIL - decision count drifted: "
+              f"{decisions} != {want['decisions']}", file=sys.stderr)
+        ok = False
+    if eps < floor:
+        print(f"check[recorder]: FAIL - throughput regression: {eps} < "
+              f"{floor:.0f} events/sec", file=sys.stderr)
+        ok = False
+    if ok:
+        print("check: recorder OK")
+    return 0 if ok else 1
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(
         description="Record or check committed performance baselines.")
@@ -426,9 +517,11 @@ def main(argv=None):
         rc = check_engine(tolerance=args.tolerance, repeats=args.repeats)
         rc_sampler = check_sampler(tolerance=args.tolerance,
                                    repeats=args.repeats)
+        rc_recorder = check_recorder(tolerance=args.tolerance,
+                                     repeats=args.repeats)
         rc_trace = check_trace(tolerance=args.tolerance,
                                repeats=args.repeats)
-        return rc or rc_sampler or rc_trace
+        return rc or rc_sampler or rc_recorder or rc_trace
 
     engine = record_engine(repeats=args.repeats)
     print(f"engine: {engine['events']} events in {engine['wall_time_s']}s "
@@ -438,6 +531,10 @@ def main(argv=None):
     print(f"sampler:{sampler['on_events']} events / "
           f"{sampler['on_samples']} samples at {sampler['interval']}s "
           f"-> {sampler['on_events_per_sec']} events/sec")
+    recorder = engine["recorder"]
+    print(f"record: {recorder['on_events']} events / "
+          f"{recorder['decisions']} decisions "
+          f"-> {recorder['on_events_per_sec']} events/sec")
     fig7 = record_fig7()
     print(f"fig7:   cold {fig7['cold_wall_time_s']}s, "
           f"cached {fig7['cached_wall_time_s']}s "

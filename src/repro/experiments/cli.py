@@ -48,6 +48,19 @@ tracing on and prints the critical-path / perturbation summary —
 optionally exporting Chrome-trace JSON (``--chrome``, loadable in
 Perfetto) and an SVG timeline (``--svg``).
 
+Record-and-replay (:mod:`repro.replay`, see ``docs/replay.md``):
+``--record DIR`` on the figure/sweep commands records every computed
+point's *order log* — the sequence of nondeterminism-relevant
+decisions — as one ``<label>.order`` file each (``chaos --record
+FILE`` records its single point); figure outputs stay byte-identical
+with or without recording.  ``--replay PATH`` (a ``.order`` file or a
+directory of them) verifies matching points against their recordings,
+reporting the first divergent decision instead of silently different
+numbers.  The ``replay`` subcommand works from logs alone: ``replay
+verify LOG`` re-runs and checks the point a log describes, and
+``replay bisect`` delta-debugs a failing fault plan to a 1-minimal
+interesting subset.
+
 Where points run and where results live are pluggable through the
 service layer (:mod:`repro.svc`, see ``docs/service.md``): ``--backend
 serial | process[:N] | socket:HOST:PORT`` selects the executor (the
@@ -243,6 +256,17 @@ def _add_runner_args(parser: argparse.ArgumentParser) -> None:
                              "ring fills instead of dropping immediately "
                              "(repro.compact); figure outputs are "
                              "unaffected")
+    parser.add_argument("--record", metavar="DIR", default=None,
+                        help="record every computed point's nondeterminism "
+                             "order log and write one <label>.order file "
+                             "each into DIR (repro.replay; figure outputs "
+                             "are unaffected)")
+    parser.add_argument("--replay", metavar="PATH", default=None,
+                        help="verify computed points against recorded order "
+                             "logs (PATH: one .order file or a directory of "
+                             "them, matched by point label); divergence "
+                             "fails the point with a first-divergence "
+                             "report")
     parser.add_argument("--backend", metavar="SPEC", default=None,
                         help="executor backend: serial, process[:N], or "
                              "socket:HOST:PORT (remote `worker` processes "
@@ -251,6 +275,74 @@ def _add_runner_args(parser: argparse.ArgumentParser) -> None:
                         help="cache backend: dir:PATH, memory, sqlite:PATH, "
                              "or http://HOST:PORT (a `serve-cache` daemon); "
                              "overrides --cache-dir")
+
+
+def _load_replay_logs(path: str) -> dict:
+    """Load recorded order logs from one ``.order`` file or a directory
+    of them; returns a ``label -> base64 log`` mapping keyed by each
+    log's recorded point label."""
+    import base64 as _base64
+    import os as _os
+
+    from ..replay.orderlog import OrderLog
+
+    if _os.path.isdir(path):
+        files = [_os.path.join(path, entry)
+                 for entry in sorted(_os.listdir(path))
+                 if entry.endswith(".order")]
+        if not files:
+            raise SystemExit(
+                f"repro-experiments: --replay {path}: no .order files")
+    else:
+        files = [path]
+    logs: dict = {}
+    for file in files:
+        try:
+            with open(file, "rb") as fh:
+                data = fh.read()
+            log = OrderLog.from_bytes(data)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"repro-experiments: --replay {file}: {exc}")
+        label = (log.meta or {}).get("label")
+        if not label:
+            raise SystemExit(
+                f"repro-experiments: --replay {file}: log metadata carries "
+                "no point label")
+        logs[label] = _base64.b64encode(data).decode("ascii")
+    return logs
+
+
+def _write_order_logs(
+    args: argparse.Namespace, runner: SweepRunner, quiet: bool = False
+) -> List[str]:
+    """Write one ``<label>.order`` file per recorded point into
+    ``--record DIR``; returns the paths written."""
+    if not getattr(args, "record", None):
+        return []
+    import base64 as _base64
+    import os as _os
+
+    try:
+        _os.makedirs(args.record, exist_ok=True)
+    except OSError as exc:
+        print(f"repro-experiments: cannot write order logs "
+              f"{args.record}: {exc}", file=sys.stderr)
+        raise SystemExit(1)
+    paths: List[str] = []
+    for label in sorted(runner.order_logs):
+        path = _os.path.join(args.record, f"{_safe_label(label)}.order")
+        try:
+            with open(path, "wb") as fh:
+                fh.write(_base64.b64decode(runner.order_logs[label]))
+        except OSError as exc:
+            print(f"repro-experiments: cannot write order log {path}: {exc}",
+                  file=sys.stderr)
+            raise SystemExit(1)
+        paths.append(path)
+    if not quiet:
+        print(f"wrote {len(paths)} order log(s) to {args.record}",
+              file=sys.stderr)
+    return paths
 
 
 def _build_runner(args: argparse.Namespace) -> SweepRunner:
@@ -268,6 +360,13 @@ def _build_runner(args: argparse.Namespace) -> SweepRunner:
         kwargs["trace_capacity"] = args.trace_capacity
     if getattr(args, "obs_sample", None) is not None and args.obs_sample <= 0:
         raise SystemExit("repro-experiments: --obs-sample must be > 0")
+    record = getattr(args, "record", None)
+    replay = getattr(args, "replay", None)
+    if record and replay:
+        raise SystemExit(
+            "repro-experiments: --record and --replay are mutually exclusive")
+    if replay:
+        kwargs["replay_logs"] = _load_replay_logs(replay)
     runner = SweepRunner(
         jobs=args.jobs,
         cache=cache,
@@ -279,6 +378,7 @@ def _build_runner(args: argparse.Namespace) -> SweepRunner:
         trace_compact=bool(args.trace_compact),
         executor=args.backend,
         obs_sample=getattr(args, "obs_sample", None),
+        record_order=bool(record),
         **kwargs,
     )
     if args.backend:
@@ -476,6 +576,14 @@ def sweep_main(argv: List[str]) -> int:
 
     obs_path = _write_obs_document(args, runner, quiet=args.json)
     trace_paths = _write_trace_documents(args, runner, quiet=args.json)
+    order_paths = _write_order_logs(args, runner, quiet=args.json)
+    for r in ordered:
+        if r.status == "diverged" and r.divergence is not None:
+            print(f"sweep: {r.point.label}: diverged from its replay log "
+                  f"at decision #{r.divergence.get('index')} "
+                  f"(t={r.divergence.get('sim_time')}, "
+                  f"channel={r.divergence.get('channel')})",
+                  file=sys.stderr)
 
     if args.json:
         import json as _json
@@ -499,6 +607,8 @@ def sweep_main(argv: List[str]) -> int:
             outputs["obs"] = obs_path
         if trace_paths:
             outputs["traces"] = trace_paths
+        if order_paths:
+            outputs["order_logs"] = order_paths
         if outputs:
             doc["outputs"] = outputs
         print(_json.dumps(doc, indent=2))
@@ -859,10 +969,20 @@ def chaos_main(argv: List[str]) -> int:
                         help="sample the metrics registry every SEC "
                              "simulated seconds; the series ride the "
                              "--obs document")
+    parser.add_argument("--record", metavar="FILE", default=None,
+                        help="record the run's nondeterminism order log to "
+                             "FILE (replay it later with `replay verify` "
+                             "or --replay)")
+    parser.add_argument("--replay", metavar="FILE", default=None,
+                        help="verify the run against a recorded order log; "
+                             "divergence fails with a first-divergence "
+                             "report")
     _add_faults_args(parser)
     args = parser.parse_args(argv)
     if args.obs_sample is not None and args.obs_sample <= 0:
         parser.error("--obs-sample must be > 0")
+    if args.record and args.replay:
+        parser.error("--record and --replay are mutually exclusive")
 
     try:
         get_app(args.app)
@@ -887,20 +1007,63 @@ def chaos_main(argv: List[str]) -> int:
             scale=args.scale, machine=machine, seed=args.seed, faults=plan,
         )
 
+    replay_blob = None
+    if args.replay:
+        import base64 as _base64
+
+        try:
+            with open(args.replay, "rb") as fh:
+                replay_blob = _base64.b64encode(fh.read()).decode("ascii")
+        except OSError as exc:
+            print(f"repro-experiments chaos: --replay {args.replay}: {exc}",
+                  file=sys.stderr)
+            return 1
+
     # No cache: the whole purpose is to exercise the recovery paths,
     # and --check-determinism needs two real executions.
     runs = 2 if args.check_determinism else 1
     envelopes = [
         execute_point(point, collect_obs=bool(args.obs),
-                      obs_sample=args.obs_sample)
+                      obs_sample=args.obs_sample,
+                      record_order=bool(args.record),
+                      replay_log=replay_blob)
         for _ in range(runs)
     ]
     for envelope in envelopes:
+        if envelope["status"] == "diverged":
+            divergence = envelope.get("divergence") or {}
+            print(f"chaos: {point.label}: DIVERGED from {args.replay} "
+                  f"at decision #{divergence.get('index')} "
+                  f"(t={divergence.get('sim_time')}, "
+                  f"channel={divergence.get('channel')})",
+                  file=sys.stderr)
+            import json as _json
+
+            print(f"  expected: "
+                  f"{_json.dumps(divergence.get('expected'), sort_keys=True)}",
+                  file=sys.stderr)
+            print(f"  actual:   "
+                  f"{_json.dumps(divergence.get('actual'), sort_keys=True)}",
+                  file=sys.stderr)
+            return 1
         if envelope["status"] != "ok":
             print(f"repro-experiments chaos: {point.label}: "
                   f"{envelope.get('error', envelope['status'])}",
                   file=sys.stderr)
             return 1
+
+    if args.record:
+        import base64 as _base64
+
+        try:
+            with open(args.record, "wb") as fh:
+                fh.write(_base64.b64decode(envelopes[0]["order_log"]))
+        except OSError as exc:
+            print(f"repro-experiments chaos: cannot write order log "
+                  f"{args.record}: {exc}", file=sys.stderr)
+            return 1
+        if not args.json:
+            print(f"wrote order log to {args.record}", file=sys.stderr)
 
     import json as _json
 
@@ -961,6 +1124,8 @@ def chaos_main(argv: List[str]) -> int:
         print(f"  dpcl client retries: {report['client_retries']}")
     if args.check_determinism:
         print("  determinism: OK (two runs bit-identical)")
+    if args.replay:
+        print(f"  replay: OK (bit-identical to {args.replay})")
     return 0
 
 
@@ -997,6 +1162,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return trace_main(argv[1:])
     if argv and argv[0] == "chaos":
         return chaos_main(argv[1:])
+    if argv and argv[0] == "replay":
+        from .replaycmd import replay_main
+
+        return replay_main(argv[1:])
     if argv and argv[0] == "obs":
         from .obscmd import obs_main
 
@@ -1053,6 +1222,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         _close_runner(runner)
     obs_path = _write_obs_document(args, runner, quiet=args.json)
     trace_paths = _write_trace_documents(args, runner, quiet=args.json)
+    order_paths = _write_order_logs(args, runner, quiet=args.json)
     if args.json:
         import json as _json
 
@@ -1063,6 +1233,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             outputs["obs"] = obs_path
         if trace_paths:
             outputs["traces"] = trace_paths
+        if order_paths:
+            outputs["order_logs"] = order_paths
         if outputs:
             doc["outputs"] = outputs
         print(_json.dumps(doc, indent=2))

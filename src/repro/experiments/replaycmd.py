@@ -1,0 +1,225 @@
+"""The ``repro-experiments replay`` subcommand — verify and bisect runs.
+
+Builds on :mod:`repro.replay`: every simulated point can record its
+*order log* — the sequence of nondeterminism-relevant decisions (event
+drain order, message match/delivery order, fault-injector draws) — and
+a later run of the same point can be *verified* against that log,
+failing loudly at the first divergent decision instead of silently
+producing different numbers.
+
+* ``replay verify LOG`` — re-run the point a recorded ``.order`` file
+  describes (the log's metadata carries the point's canonical JSON)
+  and check every decision against the recording.  Exit 0 when the run
+  is bit-identical, 1 with a first-divergence report otherwise.
+* ``replay bisect`` — delta-debug a failing fault plan: re-run one
+  (app, policy/instrument, CPUs) point under subsets of the plan's
+  specs (classic ddmin) until a 1-minimal interesting sub-plan
+  remains.  ``--mode effect`` (default) keeps specs that change the
+  payload versus the fault-free baseline; ``--mode fail`` keeps specs
+  that break the run outright; ``--mode diverge`` keeps specs that
+  perturb the partial order of a clean recording (``--against LOG``).
+
+Both commands are deterministic: the same inputs always reproduce the
+same verdict, the same minimal subset and the same test count.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from ..apps import ALL_APPS, get_app
+from ..cluster import MACHINES, get_machine
+from ..dynprof import POLICIES
+from ..replay.orderlog import OrderLog
+from ..runner.point import SweepPoint
+
+__all__ = ["replay_main", "verify_main", "bisect_main"]
+
+
+def _print_divergence(divergence: dict) -> None:
+    expected = divergence.get("expected")
+    actual = divergence.get("actual")
+    print(f"  first divergence: decision #{divergence.get('index')} "
+          f"(t={divergence.get('sim_time')}, "
+          f"channel={divergence.get('channel')})")
+    print(f"    expected: {json.dumps(expected, sort_keys=True)}")
+    print(f"    actual:   {json.dumps(actual, sort_keys=True)}")
+
+
+def verify_main(argv: List[str]) -> int:
+    """``repro-experiments replay verify`` — replay a recorded order log."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments replay verify",
+        description="Re-run the point a recorded order log describes and "
+                    "verify every nondeterminism decision against the "
+                    "recording; exits 1 at the first divergence.",
+    )
+    parser.add_argument("log", metavar="LOG",
+                        help="a recorded .order file (chaos --record, "
+                             "figure/sweep --record DIR)")
+    parser.add_argument("--timeout", type=float, default=None, metavar="SEC",
+                        help="wall-clock budget for the re-run")
+    parser.add_argument("--json", action="store_true",
+                        help="print the verdict as a JSON document")
+    args = parser.parse_args(argv)
+
+    from ..runner.worker import execute_point
+
+    try:
+        log = OrderLog.load(args.log)
+    except (OSError, ValueError) as exc:
+        print(f"repro-experiments replay: {args.log}: {exc}",
+              file=sys.stderr)
+        return 1
+    point_doc = (log.meta or {}).get("point")
+    if not point_doc:
+        print(f"repro-experiments replay: {args.log}: log metadata carries "
+              "no point description; cannot rebuild the run",
+              file=sys.stderr)
+        return 1
+    point = SweepPoint.from_canonical(point_doc)
+
+    envelope = execute_point(point, timeout=args.timeout,
+                             replay_log=log.to_b64())
+    verified = envelope["status"] == "ok"
+    if args.json:
+        doc = {
+            "log": args.log,
+            "point": point.canonical(),
+            "decisions": len(log.decisions),
+            "status": envelope["status"],
+            "verified": verified,
+        }
+        if envelope.get("divergence"):
+            doc["divergence"] = envelope["divergence"]
+        print(json.dumps(doc, indent=2))
+        return 0 if verified else 1
+    if verified:
+        print(f"replay verify: {point.label}: OK "
+              f"({len(log.decisions)} decision(s) bit-identical)")
+        return 0
+    print(f"replay verify: {point.label}: {envelope['status'].upper()}")
+    if envelope.get("divergence"):
+        _print_divergence(envelope["divergence"])
+    elif envelope.get("error"):
+        print(f"  {envelope['error'].strip().splitlines()[-1]}")
+    return 1
+
+
+def bisect_main(argv: List[str]) -> int:
+    """``repro-experiments replay bisect`` — minimize a fault plan."""
+    from .cli import _add_faults_args, _load_fault_plan
+
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments replay bisect",
+        description="Delta-debug a fault plan (ddmin) down to a 1-minimal "
+                    "sub-plan that stays interesting: changes the payload "
+                    "(--mode effect), breaks the run (--mode fail), or "
+                    "diverges from a clean recording (--mode diverge "
+                    "--against LOG).",
+    )
+    parser.add_argument("--kind", choices=("instrument", "policy"),
+                        default="instrument",
+                        help="point kind (default instrument, as in chaos)")
+    parser.add_argument("--app", default="sweep3d",
+                        help=f"application (one of {','.join(ALL_APPS)}; "
+                             "default sweep3d)")
+    parser.add_argument("--policy", default="Dynamic",
+                        help="instrumentation policy for --kind policy")
+    parser.add_argument("--cpus", type=int, default=32,
+                        help="process count (default 32)")
+    parser.add_argument("--scale", type=float, default=0.02,
+                        help="workload scale factor (default 0.02)")
+    parser.add_argument("--seed", type=int, default=0, help="simulation seed")
+    parser.add_argument("--machine", choices=sorted(MACHINES),
+                        default="power3-sp",
+                        help="machine preset (default power3-sp)")
+    parser.add_argument("--mode", choices=("effect", "fail", "diverge"),
+                        default="effect",
+                        help="what makes a sub-plan interesting "
+                             "(default effect)")
+    parser.add_argument("--against", metavar="LOG", default=None,
+                        help="clean recorded order log for --mode diverge")
+    parser.add_argument("--timeout", type=float, default=None, metavar="SEC",
+                        help="wall-clock budget per test run")
+    parser.add_argument("--json", action="store_true",
+                        help="print the result as a JSON document")
+    _add_faults_args(parser)
+    args = parser.parse_args(argv)
+
+    from ..replay import bisect_plan
+
+    try:
+        get_app(args.app)
+    except KeyError as exc:
+        parser.error(str(exc))
+    if args.policy not in POLICIES:
+        parser.error(f"unknown policy {args.policy!r}; known: "
+                     f"{','.join(POLICIES)}")
+    plan = _load_fault_plan(args, parser)
+    if plan is None:
+        parser.error("replay bisect needs a plan: --faults FILE or --plan NAME")
+    if not len(plan):
+        parser.error("the plan is empty; nothing to bisect")
+    against: Optional[OrderLog] = None
+    if args.mode == "diverge":
+        if not args.against:
+            parser.error("--mode diverge needs --against LOG (a clean "
+                         "recording of the fault-free point)")
+        try:
+            against = OrderLog.load(args.against)
+        except (OSError, ValueError) as exc:
+            parser.error(f"--against {args.against}: {exc}")
+    elif args.against:
+        parser.error("--against only applies to --mode diverge")
+
+    machine = get_machine(args.machine)
+    if args.kind == "policy":
+        point = SweepPoint.policy_cell(
+            args.app, args.policy, args.cpus,
+            scale=args.scale, machine=machine, seed=args.seed,
+        )
+    else:
+        point = SweepPoint.instrument(
+            args.app, args.cpus,
+            scale=args.scale, machine=machine, seed=args.seed,
+        )
+
+    try:
+        result = bisect_plan(point, plan, mode=args.mode, against=against,
+                             timeout=args.timeout)
+    except ValueError as exc:
+        print(f"repro-experiments replay bisect: {exc}", file=sys.stderr)
+        return 1
+
+    if args.json:
+        doc = {"point": point.canonical(), "mode": args.mode,
+               **result.to_dict()}
+        print(json.dumps(doc, indent=2))
+        return 0
+    print(f"replay bisect: {point.label} under mode={args.mode}")
+    print(f"  {result.original_size} spec(s) -> {len(result.minimal)} "
+          f"(1-minimal) in {result.tests} deterministic test run(s)")
+    for i, spec in enumerate(result.minimal.specs):
+        print(f"  [{i}] {json.dumps(spec.to_dict(), sort_keys=True)}")
+    return 0
+
+
+def replay_main(argv: List[str]) -> int:
+    """``repro-experiments replay`` — dispatch verify/bisect."""
+    if argv and argv[0] == "verify":
+        return verify_main(argv[1:])
+    if argv and argv[0] == "bisect":
+        return bisect_main(argv[1:])
+    print("usage: repro-experiments replay {verify LOG | bisect ...}\n"
+          "  verify  re-run a recorded order log and check every decision\n"
+          "  bisect  delta-debug a fault plan to a 1-minimal subset",
+          file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(replay_main(sys.argv[1:]))

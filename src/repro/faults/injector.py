@@ -24,6 +24,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Dict, Generator, Optional, Tuple
 
 from ..obs import get as _obs_get
+from ..replay.hooks import get as _replay_get
 from .plan import FaultPlan
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -42,6 +43,7 @@ class FaultInjector:
         #: All draws live under the cluster's "faults" namespace.
         self.rng = cluster.rng.child("faults")
         self._obs = _obs_get()
+        self._replay = _replay_get()
         #: Injected-fault tally by kind (always kept, obs on or off).
         self.counts: Dict[str, int] = {}
         self._crash_specs = plan.by_kind("daemon_crash")
@@ -75,6 +77,22 @@ class FaultInjector:
             self._obs.inc("faults.injected", n)
             self._obs.inc(f"faults.{kind}", n)
 
+    # -- recorded draws -------------------------------------------------------
+
+    def _draw(self, stream: str) -> float:
+        """One uniform [0, 1) draw from a named stream, order-logged."""
+        value = float(self.rng.get(stream).random())
+        if self._replay.enabled:
+            self._replay.on_fault(stream, value, self.env.now)
+        return value
+
+    def _draw_exponential(self, stream: str, mean: float) -> float:
+        """One exponential draw from a named stream, order-logged."""
+        value = float(self.rng.get(stream).exponential(mean))
+        if self._replay.enabled:
+            self._replay.on_fault(stream, value, self.env.now)
+        return value
+
     def summary(self) -> Dict[str, int]:
         """Injected-fault counts by kind (stable key order)."""
         return {k: self.counts[k] for k in sorted(self.counts)}
@@ -107,7 +125,7 @@ class FaultInjector:
             if not spec.active_at(now):
                 continue
             stream = f"probe.{node_index}.{process_name}.{function}"
-            if float(self.rng.get(stream).random()) < spec.probability:
+            if self._draw(stream) < spec.probability:
                 self._count("probe_install_fail")
                 return True
         return False
@@ -121,14 +139,14 @@ class FaultInjector:
         for spec in self._loss_specs:
             if spec.active_at(now):
                 stream = f"loss.{src_index}.{dst_index}"
-                if float(self.rng.get(stream).random()) < spec.probability:
+                if self._draw(stream) < spec.probability:
                     self._count("message_loss")
                     return True, 0.0
         extra = 0.0
         for spec in self._delay_specs:
             if spec.active_at(now) and spec.delay > 0.0:
                 stream = f"delay.{src_index}.{dst_index}"
-                extra += float(self.rng.get(stream).exponential(spec.delay))
+                extra += self._draw_exponential(stream, spec.delay)
         if extra > 0.0:
             self._count("message_delay")
         return False, extra
@@ -179,13 +197,17 @@ class FaultInjector:
             task.resume()
 
     def _make_vt_write_fault(self, rank: int, specs):
-        stream = self.rng.get(f"vtwrite.{rank}")
+        stream_name = f"vtwrite.{rank}"
+        stream = self.rng.get(stream_name)
 
         def write_fails(task) -> bool:
             now = task.now
             for spec in specs:
                 if spec.active_at(now):
-                    if float(stream.random()) < spec.probability:
+                    value = float(stream.random())
+                    if self._replay.enabled:
+                        self._replay.on_fault(stream_name, value, now)
+                    if value < spec.probability:
                         self._count("vt_write_fail")
                         return True
             return False

@@ -20,6 +20,7 @@ from typing import Deque, Dict, List, Optional, Tuple
 from ..cluster import Cluster, Node
 from ..obs import get as _obs_get
 from ..obs.trace import get as _trace_get
+from ..replay.hooks import get as _replay_get
 from ..simt import Environment, Event
 from .messages import Envelope
 
@@ -51,6 +52,7 @@ class Mailbox:
         self._posted: Deque[_PostedRecv] = deque()
         self._obs = _obs_get()
         self._trace = _trace_get()
+        self._replay = _replay_get()
 
     @property
     def unexpected_count(self) -> int:
@@ -68,26 +70,42 @@ class Mailbox:
                 args={"src": envelope.src, "tag": envelope.tag,
                       "bytes": envelope.size},
             )
-        for posted in self._posted:
+        for position, posted in enumerate(self._posted):
             if envelope.matches(posted.source, posted.tag, posted.context):
                 self._posted.remove(posted)
                 posted.event.succeed(envelope)
                 if self._obs.enabled:
                     self._obs.inc("mpi.matched_posted")
+                if self._replay.enabled:
+                    self._replay.on_deliver(
+                        envelope.src, self.rank, envelope.tag,
+                        envelope.context, position, self.env.now,
+                    )
                 return
         self._unexpected.append(envelope)
         if self._obs.enabled:
             self._obs.gauge_max("mpi.unexpected_hwm", len(self._unexpected))
+        if self._replay.enabled:
+            # -1 = filed as unexpected (no posted receive matched).
+            self._replay.on_deliver(
+                envelope.src, self.rank, envelope.tag, envelope.context,
+                -1, self.env.now,
+            )
 
     def post_recv(self, source: int, tag: int, context: str) -> Event:
         """Post a receive; the event triggers with the matched envelope."""
         event = Event(self.env)
-        for envelope in self._unexpected:
+        for position, envelope in enumerate(self._unexpected):
             if envelope.matches(source, tag, context):
                 self._unexpected.remove(envelope)
                 event.succeed(envelope)
                 if self._obs.enabled:
                     self._obs.inc("mpi.matched_unexpected")
+                if self._replay.enabled:
+                    self._replay.on_match(
+                        envelope.src, self.rank, envelope.tag,
+                        envelope.context, position, self.env.now,
+                    )
                 return event
         self._posted.append(_PostedRecv(source, tag, context, event))
         return event

@@ -1,0 +1,97 @@
+"""Structured divergence reporting for record-and-replay.
+
+A :class:`DivergenceError` pins the *first* decision at which a replayed
+run stopped matching its recorded order log: the decision index, the
+channel (engine event, message delivery, unexpected-queue match, fault
+draw), the simulated time at which the divergence was observed, and the
+expected vs. actual decision identities.  It is deliberately not a
+:class:`~repro.simt.errors.SimtError`: a divergence is a *verification*
+failure of the re-execution, not a malfunction of the simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+__all__ = ["DivergenceError"]
+
+#: Human names of the order-log channels (mirrors repro.replay.orderlog).
+CHANNEL_NAMES = ("event", "deliver", "match", "fault")
+
+
+def _channel_name(channel: int) -> str:
+    if 0 <= channel < len(CHANNEL_NAMES):
+        return CHANNEL_NAMES[channel]
+    return f"channel{channel}"
+
+
+class DivergenceError(Exception):
+    """A replayed run made a decision its order log did not record.
+
+    Attributes
+    ----------
+    index:
+        0-based position in the decision sequence where the runs part.
+    channel:
+        Channel of the *actual* decision (``"event"``, ``"deliver"``,
+        ``"match"``, ``"fault"``), or the expected one when the replay
+        ended early (``actual`` is then None).
+    sim_time:
+        Simulated time at which the divergence was observed.
+    expected:
+        The recorded decision as a dict (``channel``/``key``/``value``/
+        ``time``), or None when the replay produced *more* decisions
+        than were recorded.
+    actual:
+        The decision the re-run actually made, same shape, or None when
+        the re-run ended with recorded decisions still pending.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        channel: str,
+        sim_time: float,
+        expected: Optional[Dict[str, Any]],
+        actual: Optional[Dict[str, Any]],
+    ) -> None:
+        self.index = index
+        self.channel = channel
+        self.sim_time = sim_time
+        self.expected = expected
+        self.actual = actual
+        super().__init__(self._describe())
+
+    def _describe(self) -> str:
+        def fmt(side: Optional[Dict[str, Any]]) -> str:
+            if side is None:
+                return "(nothing)"
+            return (f"{_channel_name(side['channel'])} {side['key']!r} "
+                    f"value={side['value']} t={side['time']:g}")
+
+        return (
+            f"replay diverged at decision #{self.index} "
+            f"(t={self.sim_time:g}, channel={self.channel}): "
+            f"expected {fmt(self.expected)}, got {fmt(self.actual)}"
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe form for worker envelopes and CLI documents."""
+        return {
+            "index": self.index,
+            "channel": self.channel,
+            "sim_time": self.sim_time,
+            "expected": self.expected,
+            "actual": self.actual,
+            "message": str(self),
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "DivergenceError":
+        return cls(
+            index=int(doc["index"]),
+            channel=str(doc["channel"]),
+            sim_time=float(doc["sim_time"]),
+            expected=doc.get("expected"),
+            actual=doc.get("actual"),
+        )

@@ -1,0 +1,262 @@
+"""Recorder/controller hooks — the replay twin of :mod:`repro.obs`.
+
+The engine, the MPI mailboxes and the fault injector each capture the
+current replay sink at construction (``self._replay = get()``) and
+consult only its ``enabled`` flag on the hot path, exactly like the
+metrics registry: with nothing installed they hold the :data:`NULL`
+singleton and a recorded-off run pays one attribute read per decision
+site.  Figure outputs are byte-identical with recording on or off —
+the recorder only observes.
+
+Two sinks exist:
+
+* :class:`OrderRecorder` appends every decision to an
+  :class:`~repro.replay.orderlog.OrderLog`.
+* :class:`ReplayController` verifies each decision against a recorded
+  log and raises :class:`~repro.replay.errors.DivergenceError` at the
+  first mismatch — including a re-run that makes *more* decisions than
+  were recorded, or (via :meth:`ReplayController.finish`) fewer.
+
+Use the :func:`recording` / :func:`replaying` context managers around
+point execution; they must be entered *before* the simulation objects
+are constructed (which :func:`repro.runner.worker.execute_point` does).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Any, Dict, Iterator, Optional
+
+from ..obs import get as _obs_get
+from .errors import DivergenceError
+from .orderlog import (
+    CH_DELIVER,
+    CH_EVENT,
+    CH_FAULT,
+    CH_MATCH,
+    CHANNEL_NAMES,
+    Decision,
+    OrderLog,
+    float_bits,
+)
+
+__all__ = [
+    "NULL",
+    "get",
+    "install",
+    "uninstall",
+    "recording",
+    "replaying",
+    "OrderRecorder",
+    "ReplayController",
+]
+
+
+def _event_key(event: Any) -> str:
+    """A stable identity string for one engine event."""
+    name = getattr(event, "name", None)
+    if name is not None:
+        return "P:" + str(name)
+    return type(event).__name__
+
+
+class _NullReplay:
+    """Recording disabled: the hot paths see only ``enabled = False``."""
+
+    enabled = False
+
+    def __repr__(self) -> str:
+        return "<replay disabled>"
+
+
+NULL = _NullReplay()
+
+_current: Any = NULL
+
+
+def get() -> Any:
+    """The currently installed replay sink (:data:`NULL` when off)."""
+    return _current
+
+
+def install(sink: Any) -> Any:
+    """Install ``sink`` as the current replay sink; returns the previous."""
+    global _current
+    previous = _current
+    _current = sink
+    return previous
+
+
+def uninstall(previous: Any = NULL) -> None:
+    """Restore ``previous`` (default: disable recording)."""
+    global _current
+    _current = previous
+
+
+class OrderRecorder:
+    """Appends every nondeterminism decision to an order log."""
+
+    enabled = True
+
+    def __init__(self, meta: Optional[Dict[str, Any]] = None) -> None:
+        self.log = OrderLog(meta=meta)
+        self._obs = _obs_get()
+
+    # -- decision sites -------------------------------------------------------
+
+    def on_event(self, event: Any, when: float, priority: int) -> None:
+        """The engine drained one (non-cancelled) event."""
+        self.log.decisions.append(
+            Decision(CH_EVENT, _event_key(event), priority, when)
+        )
+
+    def on_deliver(self, src: int, dst: int, tag: int, context: str,
+                   position: int, time: float) -> None:
+        """An envelope arrived: matched posted recv #position, or -1 =
+        filed into the unexpected queue."""
+        self.log.decisions.append(
+            Decision(CH_DELIVER, f"{src}>{dst}:{tag}:{context}", position, time)
+        )
+
+    def on_match(self, src: int, dst: int, tag: int, context: str,
+                 position: int, time: float) -> None:
+        """A posted receive matched unexpected-queue envelope #position."""
+        self.log.decisions.append(
+            Decision(CH_MATCH, f"{src}>{dst}:{tag}:{context}", position, time)
+        )
+
+    def on_fault(self, stream: str, draw: float, time: float) -> None:
+        """The fault injector drew ``draw`` from named stream ``stream``."""
+        self.log.decisions.append(
+            Decision(CH_FAULT, stream, float_bits(draw), time)
+        )
+
+    # -- bookkeeping ----------------------------------------------------------
+
+    def flush_obs(self) -> None:
+        """Fold the recording counters into the metrics registry once,
+        at detach time, so the per-decision path stays allocation-only."""
+        if self._obs.enabled and self.log.decisions:
+            self._obs.inc("replay.recorded_decisions", len(self.log.decisions))
+            self._obs.inc("replay.recordings")
+
+    def __repr__(self) -> str:
+        return f"<OrderRecorder {len(self.log)} decision(s)>"
+
+
+class ReplayController:
+    """Verifies a re-run decision-by-decision against a recorded log."""
+
+    enabled = True
+
+    def __init__(self, log: OrderLog) -> None:
+        self.log = log
+        self.cursor = 0
+        #: The first divergence, latched: the engine may catch the raised
+        #: error inside a simulated process and keep draining events, so
+        #: later checks re-raise this same report rather than a new one.
+        self.failure: Optional[DivergenceError] = None
+        self._obs = _obs_get()
+
+    # -- decision sites (mirror OrderRecorder) --------------------------------
+
+    def on_event(self, event: Any, when: float, priority: int) -> None:
+        self._check(CH_EVENT, _event_key(event), priority, when)
+
+    def on_deliver(self, src: int, dst: int, tag: int, context: str,
+                   position: int, time: float) -> None:
+        self._check(CH_DELIVER, f"{src}>{dst}:{tag}:{context}", position, time)
+
+    def on_match(self, src: int, dst: int, tag: int, context: str,
+                 position: int, time: float) -> None:
+        self._check(CH_MATCH, f"{src}>{dst}:{tag}:{context}", position, time)
+
+    def on_fault(self, stream: str, draw: float, time: float) -> None:
+        self._check(CH_FAULT, stream, float_bits(draw), time)
+
+    # -- verification ---------------------------------------------------------
+
+    def _check(self, channel: int, key: str, value: int, time: float) -> None:
+        if self.failure is not None:
+            raise self.failure
+        actual = Decision(channel, key, value, time)
+        index = self.cursor
+        if index >= len(self.log.decisions):
+            self._diverge(index, expected=None, actual=actual, time=time)
+        expected = self.log.decisions[index]
+        if expected != actual:
+            self._diverge(index, expected=expected, actual=actual, time=time)
+        self.cursor = index + 1
+
+    def _diverge(
+        self,
+        index: int,
+        expected: Optional[Decision],
+        actual: Optional[Decision],
+        time: float,
+    ) -> None:
+        if self._obs.enabled:
+            self._obs.inc("replay.divergences")
+        side = actual if actual is not None else expected
+        self.failure = DivergenceError(
+            index=index,
+            channel=CHANNEL_NAMES[side.channel] if side is not None else "?",
+            sim_time=time,
+            expected=expected.to_dict() if expected is not None else None,
+            actual=actual.to_dict() if actual is not None else None,
+        )
+        raise self.failure
+
+    def finish(self) -> None:
+        """The re-run ended: every recorded decision must be consumed.
+
+        Raises :class:`DivergenceError` if recorded decisions remain —
+        the re-run took a shorter path than the recorded one."""
+        if self.failure is not None:
+            # The engine swallowed the in-run divergence (a crashed
+            # process nobody joined on); a completed run must still
+            # surface it rather than count as verified.
+            raise self.failure
+        if self.cursor < len(self.log.decisions):
+            pending = self.log.decisions[self.cursor]
+            self._diverge(self.cursor, expected=pending, actual=None,
+                          time=pending.time)
+        if self._obs.enabled:
+            self._obs.inc("replay.verified_decisions", self.cursor)
+            self._obs.inc("replay.verified_runs")
+
+    def __repr__(self) -> str:
+        return f"<ReplayController {self.cursor}/{len(self.log)}>"
+
+
+@contextlib.contextmanager
+def recording(meta: Optional[Dict[str, Any]] = None) -> Iterator[OrderRecorder]:
+    """Record every decision made while the context is active.
+
+    Must wrap the *construction* of the simulation objects, which
+    capture the sink once (the obs discipline)."""
+    recorder = OrderRecorder(meta=meta)
+    previous = install(recorder)
+    try:
+        yield recorder
+    finally:
+        uninstall(previous)
+        recorder.flush_obs()
+
+
+@contextlib.contextmanager
+def replaying(log: OrderLog) -> Iterator[ReplayController]:
+    """Verify the enclosed run against ``log``; raises
+    :class:`DivergenceError` at the first divergent decision, including
+    a clean run that ends with recorded decisions still pending."""
+    controller = ReplayController(log)
+    previous = install(controller)
+    completed = False
+    try:
+        yield controller
+        completed = True
+    finally:
+        uninstall(previous)
+        if completed:
+            # No exception in flight: enforce full consumption (raises).
+            controller.finish()

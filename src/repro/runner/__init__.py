@@ -16,7 +16,7 @@ from .cache import ResultCache, default_cache_dir, point_key
 from .point import SweepPoint
 from .retry import RetryPolicy
 from .runner import PointResult, SweepError, SweepRunner, default_jobs
-from .telemetry import SweepTelemetry
+from .telemetry import SweepTelemetry, read_telemetry
 from .worker import execute_point
 
 __all__ = [
@@ -31,4 +31,5 @@ __all__ = [
     "default_cache_dir",
     "default_jobs",
     "execute_point",
+    "read_telemetry",
 ]

@@ -56,13 +56,16 @@ class PointResult:
     """Outcome of one sweep point."""
 
     point: SweepPoint
-    #: "ok" | "error" | "timeout" | "crashed"
+    #: "ok" | "error" | "timeout" | "crashed" | "diverged"
     status: str
     payload: Optional[Dict[str, Any]] = None
     cached: bool = False
     wall_time: float = 0.0
     attempts: int = 1
     error: Optional[str] = None
+    #: Structured divergence report (status == "diverged" only): the
+    #: first decision where the run departed from its replay log.
+    divergence: Optional[Dict[str, Any]] = None
 
     @property
     def ok(self) -> bool:
@@ -143,6 +146,19 @@ class SweepRunner:
         envelope like obs/trace — never the cached payload, and not
         part of the point key, so cache entries are shared between
         sampled and unsampled sweeps.
+    record_order:
+        When True each computed point runs under a fresh
+        :mod:`repro.replay` order recorder; the serialized order log
+        (base64) is kept in :attr:`order_logs` keyed by point label.
+        Rides the worker envelope — never the cached payload — so
+        recording leaves payloads, figures and cache entries
+        byte-identical.
+    replay_logs:
+        A ``label -> base64 order log`` mapping (ignored when
+        ``record_order`` is set); a point whose label has a log is
+        *verified* against it and comes back ``"diverged"`` — with the
+        first divergent decision in :attr:`PointResult.divergence` —
+        if its decision sequence departs from the recording.
     executor:
         A :class:`repro.svc.executors.ExecutorBackend` or a spec string
         (``"serial"``, ``"process[:N]"``, ``"socket:HOST:PORT"``).
@@ -167,6 +183,8 @@ class SweepRunner:
         trace_compact: bool = False,
         executor: Any = None,
         obs_sample: Optional[float] = None,
+        record_order: bool = False,
+        replay_logs: Optional[Dict[str, str]] = None,
     ) -> None:
         if jobs < 0:
             raise ValueError("jobs must be >= 0")
@@ -193,6 +211,8 @@ class SweepRunner:
         if obs_sample is not None and obs_sample <= 0:
             raise ValueError("obs_sample interval must be > 0")
         self.obs_sample = obs_sample
+        self.record_order = record_order
+        self.replay_logs = dict(replay_logs) if replay_logs else {}
         self._obs = _obs_get()
         #: Simulator metrics merged across every computed point.
         self.obs = MetricsRegistry()
@@ -202,6 +222,9 @@ class SweepRunner:
         #: Per-point sampled time-series documents (label -> snapshot),
         #: computed points only, populated when ``obs_sample`` is set.
         self.timeseries: Dict[str, Dict[str, Any]] = {}
+        #: Per-point recorded order logs (label -> base64 RRLG bytes),
+        #: computed points only, populated when ``record_order`` is set.
+        self.order_logs: Dict[str, str] = {}
 
     @property
     def retries(self) -> int:
@@ -268,6 +291,8 @@ class SweepRunner:
             trace_capacity=self.trace_capacity,
             trace_compact=self.trace_compact,
             obs_sample=self.obs_sample,
+            record_order=self.record_order,
+            replay_logs=self.replay_logs,
             retry=self.retry,
             jobs=self.jobs,
             on_retry=self._on_retry,
@@ -329,6 +354,7 @@ class SweepRunner:
             wall_time=float(envelope.get("wall_time", 0.0)),
             attempts=attempts,
             error=envelope.get("error"),
+            divergence=envelope.get("divergence"),
         )
         if result.ok and self.cache is not None:
             try:
@@ -356,6 +382,9 @@ class SweepRunner:
         ts_doc = envelope.get("timeseries")
         if ts_doc:
             self.timeseries[point.label] = ts_doc
+        order_log = envelope.get("order_log")
+        if order_log:
+            self.order_logs[point.label] = order_log
         self._report(result, obs_snapshot=obs_snapshot)
 
     def _report(

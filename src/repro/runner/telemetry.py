@@ -25,15 +25,80 @@ is the full content hash, usable directly against the result cache.)
 ``hit_rate`` is cached-points over total points — the acceptance
 telemetry for "a re-run with the same config completes with 100% cache
 hits".
+
+Durability: every event is written and flushed as one line (a consumer
+tailing the stream never sees a partial record followed by more
+output), and ``sweep_end`` additionally fsyncs file-backed streams so
+the completed log survives a machine crash.  :func:`read_telemetry`
+is the matching reader: it tolerates the one failure mode those
+guarantees allow — a *final* line truncated mid-write — and raises on
+anything else (mid-file corruption, ``seq`` gaps), which per-line
+atomicity makes impossible without external tampering or data loss.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import time
-from typing import IO, Any, Dict, List, Optional
+from typing import IO, Any, Dict, Iterable, List, Optional, Union
 
-__all__ = ["SweepTelemetry"]
+__all__ = ["SweepTelemetry", "read_telemetry"]
+
+
+def read_telemetry(
+    source: Union[str, IO[str], Iterable[str]]
+) -> List[Dict[str, Any]]:
+    """Parse a telemetry JSON-lines log back into its event records.
+
+    ``source`` is a path, a text stream, or an iterable of lines.  A
+    truncated or corrupt *last* line — the only damage an interrupted
+    writer can leave, since every event is written and flushed whole —
+    is dropped silently.  A corrupt line with valid records after it,
+    or a gap/regression in the per-run ``seq`` numbering, indicates
+    real data loss and raises :class:`ValueError`.  ``seq`` restarting
+    at 1 is allowed (several runs appended to one log).
+    """
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as fh:
+            lines = fh.read().splitlines()
+    elif hasattr(source, "read"):
+        lines = source.read().splitlines()  # type: ignore[union-attr]
+    else:
+        lines = [line.rstrip("\n") for line in source]
+    while lines and not lines[-1].strip():
+        lines.pop()
+
+    events: List[Dict[str, Any]] = []
+    expected_seq: Optional[int] = None
+    for i, line in enumerate(lines):
+        if not line.strip():
+            raise ValueError(
+                f"telemetry log line {i + 1}: blank line inside the log"
+            )
+        try:
+            record = json.loads(line)
+        except ValueError:
+            if i == len(lines) - 1:
+                # The interrupted-writer tail; drop it.
+                break
+            raise ValueError(
+                f"telemetry log line {i + 1}: corrupt record with valid "
+                "records after it (per-line writes cannot produce this)"
+            )
+        if not isinstance(record, dict) or "seq" not in record:
+            raise ValueError(
+                f"telemetry log line {i + 1}: not a telemetry event record"
+            )
+        seq = record["seq"]
+        if expected_seq is not None and seq != expected_seq and seq != 1:
+            raise ValueError(
+                f"telemetry log line {i + 1}: seq {seq} where "
+                f"{expected_seq} was expected (missing events)"
+            )
+        expected_seq = seq + 1
+        events.append(record)
+    return events
 
 
 class SweepTelemetry:
@@ -125,7 +190,7 @@ class SweepTelemetry:
 
     def sweep_end(self) -> Dict[str, Any]:
         wall = time.perf_counter() - self._t0 if self._t0 is not None else 0.0
-        return self.emit(
+        record = self.emit(
             "sweep_end",
             total=self.total,
             ok=self.done - self.failed,
@@ -135,6 +200,16 @@ class SweepTelemetry:
             corrupt_discards=self.corrupt_discards,
             wall_time=round(wall, 6),
         )
+        if self.stream is not None:
+            # The closing record makes the log complete; push it to
+            # stable storage so a crash after the sweep cannot lose it.
+            # Streams without a real file descriptor (StringIO, some
+            # pipes) simply skip the fsync.
+            try:
+                os.fsync(self.stream.fileno())
+            except (AttributeError, OSError, ValueError):
+                pass
+        return record
 
     # -- summary --------------------------------------------------------------
 

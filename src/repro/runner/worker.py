@@ -34,6 +34,9 @@ from typing import Any, Dict, Optional
 from .. import obs
 from ..obs import timeseries as obs_timeseries
 from ..obs import trace as obs_trace
+from ..replay import hooks as replay_hooks
+from ..replay.errors import DivergenceError
+from ..replay.orderlog import OrderLog
 from .point import SweepPoint
 
 __all__ = ["execute_point", "PointTimeout"]
@@ -130,6 +133,8 @@ def execute_point(
     trace_capacity: int = obs_trace.DEFAULT_CAPACITY,
     trace_compact: bool = False,
     obs_sample: Optional[float] = None,
+    record_order: bool = False,
+    replay_log: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Run one point under an optional wall-clock budget.
 
@@ -148,6 +153,16 @@ def execute_point(
     registry is opened even without ``collect_obs``, since the sampler
     needs something to sample — and the envelope carries the sampled
     series under ``"timeseries"``.
+
+    With ``record_order`` the point runs under a fresh
+    :mod:`repro.replay` order recorder and the envelope carries the
+    serialized :class:`~repro.replay.orderlog.OrderLog` (base64) under
+    ``"order_log"`` — like obs and traces, outside the cached payload.
+    With ``replay_log`` (a base64 order log; mutually exclusive with
+    ``record_order``) the point is *verified* against the recorded
+    decision sequence: the first divergent decision yields a
+    ``"diverged"`` envelope with the structured report under
+    ``"divergence"``.
     """
     start = time.perf_counter()
     use_alarm = (
@@ -166,6 +181,7 @@ def execute_point(
         registry: Optional[obs.MetricsRegistry] = None
         tracer: Optional[obs_trace.Tracer] = None
         recorder: Optional[obs_timeseries.TimeSeriesRecorder] = None
+        order_recorder: Optional[replay_hooks.OrderRecorder] = None
         try:
             with contextlib.ExitStack() as stack:
                 if collect_obs or obs_sample:
@@ -178,6 +194,18 @@ def execute_point(
                 if obs_sample:
                     recorder = stack.enter_context(
                         obs_timeseries.sampling(interval=obs_sample))
+                if record_order:
+                    # Deterministic meta only (no wall clocks): recording
+                    # the same run twice must yield byte-identical logs.
+                    order_recorder = stack.enter_context(
+                        replay_hooks.recording(meta={
+                            "format": "repro.replay",
+                            "point": point.canonical(),
+                            "label": point.label,
+                        }))
+                elif replay_log:
+                    stack.enter_context(replay_hooks.replaying(
+                        OrderLog.from_b64(replay_log)))
                 payload = _dispatch(point)
             envelope = {
                 "status": "ok",
@@ -188,6 +216,13 @@ def execute_point(
             envelope = {
                 "status": "timeout",
                 "error": f"{point.label}: exceeded {timeout:g}s budget",
+                "wall_time": time.perf_counter() - start,
+            }
+        except DivergenceError as exc:
+            envelope = {
+                "status": "diverged",
+                "error": f"{point.label}: {exc}",
+                "divergence": exc.to_dict(),
                 "wall_time": time.perf_counter() - start,
             }
         except Exception:
@@ -202,6 +237,9 @@ def execute_point(
             envelope["trace"] = tracer.snapshot()
         if recorder is not None:
             envelope["timeseries"] = recorder.snapshot()
+        if order_recorder is not None:
+            # Partial on timeout/error — still useful for diagnosis.
+            envelope["order_log"] = order_recorder.log.to_b64()
         return envelope
     finally:
         if use_alarm:

@@ -33,6 +33,7 @@ from typing import Any, Deque, Dict, Optional, Tuple
 
 from ..obs import get as _obs_get
 from ..obs.trace import get as _trace_get
+from ..replay.hooks import get as _replay_get
 from .errors import SimtError, StopSimulation
 from .events import NORMAL, PENDING, Event, Process, ProcessGenerator, Timeout
 
@@ -85,6 +86,7 @@ class Environment:
         self.events_cancelled = 0
         self._obs = _obs_get()
         self._trace = _trace_get()
+        self._replay = _replay_get()
 
     # -- clock ------------------------------------------------------------
 
@@ -162,7 +164,7 @@ class Environment:
             del buckets[key]
         return Infinity
 
-    def _pop(self) -> Tuple[float, Event]:
+    def _pop(self) -> Tuple[Tuple[float, int], Event]:
         """Pop the next live event (skipping cancelled ones)."""
         buckets = self._buckets
         keyheap = self._keyheap
@@ -175,7 +177,7 @@ class Environment:
                     if not bucket:
                         heappop(keyheap)
                         del buckets[key]
-                    return key[0], event
+                    return key, event
             heappop(keyheap)
             del buckets[key]
         raise SimtError("step() on an empty event queue")
@@ -191,12 +193,15 @@ class Environment:
             # Drop-immune kernel-event count: lets a trace document be
             # sanity-checked against the engine's own bookkeeping.
             self._trace.count("simt.events")
-        when, event = self._pop()
+        key, event = self._pop()
+        when = key[0]
         if when < self._now:  # pragma: no cover - guarded by schedule()
             raise SimtError("event scheduled in the past")
         self._now = when
         self._live -= 1
         self.events_processed += 1
+        if self._replay.enabled:
+            self._replay.on_event(event, when, key[1])
         callbacks, event.callbacks = event.callbacks, None
         if callbacks:
             for callback in callbacks:
@@ -252,8 +257,10 @@ class Environment:
         keyheap = self._keyheap
         obs = self._obs
         trace = self._trace
+        rep = self._replay
         obs_on = obs.enabled
         trace_on = trace.enabled
+        rep_on = rep.enabled
         total = 0
         hwm = 0
         drained = False
@@ -291,6 +298,8 @@ class Environment:
                                 continue
                             self._live -= 1
                             n += 1
+                            if rep_on:
+                                rep.on_event(event, when, key[1])
                             callbacks, event.callbacks = event.callbacks, None
                             if callbacks:
                                 for callback in callbacks:

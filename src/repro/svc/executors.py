@@ -74,6 +74,12 @@ class ExecSpec:
     trace_capacity: int = DEFAULT_TRACE_CAPACITY
     trace_compact: bool = False
     obs_sample: Optional[float] = None
+    #: Record every point's nondeterminism order log (repro.replay);
+    #: the log rides the envelope under "order_log", never the cache.
+    record_order: bool = False
+    #: Per-point replay logs (label -> base64 order log); a point with
+    #: a log is verified against it and may come back "diverged".
+    replay_logs: Dict[str, str] = field(default_factory=dict)
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     jobs: int = 1
     #: Called as (label, key, next_attempt, delay) when a crashed point
@@ -81,10 +87,17 @@ class ExecSpec:
     on_retry: Optional[Callable[[str, str, int, float], None]] = None
 
     def worker_args(self) -> Tuple[Any, ...]:
-        """Positional args of :func:`execute_point` after the point."""
+        """Positional args of :func:`execute_point` after the point
+        (the per-point ``replay_log`` — :meth:`replay_for` — follows)."""
         return (self.timeout, self.collect_obs, self.collect_trace,
                 self.trace_detail, self.trace_capacity, self.trace_compact,
-                self.obs_sample)
+                self.obs_sample, self.record_order)
+
+    def replay_for(self, point: SweepPoint) -> Optional[str]:
+        """The base64 order log this point replays under, if any."""
+        if self.record_order:
+            return None
+        return self.replay_logs.get(point.label)
 
     def to_wire(self) -> Dict[str, Any]:
         """The JSON-safe subset a socket worker needs."""
@@ -96,6 +109,7 @@ class ExecSpec:
             "trace_capacity": self.trace_capacity,
             "trace_compact": self.trace_compact,
             "obs_sample": self.obs_sample,
+            "record_order": self.record_order,
         }
 
     def notify_retry(self, point: SweepPoint, attempts: int) -> float:
@@ -156,7 +170,9 @@ class SerialBackend(ExecutorBackend):
     backend_name = "serial"
 
     def run_point(self, point: SweepPoint, spec: ExecSpec) -> Tuple[Dict[str, Any], int]:
-        return execute_point(point, *spec.worker_args()), 1
+        return execute_point(
+            point, *spec.worker_args(), spec.replay_for(point)
+        ), 1
 
 
 class ProcessPoolBackend(ExecutorBackend):
@@ -195,7 +211,8 @@ class ProcessPoolBackend(ExecutorBackend):
                 max_workers=min(self.jobs, len(batch))
             ) as pool:
                 futures = {
-                    pool.submit(execute_point, p, *spec.worker_args()): p
+                    pool.submit(execute_point, p, *spec.worker_args(),
+                                spec.replay_for(p)): p
                     for p in batch
                 }
                 for fut in as_completed(futures):
@@ -244,7 +261,8 @@ class ProcessPoolBackend(ExecutorBackend):
             pool = self._persistent_pool()
             try:
                 return pool.submit(
-                    execute_point, point, *spec.worker_args()
+                    execute_point, point, *spec.worker_args(),
+                    spec.replay_for(point)
                 ).result(), attempts
             except BrokenProcessPool:
                 self._reset_pool()
@@ -393,11 +411,18 @@ class SocketWorkerBackend(ExecutorBackend):
                     wire.send_message(conn, {"op": "shutdown"})
                     return
                 spec = self._spec
-                wire.send_message(conn, {
+                frame = {
                     "op": "point",
                     "point": task.point.canonical(),
                     "spec": spec.to_wire() if spec is not None else {},
-                })
+                }
+                if spec is not None:
+                    replay_blob = spec.replay_for(task.point)
+                    if replay_blob is not None:
+                        # Per-point: replay logs ride the point frame,
+                        # not the spec (each point has its own log).
+                        frame["replay_log"] = replay_blob
+                wire.send_message(conn, frame)
                 reply = wire.recv_message(conn)
                 if reply is None or reply.get("op") != "result":
                     raise wire.WireError("worker vanished mid-point")

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import json
 import re
+import signal
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, List, Optional
@@ -250,12 +251,28 @@ def serve_cache_main(argv: Optional[List[str]] = None) -> int:
     host, port = daemon.server_address[:2]
     print(f"repro cache daemon: serving {args.store} on http://{host}:{port}",
           flush=True)
+
+    def _on_sigterm(signum: int, frame: object) -> None:
+        # serve_forever() blocks the main thread, which is also where
+        # this handler runs — calling daemon.shutdown() here would
+        # deadlock (it joins the serving loop we are interrupting).
+        # Raising instead unwinds serve_forever() into the same
+        # graceful close path Ctrl-C takes.
+        raise KeyboardInterrupt
+
+    previous = signal.signal(signal.SIGTERM, _on_sigterm)
     try:
         daemon.serve_forever()
     except KeyboardInterrupt:
-        pass
+        print("repro cache daemon: shutdown signal received, closing",
+              flush=True)
     finally:
+        signal.signal(signal.SIGTERM, previous)
         daemon.server_close()
+        flush = getattr(backend, "flush", None)
+        if callable(flush):
+            # Write-behind stores drain their upload queue before close.
+            flush()
         backend.close()
     return 0
 

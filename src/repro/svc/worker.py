@@ -13,10 +13,18 @@ Points run on the worker's main thread, so per-point ``SIGALRM``
 timeouts work exactly as they do under the process pool.  A worker
 that loses its server (network blip, sweep finished) exits by default,
 or keeps retrying the connection with ``--reconnect``.
+
+``SIGINT``/``SIGTERM`` shut the worker down *gracefully*: a signal
+that lands while a point is executing lets the point finish and its
+envelope reach the server (work already performed is never discarded);
+a signal that lands while the worker is idle — blocked in a pull,
+redial or backoff sleep — interrupts it immediately.  Either way the
+worker exits 0 with its usual summary line.
 """
 
 from __future__ import annotations
 
+import signal
 import socket
 import sys
 import time
@@ -26,7 +34,24 @@ from ..runner.point import SweepPoint
 from ..runner.worker import execute_point
 from . import wire
 
-__all__ = ["run_worker", "worker_main", "fetch_stats"]
+__all__ = ["run_worker", "worker_main", "fetch_stats", "StopFlag"]
+
+
+class StopFlag:
+    """Cooperative shutdown state shared with the signal handlers.
+
+    ``requested`` flips once a shutdown signal arrives; the handler
+    additionally interrupts the main thread (``KeyboardInterrupt``)
+    only while ``interruptible`` is True — i.e. while the worker is
+    idle.  During point execution the flag alone is set, so the point
+    runs to completion and its result is delivered before exit.
+    """
+
+    __slots__ = ("requested", "interruptible")
+
+    def __init__(self) -> None:
+        self.requested = False
+        self.interruptible = True
 
 
 def fetch_stats(
@@ -58,7 +83,8 @@ def fetch_stats(
 
 
 def _serve_connection(
-    sock: socket.socket, max_points: Optional[int], tally: List[int]
+    sock: socket.socket, max_points: Optional[int], tally: List[int],
+    stop: Optional[StopFlag] = None,
 ) -> int:
     """Pull/run/reply until shutdown or EOF; returns points executed.
 
@@ -73,6 +99,8 @@ def _serve_connection(
         raise wire.WireError("server did not welcome us")
     done = 0
     while max_points is None or done < max_points:
+        if stop is not None and stop.requested:
+            break
         wire.send_message(sock, {"op": "pull"})
         msg = wire.recv_message(sock)
         if msg is None or msg.get("op") == "shutdown":
@@ -81,17 +109,27 @@ def _serve_connection(
             raise wire.WireError(f"unexpected server message {msg.get('op')!r}")
         point = SweepPoint.from_canonical(msg["point"])
         spec = msg.get("spec") or {}
-        envelope = execute_point(
-            point,
-            timeout=spec.get("timeout"),
-            collect_obs=bool(spec.get("collect_obs", False)),
-            collect_trace=bool(spec.get("collect_trace", False)),
-            trace_detail=spec.get("trace_detail", "fine"),
-            trace_capacity=int(spec.get("trace_capacity", 65536)),
-            trace_compact=bool(spec.get("trace_compact", False)),
-            obs_sample=spec.get("obs_sample"),
-        )
-        wire.send_message(sock, {"op": "result", "envelope": envelope})
+        if stop is not None:
+            # The point must run to completion and its envelope must
+            # reach the server even if a shutdown signal lands now.
+            stop.interruptible = False
+        try:
+            envelope = execute_point(
+                point,
+                timeout=spec.get("timeout"),
+                collect_obs=bool(spec.get("collect_obs", False)),
+                collect_trace=bool(spec.get("collect_trace", False)),
+                trace_detail=spec.get("trace_detail", "fine"),
+                trace_capacity=int(spec.get("trace_capacity", 65536)),
+                trace_compact=bool(spec.get("trace_compact", False)),
+                obs_sample=spec.get("obs_sample"),
+                record_order=bool(spec.get("record_order", False)),
+                replay_log=msg.get("replay_log"),
+            )
+            wire.send_message(sock, {"op": "result", "envelope": envelope})
+        finally:
+            if stop is not None:
+                stop.interruptible = True
         done += 1
         tally[0] += 1
     return done
@@ -104,40 +142,54 @@ def run_worker(
     reconnect: bool = False,
     reconnect_delay: float = 1.0,
     connect_timeout: float = 10.0,
+    stop: Optional[StopFlag] = None,
 ) -> int:
     """Serve one server until it goes away; returns points executed.
 
     With ``reconnect`` the worker survives server restarts (it keeps
     dialing until the server answers again), which is the deployment
-    mode for long-lived worker hosts.
+    mode for long-lived worker hosts.  With ``stop`` (a
+    :class:`StopFlag`, typically driven by the signal handlers
+    :func:`worker_main` installs) the loop drains gracefully: an
+    in-flight point finishes and its result is sent before return.
     """
     tally = [0]
-    while True:
-        total = tally[0]
-        try:
-            sock = socket.create_connection((host, port), timeout=connect_timeout)
-        except OSError:
-            if not reconnect:
-                raise
-            time.sleep(reconnect_delay)
-            continue
-        sock.settimeout(None)
-        try:
-            _serve_connection(
-                sock, None if max_points is None else max_points - total, tally
-            )
-        except (wire.WireError, OSError):
-            pass
-        finally:
+    try:
+        while True:
+            if stop is not None and stop.requested:
+                return tally[0]
+            total = tally[0]
             try:
-                sock.close()
+                sock = socket.create_connection((host, port), timeout=connect_timeout)
             except OSError:
+                if not reconnect:
+                    raise
+                time.sleep(reconnect_delay)
+                continue
+            sock.settimeout(None)
+            try:
+                _serve_connection(
+                    sock, None if max_points is None else max_points - total,
+                    tally, stop=stop,
+                )
+            except (wire.WireError, OSError):
                 pass
-        if not reconnect:
-            return tally[0]
-        if max_points is not None and tally[0] >= max_points:
-            return tally[0]
-        time.sleep(reconnect_delay)
+            finally:
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+            if stop is not None and stop.requested:
+                return tally[0]
+            if not reconnect:
+                return tally[0]
+            if max_points is not None and tally[0] >= max_points:
+                return tally[0]
+            time.sleep(reconnect_delay)
+    except KeyboardInterrupt:
+        # The handler only interrupts while idle (blocked in a pull,
+        # redial or sleep) — no work in flight, nothing to lose.
+        return tally[0]
 
 
 def worker_main(argv: Optional[List[str]] = None) -> int:
@@ -162,14 +214,33 @@ def worker_main(argv: Optional[List[str]] = None) -> int:
     host, _, port_text = args.connect.rpartition(":")
     if not host or not port_text.isdigit():
         parser.error(f"--connect {args.connect!r} is not HOST:PORT")
+
+    stop = StopFlag()
+
+    def _on_signal(signum: int, frame: object) -> None:
+        stop.requested = True
+        if stop.interruptible:
+            raise KeyboardInterrupt
+
+    previous = {
+        sig: signal.signal(sig, _on_signal)
+        for sig in (signal.SIGINT, signal.SIGTERM)
+    }
     try:
         n = run_worker(host, int(port_text),
                        max_points=args.max_points,
-                       reconnect=args.reconnect)
+                       reconnect=args.reconnect,
+                       stop=stop)
     except OSError as exc:
         print(f"repro worker: cannot reach {args.connect}: {exc}",
               file=sys.stderr)
         return 1
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+    if stop.requested and not args.quiet:
+        print("repro worker: shutdown signal received, exiting cleanly",
+              file=sys.stderr)
     if not args.quiet:
         print(f"repro worker: executed {n} point(s)", file=sys.stderr)
     return 0

@@ -1,0 +1,143 @@
+"""Fault-plan edge cases: overlapping crash windows, zero-width windows,
+plans aimed entirely at already-quarantined ranks."""
+
+import pytest
+
+from repro.apps import get_app
+from repro.cluster import Cluster, POWER3_SP
+from repro.dynprof import run_policy
+from repro.faults import FaultInjector, FaultPlan, FaultSpec
+from repro.simt import Environment
+
+SPEC = POWER3_SP.with_overrides(net_jitter=0.0)
+
+
+def make_injector(plan, seed=0):
+    env = Environment()
+    cluster = Cluster(env, SPEC, seed=seed)
+    return FaultInjector.install(plan, cluster)
+
+
+# -- overlapping crash/restart windows ----------------------------------------
+
+
+def test_overlapping_crash_windows_union():
+    # Crash+restart [2, 6) overlapping a second crash [4, 9): the node
+    # is down across the union and back up only after the later end.
+    plan = FaultPlan.of(
+        FaultSpec("daemon_crash", node=1, start=2.0, end=6.0),
+        FaultSpec("daemon_crash", node=1, start=4.0, end=9.0),
+    )
+    inj = make_injector(plan)
+    assert not inj.daemon_down(1, 1.9)
+    assert inj.daemon_down(1, 2.0)
+    assert inj.daemon_down(1, 5.0)   # inside both windows
+    assert inj.daemon_down(1, 6.0)   # first ended, second still active
+    assert inj.daemon_down(1, 8.9)
+    assert not inj.daemon_down(1, 9.0)
+
+
+def test_crash_restart_crash_gap():
+    # Two disjoint outages model crash -> restart -> crash again; the
+    # daemon answers in the gap.
+    plan = FaultPlan.of(
+        FaultSpec("daemon_crash", node=0, start=0.0, end=2.0),
+        FaultSpec("daemon_crash", node=0, start=4.0, end=6.0),
+    )
+    inj = make_injector(plan)
+    assert inj.daemon_down(0, 1.0)
+    assert not inj.daemon_down(0, 3.0)  # restarted
+    assert inj.daemon_down(0, 5.0)      # down again
+    assert not inj.daemon_down(0, 6.0)
+
+
+def test_overlapping_windows_survive_run_policy():
+    # End to end: overlapping outage windows on node 1 still yield a
+    # completed, deterministic run with node 1's ranks quarantined.
+    app = get_app("sweep3d")
+    plan = FaultPlan.of(
+        FaultSpec("daemon_crash", node=1, start=0.0, end=3.0),
+        FaultSpec("daemon_crash", node=1, start=1.0),  # never restarts
+    )
+
+    def run():
+        return run_policy(app, "Dynamic", 16, scale=0.02, faults=plan)
+
+    result = run()
+    report = result.faults
+    assert report["degraded"] is True
+    assert report["quarantined_ranks"] == list(range(8, 16))
+    assert len(result.per_rank_times) == 16
+    again = run()
+    assert again.per_rank_times == result.per_rank_times
+    assert again.faults == report
+
+
+# -- zero-width windows -------------------------------------------------------
+
+
+def test_zero_width_window_is_valid_but_never_active():
+    spec = FaultSpec("message_loss", probability=1.0, start=3.0, end=3.0)
+    assert not spec.active_at(2.9)
+    assert not spec.active_at(3.0)  # [x, x) is empty
+    assert not spec.active_at(3.1)
+
+
+def test_zero_width_windows_never_fire():
+    plan = FaultPlan.of(
+        FaultSpec("daemon_crash", node=1, start=5.0, end=5.0),
+        FaultSpec("message_loss", probability=1.0, start=0.0, end=0.0),
+    )
+    inj = make_injector(plan)
+    for now in (0.0, 4.9, 5.0, 5.1, 100.0):
+        assert not inj.daemon_down(1, now)
+        drop, extra = inj.on_control_message(0, 1, 256, now)
+        assert (drop, extra) == (False, 0.0)
+    assert inj.counts == {}  # no draws, no injections
+
+
+def test_zero_width_plan_leaves_run_clean():
+    app = get_app("sweep3d")
+    plan = FaultPlan.of(
+        FaultSpec("daemon_crash", node=1, start=5.0, end=5.0),
+        FaultSpec("message_loss", probability=1.0, start=0.0, end=0.0),
+    )
+    result = run_policy(app, "Dynamic", 16, scale=0.02, faults=plan)
+    report = result.faults
+    assert report["injected"] == {}
+    assert report["quarantined_ranks"] == []
+    assert report["coverage"] == pytest.approx(1.0)
+    assert len(result.per_rank_times) == 16
+
+
+# -- plans aimed only at quarantined ranks ------------------------------------
+
+
+def test_plan_targeting_only_quarantined_ranks():
+    # Node 1 (ranks 8..15) dies before attach; every other spec targets
+    # ranks inside that quarantined set.  The run must still complete
+    # with the usual quarantine report — a fault aimed at a rank the
+    # tool already gave up on cannot wedge the sweep.
+    app = get_app("sweep3d")
+    plan = FaultPlan.of(
+        FaultSpec("daemon_crash", node=1, start=0.0),
+        FaultSpec("vt_write_fail", rank=8, probability=1.0),
+        FaultSpec("rank_slowdown", rank=9, factor=1.5),
+        FaultSpec("rank_stall", rank=10, start=0.5, end=1.0),
+    )
+
+    def run():
+        return run_policy(app, "Dynamic", 16, scale=0.02, faults=plan)
+
+    result = run()
+    report = result.faults
+    assert report["degraded"] is True
+    assert report["quarantined_ranks"] == list(range(8, 16))
+    assert report["coverage"] == pytest.approx(0.5)
+    # Every rank — quarantined or not — still ran to completion.
+    assert len(result.per_rank_times) == 16
+    assert all(t > 0 for t in result.per_rank_times)
+    # Deterministic under the combined plan.
+    again = run()
+    assert again.per_rank_times == result.per_rank_times
+    assert again.faults == report

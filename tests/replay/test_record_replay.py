@@ -1,0 +1,175 @@
+"""Record -> replay: bit-identity, divergence detection, envelope flow."""
+
+import base64
+
+import pytest
+
+from repro.faults import canned_plan
+from repro.replay import hooks
+from repro.replay.errors import DivergenceError
+from repro.replay.orderlog import OrderLog
+from repro.runner import SweepPoint, SweepRunner
+from repro.runner.worker import execute_point
+
+
+def faulted_point(seed=0):
+    return SweepPoint.policy_cell(
+        "sweep3d", "Dynamic", 8, scale=0.02, seed=seed,
+        faults=canned_plan("daemon-crash-attach"),
+    )
+
+
+def record(point):
+    envelope = execute_point(point, record_order=True)
+    assert envelope["status"] == "ok"
+    return envelope
+
+
+def test_hooks_install_restore():
+    assert hooks.get() is hooks.NULL
+    recorder = hooks.OrderRecorder()
+    previous = hooks.install(recorder)
+    assert hooks.get() is recorder
+    hooks.uninstall(previous)
+    assert hooks.get() is hooks.NULL
+
+
+def test_recording_context_restores_on_error():
+    with pytest.raises(RuntimeError):
+        with hooks.recording():
+            assert hooks.get().enabled
+            raise RuntimeError("boom")
+    assert hooks.get() is hooks.NULL
+
+
+def test_recording_is_deterministic_and_rides_envelope():
+    e1, e2 = record(faulted_point()), record(faulted_point())
+    assert "order_log" in e1
+    # Bit-identical logs for the same (point, seed).
+    assert e1["order_log"] == e2["order_log"]
+    log = OrderLog.from_b64(e1["order_log"])
+    assert len(log) > 100
+    counts = log.counts()
+    assert counts["event"] > 0 and counts["fault"] > 0
+    assert log.meta["label"] == faulted_point().label
+    # Recording never perturbs the simulation.
+    plain = execute_point(faulted_point())
+    assert plain["payload"] == e1["payload"]
+    assert "order_log" not in plain
+
+
+def test_replay_of_identical_run_verifies():
+    blob = record(faulted_point())["order_log"]
+    envelope = execute_point(faulted_point(), replay_log=blob)
+    assert envelope["status"] == "ok"
+    assert "divergence" not in envelope
+
+
+def test_replay_of_perturbed_run_pins_first_divergence():
+    blob = record(faulted_point(seed=0))["order_log"]
+    envelope = execute_point(faulted_point(seed=1), replay_log=blob)
+    assert envelope["status"] == "diverged"
+    divergence = envelope["divergence"]
+    # The report identifies the first divergent decision precisely, and
+    # deterministically: seeds shift the first fault draw's timing.
+    assert divergence["index"] == 4
+    assert divergence["expected"]["channel_name"] == "fault"
+    assert divergence["expected"]["key"] == "loss.0.0"
+    # The seed shifts the injector's draw: same stream, different bits.
+    assert divergence["actual"]["channel_name"] == "fault"
+    assert divergence["actual"]["key"] == "loss.0.0"
+    assert divergence["actual"]["value"] != divergence["expected"]["value"]
+    # Deterministic: the same perturbed replay diverges identically.
+    again = execute_point(faulted_point(seed=1), replay_log=blob)
+    assert again["divergence"] == divergence
+
+
+def test_short_replay_raises_on_finish():
+    log = OrderLog()
+    log.append(0, "P:ghost", 0, 1.0)
+    with pytest.raises(DivergenceError) as err:
+        with hooks.replaying(log):
+            pass  # run ends without consuming the recorded decision
+    assert err.value.actual is None
+    assert err.value.expected["key"] == "P:ghost"
+
+
+def test_long_replay_raises_past_log_end():
+    controller = hooks.ReplayController(OrderLog())
+    with pytest.raises(DivergenceError) as err:
+        controller.on_event(object(), 0.0, 0)
+    assert err.value.index == 0
+    assert err.value.expected is None
+
+
+def test_divergence_error_round_trips_as_dict():
+    blob = record(faulted_point(seed=0))["order_log"]
+    envelope = execute_point(faulted_point(seed=1), replay_log=blob)
+    err = DivergenceError.from_dict(envelope["divergence"])
+    assert err.index == envelope["divergence"]["index"]
+    assert "diverged at decision #" in str(err)
+
+
+def test_runner_collects_order_logs_and_keeps_cache_clean(tmp_path):
+    point = faulted_point()
+    runner = SweepRunner(jobs=1, cache=str(tmp_path / "cache"),
+                         record_order=True)
+    results = runner.run([point])
+    assert results[point].ok
+    blob = runner.order_logs[point.label]
+    OrderLog.from_bytes(base64.b64decode(blob))  # parses
+    # The cached entry must not carry the log: cache entries stay
+    # byte-identical with recording on or off.
+    from repro.runner.cache import point_key
+
+    entry = runner.cache.get(point_key(point))
+    assert "order_log" not in entry
+    assert "order_log" not in entry["payload"]
+    # A cached re-run executes nothing, so nothing is recorded.
+    rerun = SweepRunner(jobs=1, cache=str(tmp_path / "cache"),
+                        record_order=True)
+    rerun_results = rerun.run([point])
+    assert rerun_results[point].cached
+    assert rerun.order_logs == {}
+
+
+def test_runner_replay_flags_divergence():
+    point0, point1 = faulted_point(seed=0), faulted_point(seed=1)
+    recording_runner = SweepRunner(jobs=1, record_order=True)
+    recording_runner.run([point0])
+    blob = recording_runner.order_logs[point0.label]
+    # Same label -> verified clean; perturbed point -> diverged.
+    ok = SweepRunner(jobs=1, replay_logs={point0.label: blob})
+    assert ok.run([point0])[point0].ok
+    bad = SweepRunner(jobs=1, replay_logs={point1.label: blob})
+    result = bad.run([point1])[point1]
+    assert result.status == "diverged"
+    assert result.divergence["index"] == 4
+
+
+def test_process_pool_records_identically():
+    point = faulted_point()
+    serial = SweepRunner(jobs=1, record_order=True)
+    serial.run([point])
+    pooled = SweepRunner(jobs=2, record_order=True)
+    pooled.run([point])
+    assert serial.order_logs[point.label] == pooled.order_logs[point.label]
+
+
+def test_replay_obs_counters():
+    point = faulted_point()
+    inner = execute_point(point, collect_obs=True, record_order=True)
+    blob = inner["order_log"]
+    n = len(OrderLog.from_b64(blob))
+    counters = inner["obs"]["counters"]
+    assert counters["replay.recordings"] == 1
+    assert counters["replay.recorded_decisions"] == n
+    verified = execute_point(point, collect_obs=True, replay_log=blob)
+    v = verified["obs"]["counters"]
+    assert v["replay.verified_runs"] == 1
+    assert v["replay.verified_decisions"] == n
+    diverged = execute_point(faulted_point(seed=1), collect_obs=True,
+                             replay_log=blob)
+    d = diverged["obs"]["counters"]
+    assert d["replay.divergences"] == 1
+    assert "replay.verified_runs" not in d

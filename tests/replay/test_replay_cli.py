@@ -1,0 +1,230 @@
+"""CLI surfaces: chaos/sweep --record/--replay and `replay verify|bisect`."""
+
+import json
+import os
+
+import pytest
+
+from repro.experiments.cli import chaos_main, main, sweep_main
+from repro.replay.orderlog import OrderLog
+
+ARGS = ["--cpus", "16", "--scale", "0.02"]
+
+
+def record_chaos(tmp_path, seed=0):
+    path = str(tmp_path / "run.order")
+    rc = chaos_main([*ARGS, "--seed", str(seed), "--record", path])
+    assert rc == 0
+    assert os.path.exists(path)
+    return path
+
+
+# -- chaos --record / --replay ------------------------------------------------
+
+
+def test_chaos_record_then_replay_roundtrip(tmp_path, capsys):
+    path = record_chaos(tmp_path)
+    assert "wrote order log" in capsys.readouterr().err
+    rc = chaos_main([*ARGS, "--replay", path])
+    assert rc == 0
+    assert "replay: OK (bit-identical to" in capsys.readouterr().out
+
+
+def test_chaos_record_replay_mutually_exclusive(tmp_path):
+    path = str(tmp_path / "run.order")
+    with pytest.raises(SystemExit) as err:
+        chaos_main([*ARGS, "--record", path, "--replay", path])
+    assert err.value.code == 2
+
+
+def test_chaos_replay_perturbed_run_diverges(tmp_path, capsys):
+    path = record_chaos(tmp_path, seed=0)
+    capsys.readouterr()
+    rc = chaos_main([*ARGS, "--seed", "3", "--replay", path])
+    assert rc == 1
+    captured = capsys.readouterr()
+    assert "DIVERGED" in captured.err
+    assert "decision #" in captured.err
+
+
+def test_chaos_recording_leaves_payload_identical(tmp_path, capsys):
+    rc = chaos_main([*ARGS, "--json"])
+    assert rc == 0
+    plain = json.loads(capsys.readouterr().out)
+    rc = chaos_main([*ARGS, "--json", "--record",
+                     str(tmp_path / "run.order")])
+    assert rc == 0
+    recorded = json.loads(capsys.readouterr().out)
+    assert recorded == plain
+
+
+# -- replay verify ------------------------------------------------------------
+
+
+def test_replay_verify_ok(tmp_path, capsys):
+    path = record_chaos(tmp_path)
+    capsys.readouterr()
+    rc = main(["replay", "verify", path])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "OK (" in out and "bit-identical" in out
+
+
+def test_replay_verify_json(tmp_path, capsys):
+    path = record_chaos(tmp_path)
+    capsys.readouterr()
+    rc = main(["replay", "verify", "--json", path])
+    assert rc == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["verified"] is True
+    assert doc["status"] == "ok"
+    assert doc["decisions"] == len(OrderLog.load(path))
+
+
+def test_replay_verify_reports_divergence(tmp_path, capsys):
+    path = record_chaos(tmp_path, seed=0)
+    # Re-point the log at a different seed: the re-run must depart from
+    # the recorded decisions and verify must say exactly where.
+    log = OrderLog.load(path)
+    log.meta["point"]["seed"] = 3
+    log.save(path)
+    capsys.readouterr()
+    rc = main(["replay", "verify", path])
+    assert rc == 1
+    out = capsys.readouterr().out
+    assert "DIVERGED" in out
+    assert "first divergence: decision #" in out
+
+
+def test_replay_verify_rejects_garbage(tmp_path, capsys):
+    bad = tmp_path / "bad.order"
+    bad.write_bytes(b"not an order log")
+    assert main(["replay", "verify", str(bad)]) == 1
+    assert "bad magic" in capsys.readouterr().err
+    assert main(["replay", "verify", str(tmp_path / "missing.order")]) == 1
+
+
+def test_replay_unknown_subcommand(capsys):
+    assert main(["replay", "bogus"]) == 2
+    assert "usage:" in capsys.readouterr().err
+
+
+# -- replay bisect ------------------------------------------------------------
+
+
+def three_spec_plan_file(tmp_path):
+    path = tmp_path / "plan3.json"
+    path.write_text(json.dumps({"faults": [
+        {"kind": "daemon_crash", "node": 1},
+        {"kind": "message_loss", "probability": 0.0},
+        {"kind": "rank_slowdown", "rank": 0, "factor": 2.0,
+         "start": 1000000.0, "end": 1000001.0},
+    ]}))
+    return str(path)
+
+
+def test_replay_bisect_cli_minimizes(tmp_path, capsys):
+    plan = three_spec_plan_file(tmp_path)
+    rc = main(["replay", "bisect", "--faults", plan,
+               "--cpus", "16", "--scale", "0.05", "--json"])
+    assert rc == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["mode"] == "effect"
+    assert doc["original_size"] == 3
+    assert doc["minimal_size"] == 1
+    assert doc["minimal"]["faults"] == [{"kind": "daemon_crash", "node": 1}]
+    assert doc["tests"] == 4
+    assert doc["history"][0] == {"specs": [0, 1, 2], "interesting": True}
+
+
+def test_replay_bisect_text_output(tmp_path, capsys):
+    plan = three_spec_plan_file(tmp_path)
+    rc = main(["replay", "bisect", "--faults", plan,
+               "--cpus", "16", "--scale", "0.05"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "3 spec(s) -> 1 (1-minimal) in 4 deterministic test run(s)" in out
+    assert "daemon_crash" in out
+
+
+def test_replay_bisect_requires_a_plan():
+    with pytest.raises(SystemExit) as err:
+        main(["replay", "bisect", "--cpus", "16", "--scale", "0.05"])
+    assert err.value.code == 2
+
+
+def test_replay_bisect_diverge_needs_against(tmp_path):
+    plan = three_spec_plan_file(tmp_path)
+    with pytest.raises(SystemExit) as err:
+        main(["replay", "bisect", "--faults", plan, "--mode", "diverge"])
+    assert err.value.code == 2
+    # --against outside diverge mode is likewise refused.
+    with pytest.raises(SystemExit) as err:
+        main(["replay", "bisect", "--faults", plan,
+              "--against", str(tmp_path / "x.order")])
+    assert err.value.code == 2
+
+
+# -- sweep --record / --replay ------------------------------------------------
+
+
+SWEEP = ["--apps", "sweep3d", "--policies", "Dynamic", "--cpus", "4",
+         "--scale", "0.05", "--no-cache", "--json"]
+
+
+def test_sweep_record_then_replay(tmp_path, capsys):
+    logs = str(tmp_path / "logs")
+    rc = sweep_main([*SWEEP, "--record", logs])
+    assert rc == 0
+    doc = json.loads(capsys.readouterr().out)
+    paths = doc["outputs"]["order_logs"]
+    assert len(paths) == 1 and paths[0].endswith(".order")
+    assert os.path.exists(paths[0])
+    rc = sweep_main([*SWEEP, "--replay", logs])
+    assert rc == 0
+    replayed = json.loads(capsys.readouterr().out)
+    assert replayed["sweep"][0]["status"] == "ok"
+
+
+def test_sweep_recording_leaves_results_identical(tmp_path, capsys):
+    rc = sweep_main(list(SWEEP))
+    assert rc == 0
+    plain = json.loads(capsys.readouterr().out)
+    rc = sweep_main([*SWEEP, "--record", str(tmp_path / "logs")])
+    assert rc == 0
+    recorded = json.loads(capsys.readouterr().out)
+    # Identical modulo the extra outputs section listing the log files.
+    assert recorded["sweep"] == plain["sweep"]
+
+
+def test_sweep_replay_perturbed_seed_diverges(tmp_path, capsys):
+    logs = str(tmp_path / "logs")
+    assert sweep_main([*SWEEP, "--record", logs]) == 0
+    capsys.readouterr()
+    # Same labels, different seed: every verified point must diverge.
+    rc = sweep_main([*SWEEP, "--seed", "3", "--replay", logs])
+    assert rc == 1
+    captured = capsys.readouterr()
+    assert "diverged from its replay log at decision #" in captured.err
+    doc = json.loads(captured.out)
+    assert doc["sweep"][0]["status"] == "diverged"
+
+
+def test_sweep_record_replay_mutually_exclusive(tmp_path):
+    with pytest.raises(SystemExit):
+        sweep_main([*SWEEP, "--record", str(tmp_path / "a"),
+                    "--replay", str(tmp_path / "b")])
+
+
+def test_load_replay_logs_rejects_empty_dir(tmp_path):
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    with pytest.raises(SystemExit, match="no .order files"):
+        sweep_main([*SWEEP, "--replay", str(empty)])
+
+
+def test_load_replay_logs_rejects_corrupt_file(tmp_path):
+    bad = tmp_path / "bad.order"
+    bad.write_bytes(b"RRLG but not really")
+    with pytest.raises(SystemExit, match="order.log"):
+        sweep_main([*SWEEP, "--replay", str(bad)])
